@@ -1,0 +1,245 @@
+package mirror
+
+// This file regenerates the paper's evaluation as Go benchmarks: one
+// benchmark per panel of Figure 6 and Figure 7, plus ablation benchmarks
+// for the design choices DESIGN.md calls out. Each panel benchmark runs
+// the corresponding harness panel at a reduced scale and reports one
+// custom metric per competitor, named "<Competitor>_Mops" — the series the
+// figure plots. The cmd/mirrorbench tool runs the same panels at full
+// sweep ranges and durations.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mirror/internal/durablequeue"
+	"mirror/internal/dwcas"
+	"mirror/internal/engine"
+	"mirror/internal/harness"
+	"mirror/internal/structures/queue"
+	"mirror/internal/workload"
+)
+
+// benchOptions keeps panel benchmarks quick while preserving competitor
+// ratios: a short window, one mid-size thread point, heavy size scaling.
+func benchOptions() harness.Options {
+	return harness.Options{
+		Duration: 60 * time.Millisecond,
+		Scale:    512,
+		Threads:  []int{2},
+		Latency:  true,
+		Seed:     1,
+	}
+}
+
+func benchmarkPanel(b *testing.B, id string) {
+	p, ok := harness.Find(id)
+	if !ok {
+		b.Fatalf("unknown panel %s", id)
+	}
+	// Trim long sweeps to three representative points for bench time.
+	if len(p.Sizes) > 3 {
+		p.Sizes = []int{p.Sizes[0], p.Sizes[len(p.Sizes)/2], p.Sizes[len(p.Sizes)-1]}
+	}
+	if len(p.UpdatePcts) > 3 {
+		p.UpdatePcts = []int{0, 20, 100}
+	}
+	var last *harness.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last = p.Run(benchOptions())
+	}
+	b.StopTimer()
+	row := last.Rows[len(last.Rows)/2]
+	for i, col := range last.Columns {
+		b.ReportMetric(row.Cells[i], strings.ReplaceAll(col, " ", "")+"_Mops")
+	}
+}
+
+// Figure 6: Mirror's volatile replica on DRAM.
+
+func BenchmarkFig6a_ListThreads(b *testing.B)     { benchmarkPanel(b, "fig6a") }
+func BenchmarkFig6b_ListSizes(b *testing.B)       { benchmarkPanel(b, "fig6b") }
+func BenchmarkFig6c_ListUpdates(b *testing.B)     { benchmarkPanel(b, "fig6c") }
+func BenchmarkFig6d_HashThreads(b *testing.B)     { benchmarkPanel(b, "fig6d") }
+func BenchmarkFig6e_HashSizes(b *testing.B)       { benchmarkPanel(b, "fig6e") }
+func BenchmarkFig6f_HashUpdates(b *testing.B)     { benchmarkPanel(b, "fig6f") }
+func BenchmarkFig6g_BSTThreads(b *testing.B)      { benchmarkPanel(b, "fig6g") }
+func BenchmarkFig6h_BSTSizes(b *testing.B)        { benchmarkPanel(b, "fig6h") }
+func BenchmarkFig6i_BSTUpdates(b *testing.B)      { benchmarkPanel(b, "fig6i") }
+func BenchmarkFig6j_SkipListThreads(b *testing.B) { benchmarkPanel(b, "fig6j") }
+func BenchmarkFig6k_SkipListSizes(b *testing.B)   { benchmarkPanel(b, "fig6k") }
+func BenchmarkFig6l_SkipListUpdates(b *testing.B) { benchmarkPanel(b, "fig6l") }
+func BenchmarkFig6m_CmapThreads(b *testing.B)     { benchmarkPanel(b, "fig6m") }
+func BenchmarkFig6n_CmapUpdates(b *testing.B)     { benchmarkPanel(b, "fig6n") }
+func BenchmarkFig6o_Hash32MUpdates(b *testing.B)  { benchmarkPanel(b, "fig6o") }
+
+// Figure 7: both replicas on NVMM.
+
+func BenchmarkFig7a_ListThreads(b *testing.B)     { benchmarkPanel(b, "fig7a") }
+func BenchmarkFig7b_ListSizes(b *testing.B)       { benchmarkPanel(b, "fig7b") }
+func BenchmarkFig7c_ListUpdates(b *testing.B)     { benchmarkPanel(b, "fig7c") }
+func BenchmarkFig7d_HashThreads(b *testing.B)     { benchmarkPanel(b, "fig7d") }
+func BenchmarkFig7e_HashSizes(b *testing.B)       { benchmarkPanel(b, "fig7e") }
+func BenchmarkFig7f_HashUpdates(b *testing.B)     { benchmarkPanel(b, "fig7f") }
+func BenchmarkFig7g_BSTThreads(b *testing.B)      { benchmarkPanel(b, "fig7g") }
+func BenchmarkFig7h_BSTSizes(b *testing.B)        { benchmarkPanel(b, "fig7h") }
+func BenchmarkFig7i_BSTUpdates(b *testing.B)      { benchmarkPanel(b, "fig7i") }
+func BenchmarkFig7j_SkipListThreads(b *testing.B) { benchmarkPanel(b, "fig7j") }
+func BenchmarkFig7k_SkipListSizes(b *testing.B)   { benchmarkPanel(b, "fig7k") }
+func BenchmarkFig7l_SkipListUpdates(b *testing.B) { benchmarkPanel(b, "fig7l") }
+
+// Ablations.
+
+// BenchmarkAblationPersistenceInstructions measures flushes and fences per
+// update operation for each durable engine — the instruction-count account
+// behind the throughput differences (§1: "good algorithms use these
+// instructions sparingly").
+func BenchmarkAblationPersistenceInstructions(b *testing.B) {
+	for _, kind := range []engine.Kind{engine.Izraelevitz, engine.NVTraverse, engine.MirrorDRAM} {
+		b.Run(kind.String(), func(b *testing.B) {
+			rt := New(Options{Kind: kind, Words: 1 << 21})
+			c := rt.NewCtx()
+			s := rt.NewList(c)
+			fl0, fe0 := rt.Counters()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := uint64(i%512 + 1)
+				s.Insert(c, key, key)
+				s.Delete(c, key)
+			}
+			b.StopTimer()
+			fl1, fe1 := rt.Counters()
+			ops := float64(2 * b.N)
+			b.ReportMetric(float64(fl1-fl0)/ops, "flushes/op")
+			b.ReportMetric(float64(fe1-fe0)/ops, "fences/op")
+		})
+	}
+}
+
+// BenchmarkAblationDWCASPath compares the native CMPXCHG16B double-word
+// CAS against the portable striped-seqlock emulation underneath the same
+// Mirror workload — quantifying what the hardware instruction buys.
+func BenchmarkAblationDWCASPath(b *testing.B) {
+	for _, fallback := range []bool{false, true} {
+		name := "native"
+		if fallback {
+			name = "fallback"
+		}
+		b.Run(name, func(b *testing.B) {
+			if fallback {
+				dwcas.SetFallback(true)
+				defer dwcas.SetFallback(false)
+			} else if !dwcas.Native() {
+				b.Skip("no native DWCAS")
+			}
+			rt := New(Options{Kind: MirrorDRAM, Words: 1 << 21})
+			c := rt.NewCtx()
+			s := rt.NewHashTable(c, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := uint64(i%2048 + 1)
+				s.Insert(c, key, key)
+				s.Delete(c, key)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReplicaPlacement isolates the paper's second idea: the
+// same Mirror protocol with the volatile replica on DRAM versus on NVMM,
+// on a read-heavy workload (§6.3's question).
+func BenchmarkAblationReplicaPlacement(b *testing.B) {
+	for _, kind := range []engine.Kind{engine.MirrorDRAM, engine.MirrorNVMM} {
+		b.Run(kind.String(), func(b *testing.B) {
+			rt := New(Options{Kind: kind, Words: 1 << 21, Latency: true, DisableTracking: true})
+			c := rt.NewCtx()
+			s := rt.NewHashTable(c, 4096)
+			for k := uint64(1); k <= 4096; k++ {
+				s.Insert(c, k, k)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Contains(c, uint64(i%8192+1))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTraversalHints measures what the traversal/critical
+// read distinction buys NVTraverse: the same list with every read treated
+// as critical degenerates to the Izraelevitz cost.
+func BenchmarkAblationTraversalHints(b *testing.B) {
+	run := func(b *testing.B, kind engine.Kind) {
+		rt := New(Options{Kind: kind, Words: 1 << 21, Latency: true, DisableTracking: true})
+		c := rt.NewCtx()
+		s := rt.NewList(c)
+		for k := uint64(1); k <= 128; k++ {
+			s.Insert(c, k, k)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Contains(c, uint64(i%256+1))
+		}
+	}
+	b.Run("NVTraverse", func(b *testing.B) { run(b, engine.NVTraverse) })
+	b.Run("Izraelevitz", func(b *testing.B) { run(b, engine.Izraelevitz) })
+	b.Run("Mirror", func(b *testing.B) { run(b, engine.MirrorDRAM) })
+}
+
+// BenchmarkQueueComparison pits the Mirror-transformed Michael–Scott
+// queue against the hand-made durable queue (Friedman et al. style) and
+// the same queue under the other general transformations — the queue
+// analogue of the paper's sets-vs-hand-made comparison.
+func BenchmarkQueueComparison(b *testing.B) {
+	for _, kind := range []engine.Kind{engine.MirrorDRAM, engine.MirrorNVMM, engine.Izraelevitz, engine.NVTraverse} {
+		b.Run(kind.String(), func(b *testing.B) {
+			e := engine.New(engine.Config{Kind: kind, Words: 1 << 22, Latency: true})
+			c := e.NewCtx()
+			q := queue.New(e, c)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(c, uint64(i))
+				q.Dequeue(c)
+			}
+		})
+	}
+	b.Run("HandMadeDurable", func(b *testing.B) {
+		q := durablequeue.New(durablequeue.Config{Words: 1 << 22, Latency: true})
+		c := q.NewCtx()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Enqueue(c, uint64(i))
+			q.Dequeue(c)
+		}
+	})
+}
+
+// BenchmarkWorkloadGenerator measures the generator's own overhead so
+// throughput numbers can be attributed to the structures, not the driver.
+func BenchmarkWorkloadGenerator(b *testing.B) {
+	target := workload.Target{
+		Name:      "noop",
+		NewWorker: func() workload.Worker { return noopWorker{} },
+	}
+	res := workload.Run(target, workload.Spec{
+		KeyRange: 1 << 20,
+		Mix:      workload.Mix801010,
+		Threads:  2,
+		Duration: 50 * time.Millisecond,
+		Seed:     1,
+	})
+	b.ReportMetric(res.MopsPerSec(), "Mops")
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+type noopWorker struct{}
+
+func (noopWorker) Insert(key, val uint64) bool { return true }
+func (noopWorker) Delete(key uint64) bool      { return true }
+func (noopWorker) Contains(key uint64) bool    { return true }

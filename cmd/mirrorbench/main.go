@@ -1,0 +1,100 @@
+// Command mirrorbench regenerates the paper's evaluation figures. Each
+// panel of Figure 6 (volatile replica on DRAM) and Figure 7 (both replicas
+// on NVMM) is reproduced as a text table of throughput in Mops/s.
+//
+// Usage:
+//
+//	mirrorbench -list                 # enumerate the panels
+//	mirrorbench -panel fig6a          # run one panel
+//	mirrorbench -all                  # run everything (slow)
+//	mirrorbench -panel fig6d -duration 2s -scale 32 -threads 1,2,4,8,16
+//
+// Absolute numbers depend on the host; the shape — who wins, by what
+// factor, where the crossovers fall — is what reproduces the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mirror/internal/harness"
+)
+
+func main() {
+	var (
+		panelID  = flag.String("panel", "", "panel to run (e.g. fig6a); see -list")
+		all      = flag.Bool("all", false, "run every panel")
+		listOnly = flag.Bool("list", false, "list panels and exit")
+		duration = flag.Duration("duration", 200*time.Millisecond, "measurement window per point")
+		scale    = flag.Int("scale", 32, "divisor for the paper's 8M/32M structure sizes")
+		threads  = flag.String("threads", "1,2,4,8,16", "comma-separated thread sweep")
+		noLat    = flag.Bool("nolatency", false, "disable the DRAM/NVMM latency models")
+		seed     = flag.Int64("seed", 1, "workload PRNG seed")
+		space    = flag.String("space", "", "print the per-engine memory footprint for a structure (list|hashtable|bst|skiplist)")
+		chart    = flag.Bool("chart", false, "render panels as ASCII charts as well")
+		recovery = flag.Bool("recovery", false, "measure crash-recovery time by engine and size")
+	)
+	flag.Parse()
+
+	if *space != "" {
+		fmt.Print(harness.MeasureSpace(*space, 10000).Format())
+		return
+	}
+	if *recovery {
+		fmt.Print(harness.MeasureRecovery([]int{1000, 10000, 100000}).Format())
+		return
+	}
+
+	if *listOnly {
+		for _, p := range harness.Panels() {
+			fmt.Printf("%-7s %s\n", p.ID, p.Title)
+		}
+		return
+	}
+
+	opts := harness.Options{
+		Duration: *duration,
+		Scale:    *scale,
+		Latency:  !*noLat,
+		Seed:     *seed,
+	}
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "mirrorbench: bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		opts.Threads = append(opts.Threads, n)
+	}
+
+	fmt.Println(harness.EnvironmentNote())
+	show := func(p harness.Panel) {
+		tab := p.Run(opts)
+		fmt.Print(tab.Format())
+		if *chart {
+			fmt.Println()
+			fmt.Print(tab.Chart())
+		}
+	}
+	switch {
+	case *all:
+		for _, p := range harness.Panels() {
+			fmt.Println()
+			show(p)
+		}
+	case *panelID != "":
+		p, ok := harness.Find(*panelID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mirrorbench: unknown panel %q (try -list)\n", *panelID)
+			os.Exit(2)
+		}
+		show(p)
+	default:
+		fmt.Fprintln(os.Stderr, "mirrorbench: need -panel, -all, or -list")
+		os.Exit(2)
+	}
+}

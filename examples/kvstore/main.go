@@ -1,0 +1,116 @@
+// kvstore is a tiny durable key-value store CLI built on the Mirror
+// transformation: a script of commands demonstrates that committed updates
+// survive simulated power failures.
+//
+// Commands (stdin, one per line):
+//
+//	set <key> <value>
+//	get <key>
+//	del <key>
+//	crash          — simulated power failure + recovery
+//	stats
+//
+// Run without input to execute the built-in demo script.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mirror"
+)
+
+type store struct {
+	rt  *mirror.Runtime
+	ctx *mirror.Ctx
+	set mirror.Set
+}
+
+func newStore() *store {
+	rt := mirror.New(mirror.Options{})
+	ctx := rt.NewCtx()
+	return &store{rt: rt, ctx: ctx, set: rt.NewHashTable(ctx, 4096)}
+}
+
+func (s *store) exec(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return ""
+	}
+	arg := func(i int) uint64 {
+		if i >= len(fields) {
+			return 0
+		}
+		v, _ := strconv.ParseUint(fields[i], 10, 64)
+		return v
+	}
+	switch fields[0] {
+	case "set":
+		key, val := arg(1), arg(2)
+		if key == 0 {
+			return "ERR keys must be positive integers"
+		}
+		if !s.set.Insert(s.ctx, key, val) {
+			// Set semantics: delete + insert to overwrite.
+			s.set.Delete(s.ctx, key)
+			s.set.Insert(s.ctx, key, val)
+		}
+		return fmt.Sprintf("OK %d=%d", key, val)
+	case "get":
+		if v, ok := s.set.Get(s.ctx, arg(1)); ok {
+			return fmt.Sprintf("%d", v)
+		}
+		return "(nil)"
+	case "del":
+		if s.set.Delete(s.ctx, arg(1)) {
+			return "OK"
+		}
+		return "(nil)"
+	case "crash":
+		s.rt.Crash(mirror.CrashDropAll, 7)
+		s.rt.Recover()
+		s.ctx = s.rt.NewCtx()
+		return "CRASHED and recovered"
+	case "stats":
+		fl, fe := s.rt.Counters()
+		return fmt.Sprintf("flushes=%d fences=%d", fl, fe)
+	default:
+		return "ERR unknown command " + fields[0]
+	}
+}
+
+var demo = []string{
+	"set 1 100",
+	"set 2 200",
+	"set 3 300",
+	"del 2",
+	"crash",
+	"get 1",
+	"get 2",
+	"get 3",
+	"set 4 400",
+	"crash",
+	"get 4",
+	"stats",
+}
+
+func main() {
+	s := newStore()
+	stat, _ := os.Stdin.Stat()
+	if stat.Mode()&os.ModeCharDevice != 0 {
+		// No piped input: run the demo script.
+		for _, line := range demo {
+			fmt.Printf("> %s\n%s\n", line, s.exec(line))
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		if out := s.exec(sc.Text()); out != "" {
+			fmt.Println(out)
+		}
+	}
+}

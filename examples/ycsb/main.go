@@ -1,0 +1,109 @@
+// ycsb runs the YCSB-style workloads of §6.1 (A: 50% reads, B: 95% reads,
+// C: read-only, plus the 80/10/10 mix) on a chosen structure under every
+// persistence engine, printing a throughput comparison — a miniature
+// interactive version of the paper's evaluation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mirror"
+	"mirror/internal/workload"
+)
+
+func main() {
+	var (
+		structure = flag.String("structure", "hashtable", "list|hashtable|bst|skiplist")
+		keyRange  = flag.Int("range", 1<<16, "key range (prefilled to half)")
+		threads   = flag.Int("threads", 4, "worker goroutines")
+		duration  = flag.Duration("duration", 300*time.Millisecond, "window per cell")
+		latency   = flag.Bool("latency", true, "apply DRAM/NVMM latency models")
+	)
+	flag.Parse()
+
+	mixes := []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"YCSB-A", workload.YCSBA},
+		{"YCSB-B", workload.YCSBB},
+		{"YCSB-C", workload.YCSBC},
+		{"80/10/10", workload.Mix801010},
+	}
+	kinds := []mirror.Kind{
+		mirror.OrigDRAM, mirror.OrigNVMM, mirror.Izraelevitz,
+		mirror.NVTraverse, mirror.MirrorDRAM, mirror.MirrorNVMM,
+	}
+
+	fmt.Printf("%s, range %d, %d threads, %v per cell (Mops/s)\n",
+		*structure, *keyRange, *threads, *duration)
+	fmt.Printf("%-12s", "engine")
+	for _, m := range mixes {
+		fmt.Printf("%10s", m.name)
+	}
+	fmt.Println()
+
+	for _, kind := range kinds {
+		fmt.Printf("%-12s", kind)
+		for _, m := range mixes {
+			rt := mirror.New(mirror.Options{
+				Kind:            kind,
+				Words:           *keyRange*24 + 1<<20,
+				Latency:         *latency,
+				DisableTracking: true,
+			})
+			ctx := rt.NewCtx()
+			var set mirror.Set
+			switch *structure {
+			case "list":
+				set = rt.NewList(ctx)
+			case "hashtable":
+				set = rt.NewHashTable(ctx, pow2(*keyRange/2))
+			case "bst":
+				set = rt.NewBST(ctx)
+			case "skiplist":
+				set = rt.NewSkipList(ctx)
+			default:
+				fmt.Fprintf(os.Stderr, "unknown structure %q\n", *structure)
+				os.Exit(2)
+			}
+			target := workload.Target{
+				Name:          *structure,
+				SortedPrefill: *structure == "list",
+				NewWorker: func() workload.Worker {
+					return worker{set, rt.NewCtx()}
+				},
+			}
+			workload.PrefillHalf(target, uint64(*keyRange), 1)
+			res := workload.Run(target, workload.Spec{
+				KeyRange: uint64(*keyRange),
+				Mix:      m.mix,
+				Threads:  *threads,
+				Duration: *duration,
+				Seed:     1,
+			})
+			fmt.Printf("%10.3f", res.MopsPerSec())
+		}
+		fmt.Println()
+	}
+}
+
+type worker struct {
+	set mirror.Set
+	ctx *mirror.Ctx
+}
+
+func (w worker) Insert(key, val uint64) bool { return w.set.Insert(w.ctx, key, val) }
+func (w worker) Delete(key uint64) bool      { return w.set.Delete(w.ctx, key) }
+func (w worker) Contains(key uint64) bool    { return w.set.Contains(w.ctx, key) }
+
+func pow2(n int) int {
+	b := 1
+	for b < n {
+		b <<= 1
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module mirror
+
+go 1.22

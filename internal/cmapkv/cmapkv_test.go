@@ -1,0 +1,189 @@
+package cmapkv
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mirror/internal/pmem"
+)
+
+func newTestMap() *Map {
+	return New(Config{Words: 1 << 20, Buckets: 64, Track: true})
+}
+
+func TestPutGetDelete(t *testing.T) {
+	m := newTestMap()
+	c := m.NewCtx()
+	if !m.Put(c, 1, 10) {
+		t.Error("first Put should report new")
+	}
+	if m.Put(c, 1, 11) {
+		t.Error("second Put should report overwrite")
+	}
+	if v, ok := m.Get(c, 1); !ok || v != 11 {
+		t.Errorf("Get = (%d,%v), want (11,true)", v, ok)
+	}
+	if !m.Delete(c, 1) || m.Contains(c, 1) || m.Delete(c, 1) {
+		t.Error("delete semantics broken")
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	m := newTestMap()
+	c := m.NewCtx()
+	rng := rand.New(rand.NewSource(3))
+	model := make(map[uint64]uint64)
+	for i := 0; i < 5000; i++ {
+		key := uint64(rng.Intn(400) + 1)
+		switch rng.Intn(3) {
+		case 0:
+			val := rng.Uint64()
+			m.Put(c, key, val)
+			model[key] = val
+		case 1:
+			_, present := model[key]
+			if got := m.Delete(c, key); got != present {
+				t.Fatalf("Delete(%d) = %v, want %v", key, got, present)
+			}
+			delete(model, key)
+		default:
+			want, present := model[key]
+			got, ok := m.Get(c, key)
+			if ok != present || (ok && got != want) {
+				t.Fatalf("Get(%d) = (%d,%v), want (%d,%v)", key, got, ok, want, present)
+			}
+		}
+	}
+	if m.Len() != len(model) {
+		t.Errorf("Len = %d, want %d", m.Len(), len(model))
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	m := New(Config{Words: 1 << 21, Buckets: 256, Track: true})
+	const workers = 8
+	const per = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := m.NewCtx()
+			base := uint64(w*per + 1)
+			for i := uint64(0); i < per; i++ {
+				m.Put(c, base+i, base+i)
+			}
+			for i := uint64(0); i < per; i++ {
+				if v, ok := m.Get(c, base+i); !ok || v != base+i {
+					t.Errorf("Get(%d) = (%d,%v)", base+i, v, ok)
+					return
+				}
+			}
+			for i := uint64(0); i < per; i += 2 {
+				m.Delete(c, base+i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	c := m.NewCtx()
+	for key := uint64(1); key <= workers*per; key++ {
+		want := (key-1)%2 == 1
+		if got := m.Contains(c, key); got != want {
+			t.Fatalf("key %d: %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestQuiescedCrashRecovery(t *testing.T) {
+	m := newTestMap()
+	c := m.NewCtx()
+	rng := rand.New(rand.NewSource(7))
+	model := make(map[uint64]uint64)
+	for i := 0; i < 3000; i++ {
+		key := uint64(rng.Intn(300) + 1)
+		if rng.Intn(3) > 0 {
+			val := rng.Uint64() >> 1
+			m.Put(c, key, val)
+			model[key] = val
+		} else {
+			m.Delete(c, key)
+			delete(model, key)
+		}
+	}
+	for _, policy := range []pmem.CrashPolicy{pmem.CrashDropAll, pmem.CrashKeepAll, pmem.CrashRandom} {
+		m.Crash(policy, rng)
+		m.Recover()
+		c = m.NewCtx()
+		for key := uint64(1); key <= 300; key++ {
+			want, present := model[key]
+			got, ok := m.Get(c, key)
+			if ok != present || (ok && got != want) {
+				t.Fatalf("policy %v: key %d = (%d,%v), want (%d,%v)", policy, key, got, ok, want, present)
+			}
+		}
+		if !m.Put(c, 5000, 1) || !m.Delete(c, 5000) {
+			t.Fatal("map not operational after recovery")
+		}
+		// Keep the model in sync (Put/Delete of 5000 cancel out).
+	}
+}
+
+func TestCrashMidWorkload(t *testing.T) {
+	m := New(Config{Words: 1 << 21, Buckets: 256, Track: true})
+	rng := rand.New(rand.NewSource(13))
+	const workers = 4
+	completed := make([]map[uint64]uint64, workers) // key -> value, deleted = absent
+	inflight := make([]uint64, workers)
+	var wg sync.WaitGroup
+	go func() {
+		for i := 0; i < 100000; i++ {
+		}
+		m.Freeze()
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil && r != pmem.ErrFrozen {
+					panic(r)
+				}
+			}()
+			c := m.NewCtx()
+			lrng := rand.New(rand.NewSource(int64(w)))
+			completed[w] = make(map[uint64]uint64)
+			base := uint64(w*64 + 1)
+			for i := 0; i < 200000; i++ {
+				key := base + uint64(lrng.Intn(64))
+				inflight[w] = key
+				if lrng.Intn(2) == 0 {
+					val := lrng.Uint64() >> 1
+					m.Put(c, key, val)
+					completed[w][key] = val
+				} else {
+					m.Delete(c, key)
+					delete(completed[w], key)
+				}
+				inflight[w] = 0
+			}
+		}(w)
+	}
+	wg.Wait()
+	m.Crash(pmem.CrashRandom, rng)
+	m.Recover()
+	c := m.NewCtx()
+	for w := 0; w < workers; w++ {
+		base := uint64(w*64 + 1)
+		for key := base; key < base+64; key++ {
+			if key == inflight[w] {
+				continue
+			}
+			want, present := completed[w][key]
+			got, ok := m.Get(c, key)
+			if ok != present || (ok && got != want) {
+				t.Fatalf("worker %d key %d: (%d,%v), want (%d,%v)", w, key, got, ok, want, present)
+			}
+		}
+	}
+}

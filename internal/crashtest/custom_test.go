@@ -1,0 +1,94 @@
+package crashtest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mirror/internal/cmapkv"
+	"mirror/internal/pmem"
+	"mirror/internal/zuriel"
+)
+
+// zurielTarget adapts a zuriel.Set to the custom crash harness.
+func zurielTarget(mk func() zuriel.Set) (CustomTarget, func()) {
+	s := mk()
+	t := CustomTarget{
+		NewWorker: func() (func(k, v uint64) bool, func(k uint64) bool, func(k uint64) bool) {
+			c := s.NewCtx()
+			return func(k, v uint64) bool { return s.Insert(c, k, v) },
+				func(k uint64) bool { return s.Delete(c, k) },
+				func(k uint64) bool { return s.Contains(c, k) }
+		},
+		Freeze:  s.Freeze,
+		Crash:   s.Crash,
+		Recover: s.Recover,
+	}
+	return t, func() {}
+}
+
+// TestZurielDurableLinearizability puts the hand-made sets through the
+// same mid-operation crash rounds as the engine structures.
+func TestZurielDurableLinearizability(t *testing.T) {
+	mks := map[string]func() zuriel.Set{
+		"LinkFree-list": func() zuriel.Set { return zuriel.NewLinkFree(zuriel.Config{Words: 1 << 21, Track: true}) },
+		"LinkFree-hash": func() zuriel.Set {
+			return zuriel.NewLinkFree(zuriel.Config{Words: 1 << 21, Buckets: 64, Track: true})
+		},
+		"SOFT-list": func() zuriel.Set { return zuriel.NewSoft(zuriel.Config{Words: 1 << 21, Track: true}) },
+		"SOFT-hash": func() zuriel.Set {
+			return zuriel.NewSoft(zuriel.Config{Words: 1 << 21, Buckets: 64, Track: true})
+		},
+	}
+	policies := []pmem.CrashPolicy{pmem.CrashDropAll, pmem.CrashKeepAll, pmem.CrashRandom}
+	for name, mk := range mks {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			round := 0
+			for _, policy := range policies {
+				for _, lag := range []time.Duration{300 * time.Microsecond, 2 * time.Millisecond} {
+					round++
+					target, cleanup := zurielTarget(mk)
+					vs := RunCustom(target, Config{
+						Policy: policy, FreezeLag: lag, Seed: int64(round) * 17,
+					})
+					cleanup()
+					for _, v := range vs {
+						t.Errorf("policy=%v lag=%v key=%d: %s (got present=%v, want %s)",
+							policy, lag, v.Key, v.Context, v.Got, v.Want)
+					}
+					if t.Failed() {
+						return
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCmapDurableLinearizability does the same for the lock-based map.
+func TestCmapDurableLinearizability(t *testing.T) {
+	policies := []pmem.CrashPolicy{pmem.CrashDropAll, pmem.CrashKeepAll, pmem.CrashRandom}
+	for i, policy := range policies {
+		t.Run(fmt.Sprint(policy), func(t *testing.T) {
+			m := cmapkv.New(cmapkv.Config{Words: 1 << 21, Buckets: 256, Track: true})
+			target := CustomTarget{
+				NewWorker: func() (func(k, v uint64) bool, func(k uint64) bool, func(k uint64) bool) {
+					c := m.NewCtx()
+					return func(k, v uint64) bool { m.Put(c, k, v); return true },
+						func(k uint64) bool { return m.Delete(c, k) },
+						func(k uint64) bool { return m.Contains(c, k) }
+				},
+				Freeze:  m.Freeze,
+				Crash:   m.Crash,
+				Recover: m.Recover,
+			}
+			vs := RunCustom(target, Config{
+				Policy: policy, FreezeLag: time.Millisecond, Seed: int64(i+1) * 23,
+			})
+			for _, v := range vs {
+				t.Errorf("key=%d: %s (got present=%v, want %s)", v.Key, v.Context, v.Got, v.Want)
+			}
+		})
+	}
+}

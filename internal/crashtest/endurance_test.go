@@ -1,0 +1,107 @@
+package crashtest
+
+import (
+	"math/rand"
+	"testing"
+
+	"mirror/internal/engine"
+	"mirror/internal/pmem"
+	"mirror/internal/structures/hashtable"
+	"mirror/internal/structures/list"
+)
+
+// TestMultiCrashEndurance runs many crash/recover/mutate cycles on one
+// persistent heap and checks that (a) contents stay exactly right and
+// (b) recovery's offline GC keeps memory bounded — a recovery that leaked
+// or double-allocated would drift across cycles.
+func TestMultiCrashEndurance(t *testing.T) {
+	for _, kind := range durableKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := engine.New(engine.Config{Kind: kind, Words: 1 << 19, Track: true})
+			c := e.NewCtx()
+			l := list.New(e, 0)
+			rng := rand.New(rand.NewSource(77))
+			model := make(map[uint64]bool)
+
+			const cycles = 25
+			var firstLive uint64
+			for cycle := 0; cycle < cycles; cycle++ {
+				// Mutate: churn 200 ops over a small key space.
+				for i := 0; i < 200; i++ {
+					key := uint64(rng.Intn(64) + 1)
+					if rng.Intn(2) == 0 {
+						if l.Insert(c, key, key) {
+							model[key] = true
+						}
+					} else {
+						if l.Delete(c, key) {
+							delete(model, key)
+						}
+					}
+				}
+				e.Crash(pmem.CrashPolicy(cycle%3), rng)
+				e.Recover(list.TracerAt(e, 0))
+				c = e.NewCtx()
+				for key := uint64(1); key <= 64; key++ {
+					if got := l.Contains(c, key); got != model[key] {
+						t.Fatalf("cycle %d: key %d = %v, want %v", cycle, key, got, model[key])
+					}
+				}
+				words, _ := e.Footprint()
+				if cycle == 0 {
+					firstLive = words
+				} else if words > firstLive*4+4096 {
+					t.Fatalf("cycle %d: live words grew from %d to %d — recovery leak",
+						cycle, firstLive, words)
+				}
+			}
+		})
+	}
+}
+
+// TestMultiCrashEnduranceHash is the same endurance check over the hash
+// table, whose recovery must also re-account the large bucket array.
+func TestMultiCrashEnduranceHash(t *testing.T) {
+	e := engine.New(engine.Config{Kind: engine.MirrorDRAM, Words: 1 << 20, Track: true})
+	c := e.NewCtx()
+	h := hashtable.New(e, c, 128)
+	rng := rand.New(rand.NewSource(13))
+	model := make(map[uint64]bool)
+	var baseline uint64
+	for cycle := 0; cycle < 15; cycle++ {
+		for i := 0; i < 300; i++ {
+			key := uint64(rng.Intn(500) + 1)
+			if rng.Intn(2) == 0 {
+				if h.Insert(c, key, key) {
+					model[key] = true
+				}
+			} else {
+				if h.Delete(c, key) {
+					delete(model, key)
+				}
+			}
+		}
+		e.Crash(pmem.CrashRandom, rng)
+		e.Recover(hashtable.TracerAt(e, 0))
+		c = e.NewCtx()
+		h = hashtable.New(e, c, 128) // re-attach
+		live := 0
+		for key := uint64(1); key <= 500; key++ {
+			if got := h.Contains(c, key); got != model[key] {
+				t.Fatalf("cycle %d: key %d = %v, want %v", cycle, key, got, model[key])
+			}
+			if model[key] {
+				live++
+			}
+		}
+		if got := h.Len(c); got != live {
+			t.Fatalf("cycle %d: Len = %d, want %d", cycle, got, live)
+		}
+		words, _ := e.Footprint()
+		if cycle == 0 {
+			baseline = words
+		} else if words > baseline*3 {
+			t.Fatalf("cycle %d: footprint %d vs baseline %d — leak", cycle, words, baseline)
+		}
+	}
+}

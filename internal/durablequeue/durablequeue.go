@@ -1,0 +1,201 @@
+// Package durablequeue implements a hand-made durable lock-free FIFO queue
+// in the style of Friedman, Herlihy, Marathe and Petrank [PPoPP 2018] —
+// the paper's reference [18] and the natural hand-optimized baseline for
+// the Mirror-transformed Michael–Scott queue in
+// internal/structures/queue.
+//
+// Like the hand-made durable sets, it persists selectively instead of
+// mirroring: a node's content is flushed before it is linked, the link
+// itself is flushed before the enqueue returns, and the head reference is
+// flushed after every dequeue. The tail reference is auxiliary data —
+// never flushed — and is reconstructed by walking to the end of the
+// persisted chain at recovery (§4.3's critical/auxiliary data split).
+package durablequeue
+
+import (
+	"math/rand"
+	"sync"
+
+	"mirror/internal/palloc"
+	"mirror/internal/pmem"
+)
+
+// Node layout (4 words on NVMM).
+const (
+	fVal  = 0
+	fNext = 1
+	fSize = 4
+)
+
+// Fixed device offsets for the persistent root slots.
+const (
+	headSlot = 8
+	tailSlot = 9 // auxiliary: recovered, never flushed
+)
+
+// Queue is the hand-made durable FIFO queue.
+type Queue struct {
+	dev *pmem.Device
+
+	mu    sync.Mutex
+	alloc *palloc.Allocator
+	recl  *palloc.Reclaimer
+}
+
+// Ctx is a per-thread context.
+type Ctx struct {
+	cache *palloc.Cache
+	fs    pmem.FlushSet
+}
+
+// Config describes a queue instance.
+type Config struct {
+	Words   int
+	Latency bool
+	Track   bool
+}
+
+// New creates an empty durable queue.
+func New(cfg Config) *Queue {
+	if cfg.Words == 0 {
+		cfg.Words = 1 << 20
+	}
+	model := pmem.NoLatency()
+	if cfg.Latency {
+		model = pmem.NVMMModel()
+	}
+	q := &Queue{
+		dev: pmem.New(pmem.Config{
+			Name: "DurableQueue", Words: cfg.Words,
+			Persistent: true, Track: cfg.Track, Model: model,
+		}),
+	}
+	q.alloc = palloc.New(palloc.Config{Base: 16, End: uint64(q.dev.Size())})
+	q.recl = palloc.NewReclaimer()
+	// Durable dummy node.
+	boot := q.NewCtx()
+	dummy := boot.cache.Alloc(fSize)
+	q.dev.Store(dummy+fVal, 0)
+	q.dev.Store(dummy+fNext, 0)
+	q.persist(boot, dummy)
+	q.dev.Store(headSlot, dummy)
+	q.dev.Store(tailSlot, dummy)
+	q.persist(boot, headSlot)
+	return q
+}
+
+// NewCtx creates a per-thread context.
+func (q *Queue) NewCtx() *Ctx {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return &Ctx{cache: palloc.NewCache(q.alloc, q.recl)}
+}
+
+func (q *Queue) persist(c *Ctx, off uint64) {
+	q.dev.Flush(&c.fs, off)
+	q.dev.Fence(&c.fs)
+}
+
+// Enqueue appends v; it is durable when the call returns.
+func (q *Queue) Enqueue(c *Ctx, v uint64) {
+	c.cache.Enter()
+	defer c.cache.Exit()
+	node := c.cache.Alloc(fSize)
+	q.dev.Store(node+fVal, v)
+	q.dev.Store(node+fNext, 0)
+	q.persist(c, node) // content durable before it is reachable
+	for {
+		tail := q.dev.Load(tailSlot)
+		next := q.dev.Load(tail + fNext)
+		if next != 0 {
+			// Help: persist the lagging link, then swing the tail.
+			q.persist(c, tail+fNext)
+			q.dev.CAS(tailSlot, tail, next)
+			continue
+		}
+		if q.dev.CAS(tail+fNext, 0, node) {
+			// The linearizing link is durable before we return; the
+			// tail swing is auxiliary.
+			q.persist(c, tail+fNext)
+			q.dev.CAS(tailSlot, tail, node)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest element; the removal is durable
+// when the call returns.
+func (q *Queue) Dequeue(c *Ctx) (uint64, bool) {
+	c.cache.Enter()
+	defer c.cache.Exit()
+	for {
+		head := q.dev.Load(headSlot)
+		tail := q.dev.Load(tailSlot)
+		next := q.dev.Load(head + fNext)
+		if head == tail {
+			if next == 0 {
+				return 0, false
+			}
+			q.persist(c, tail+fNext)
+			q.dev.CAS(tailSlot, tail, next)
+			continue
+		}
+		v := q.dev.Load(next + fVal)
+		if q.dev.CAS(headSlot, head, next) {
+			q.persist(c, headSlot)
+			c.cache.Retire(head, fSize)
+			return v, true
+		}
+	}
+}
+
+// Len counts elements (quiesced use only).
+func (q *Queue) Len() int {
+	n := 0
+	node := q.dev.ReadRaw(headSlot)
+	for {
+		node = q.dev.ReadRaw(node + fNext)
+		if node == 0 {
+			return n
+		}
+		n++
+	}
+}
+
+// Freeze unwinds in-flight operations for a crash.
+func (q *Queue) Freeze() { q.dev.Freeze() }
+
+// Crash simulates a power failure.
+func (q *Queue) Crash(policy pmem.CrashPolicy, rng *rand.Rand) {
+	q.dev.Freeze()
+	q.dev.Crash(policy, rng)
+}
+
+// Recover rebuilds the auxiliary state: the tail is re-derived by walking
+// the persisted chain from the head, lagging links are re-persisted, and
+// the allocator is rebuilt from the reachable nodes.
+func (q *Queue) Recover() {
+	head := q.dev.ReadRaw(headSlot)
+	var extents []palloc.Extent
+	node := head
+	last := head
+	for node != 0 {
+		extents = append(extents, palloc.Extent{Off: node, Words: fSize})
+		last = node
+		node = q.dev.ReadRaw(node + fNext)
+	}
+	q.dev.WriteRaw(tailSlot, last)
+	// The chain we walked is the durable truth; persist it wholesale so
+	// a crash during recovery re-reads the same state.
+	for _, e := range extents {
+		q.dev.PersistRange(e.Off, e.Words)
+	}
+	q.dev.PersistRange(headSlot, 1)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.alloc.Rebuild(extents)
+	q.recl = palloc.NewReclaimer()
+}
+
+// Counters reports cumulative flushes and fences.
+func (q *Queue) Counters() (uint64, uint64) { return q.dev.Counters() }

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+
+	"mirror/internal/palloc"
+	"mirror/internal/pmem"
+)
+
+// directEngine implements the four single-replica engines: the two
+// non-durable originals and the Izraelevitz and NVTraverse transformations.
+// One word per field, directly on one device.
+type directEngine struct {
+	kind       Kind
+	dev        *pmem.Device
+	rootFields int
+
+	mu    sync.Mutex
+	alloc *palloc.Allocator
+	recl  *palloc.Reclaimer
+}
+
+func newDirect(cfg Config) *directEngine {
+	model := pmem.NoLatency()
+	persistent := false
+	switch cfg.Kind {
+	case OrigDRAM:
+		if cfg.Latency {
+			model = pmem.DRAMModel()
+		}
+	case OrigNVMM:
+		if cfg.Latency {
+			model = pmem.NVMMModel()
+		}
+	case Izraelevitz, NVTraverse:
+		persistent = true
+		if cfg.Latency {
+			model = pmem.NVMMModel()
+		}
+	}
+	dev := pmem.New(pmem.Config{
+		Name:       cfg.Kind.String(),
+		Words:      cfg.Words,
+		Persistent: persistent,
+		Track:      cfg.Track,
+		Model:      model,
+	})
+	e := &directEngine{
+		kind:       cfg.Kind,
+		dev:        dev,
+		rootFields: cfg.RootFields,
+		recl:       palloc.NewReclaimer(),
+	}
+	e.alloc = palloc.New(palloc.Config{
+		Base: rootsRegionWords(cfg.RootFields, 1),
+		End:  uint64(dev.Size()),
+	})
+	return e
+}
+
+func (e *directEngine) Kind() Kind { return e.kind }
+
+func (e *directEngine) NewCtx() *Ctx {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return &Ctx{Cache: palloc.NewCache(e.alloc, e.recl)}
+}
+
+func (e *directEngine) addr(ref Ref, field int) uint64 { return ref + uint64(field) }
+
+// persistsReads reports whether every shared read must be flushed+fenced
+// (the Izraelevitz discipline).
+func (e *directEngine) persistsReads() bool { return e.kind == Izraelevitz }
+
+// durable reports whether writes must reach the media.
+func (e *directEngine) durable() bool { return e.kind == Izraelevitz || e.kind == NVTraverse }
+
+func (e *directEngine) OpBegin(c *Ctx) { c.Cache.Enter() }
+
+func (e *directEngine) OpEnd(c *Ctx) {
+	if e.durable() {
+		// Both transformations issue a final fence before an operation
+		// returns, so completed operations are durable.
+		e.dev.Fence(&c.fs)
+	}
+	c.Cache.Exit()
+}
+
+func (e *directEngine) Alloc(c *Ctx, fields int) Ref {
+	return c.Cache.Alloc(fields)
+}
+
+func (e *directEngine) StoreInit(c *Ctx, ref Ref, field int, v uint64) {
+	a := e.addr(ref, field)
+	e.dev.Store(a, v)
+	if e.durable() {
+		e.dev.Flush(&c.fs, a)
+	}
+}
+
+func (e *directEngine) Publish(c *Ctx, ref Ref) {
+	if e.durable() {
+		e.dev.Fence(&c.fs)
+	}
+}
+
+func (e *directEngine) FreeUnpublished(c *Ctx, ref Ref, fields int) {
+	c.Cache.Free(ref, fields)
+}
+
+func (e *directEngine) Retire(c *Ctx, ref Ref, fields int) {
+	c.Cache.Retire(ref, fields)
+}
+
+func (e *directEngine) Load(c *Ctx, ref Ref, field int) uint64 {
+	a := e.addr(ref, field)
+	v := e.dev.Load(a)
+	if e.durable() {
+		// Critical reads are persisted: under Izraelevitz every read,
+		// under NVTraverse the reads around the destination (callers
+		// use TraversalLoad during search).
+		e.dev.Flush(&c.fs, a)
+		e.dev.Fence(&c.fs)
+	}
+	return v
+}
+
+func (e *directEngine) TraversalLoad(c *Ctx, ref Ref, field int) uint64 {
+	if e.persistsReads() {
+		return e.Load(c, ref, field)
+	}
+	return e.dev.Load(e.addr(ref, field))
+}
+
+func (e *directEngine) Store(c *Ctx, ref Ref, field int, v uint64) {
+	a := e.addr(ref, field)
+	switch {
+	case e.kind == Izraelevitz:
+		// Fence before every write (orders prior flushed reads/writes),
+		// flush after (Izraelevitz et al.'s construction).
+		e.dev.Fence(&c.fs)
+		e.dev.Store(a, v)
+		e.dev.Flush(&c.fs, a)
+	case e.kind == NVTraverse:
+		// Critical-section writes persist in order.
+		e.dev.Store(a, v)
+		e.dev.Flush(&c.fs, a)
+		e.dev.Fence(&c.fs)
+	default:
+		e.dev.Store(a, v)
+	}
+}
+
+func (e *directEngine) CAS(c *Ctx, ref Ref, field int, old, new uint64) bool {
+	a := e.addr(ref, field)
+	switch {
+	case e.kind == Izraelevitz:
+		e.dev.Fence(&c.fs)
+		ok := e.dev.CAS(a, old, new)
+		e.dev.Flush(&c.fs, a)
+		return ok
+	case e.kind == NVTraverse:
+		ok := e.dev.CAS(a, old, new)
+		e.dev.Flush(&c.fs, a)
+		e.dev.Fence(&c.fs)
+		return ok
+	default:
+		return e.dev.CAS(a, old, new)
+	}
+}
+
+func (e *directEngine) FetchAdd(c *Ctx, ref Ref, field int, delta uint64) uint64 {
+	a := e.addr(ref, field)
+	switch {
+	case e.kind == Izraelevitz:
+		e.dev.Fence(&c.fs)
+		nv := e.dev.Add(a, delta)
+		e.dev.Flush(&c.fs, a)
+		return nv - delta
+	case e.kind == NVTraverse:
+		nv := e.dev.Add(a, delta)
+		e.dev.Flush(&c.fs, a)
+		e.dev.Fence(&c.fs)
+		return nv - delta
+	default:
+		return e.dev.Add(a, delta) - delta
+	}
+}
+
+func (e *directEngine) MakePersistent(c *Ctx, ref Ref, fields int) {
+	if e.kind != NVTraverse {
+		return
+	}
+	for f := 0; f < fields; f++ {
+		e.dev.Flush(&c.fs, e.addr(ref, f))
+	}
+	e.dev.Fence(&c.fs)
+}
+
+func (e *directEngine) RootRef() Ref { return rootBase }
+
+func (e *directEngine) Freeze() { e.dev.Freeze() }
+
+func (e *directEngine) FreezeAfter(n int64) { e.dev.FreezeAfter(n) }
+
+func (e *directEngine) Crash(policy pmem.CrashPolicy, rng *rand.Rand) {
+	e.dev.Freeze()
+	e.dev.Crash(policy, rng)
+}
+
+func (e *directEngine) Recover(tr Tracer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.recl = palloc.NewReclaimer()
+	if !e.durable() {
+		// Nothing survived; reinitialize empty.
+		e.alloc.Rebuild(nil)
+		return
+	}
+	var extents []palloc.Extent
+	if tr != nil {
+		tr(e.RecoveryLoad, func(ref Ref, fields int) {
+			extents = append(extents, palloc.Extent{Off: ref, Words: fields})
+		})
+	}
+	e.alloc.Rebuild(extents)
+}
+
+func (e *directEngine) RecoveryLoad(ref Ref, field int) uint64 {
+	return e.dev.ReadRaw(e.addr(ref, field))
+}
+
+func (e *directEngine) Counters() (uint64, uint64) {
+	return e.dev.Counters()
+}
+
+func (e *directEngine) Footprint() (uint64, int) {
+	return e.alloc.LiveWords(), 1
+}

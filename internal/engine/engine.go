@@ -1,0 +1,221 @@
+// Package engine defines the persistence-engine abstraction that every
+// lock-free data structure in this repository is written against, together
+// with the six implementations the paper evaluates:
+//
+//   - OrigDRAM, OrigNVMM — the original, non-durable structures running on
+//     DRAM or NVMM (the "ListOriginalDRAM/NVMM" baselines of §6.2.1);
+//   - Izraelevitz — the general transformation of Izraelevitz et al.:
+//     flush+fence around every shared access;
+//   - NVTraverse — the traversal-form transformation (Friedman et al.,
+//     PLDI'20): nothing is persisted during traversal, the destination
+//     nodes are persisted just before the critical section;
+//   - MirrorDRAM — the paper's contribution with the volatile replica on
+//     DRAM (§6.2);
+//   - MirrorNVMM — Mirror with both replicas on NVMM (§6.3).
+//
+// A data structure manipulates objects made of uint64 fields through Refs
+// (logical object handles). The engine owns the field-to-word layout: a
+// Mirror field is a two-word (value, sequence) cell mirrored on two
+// devices; every other engine stores one word per field on one device.
+// Because layout is hidden behind this interface, a single implementation
+// of each data structure runs unmodified under every engine — which is the
+// "automatic transformation" claim of the paper made concrete.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mirror/internal/palloc"
+	"mirror/internal/patomic"
+	"mirror/internal/pmem"
+)
+
+// Ref is a logical object handle: the word offset of the object on the
+// engine's reference device. 0 is nil. Objects are at least 32-byte
+// aligned, so data structures may use the two low bits of stored Refs for
+// marks, flags, and tags.
+type Ref = uint64
+
+// Kind selects an engine implementation.
+type Kind int
+
+// MirrorDRAM is the zero value, so it is the default everywhere.
+const (
+	MirrorDRAM Kind = iota
+	MirrorNVMM
+	OrigDRAM
+	OrigNVMM
+	Izraelevitz
+	NVTraverse
+)
+
+// String returns the engine's short display name as used in the paper's
+// figure legends.
+func (k Kind) String() string {
+	switch k {
+	case OrigDRAM:
+		return "OrigDRAM"
+	case OrigNVMM:
+		return "OrigNVMM"
+	case Izraelevitz:
+		return "Izraelevitz"
+	case NVTraverse:
+		return "NVTraverse"
+	case MirrorDRAM:
+		return "Mirror"
+	case MirrorNVMM:
+		return "MirrorNVMM"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Durable reports whether structures under this engine survive a crash.
+func (k Kind) Durable() bool {
+	switch k {
+	case Izraelevitz, NVTraverse, MirrorDRAM, MirrorNVMM:
+		return true
+	}
+	return false
+}
+
+// Kinds lists every engine kind.
+func Kinds() []Kind {
+	return []Kind{OrigDRAM, OrigNVMM, Izraelevitz, NVTraverse, MirrorDRAM, MirrorNVMM}
+}
+
+// Ctx is the per-thread context: allocation cache, epoch announcement, and
+// flush sets. A Ctx must be used by one goroutine at a time.
+type Ctx struct {
+	Cache *palloc.Cache
+	fs    pmem.FlushSet // direct engines: flush set of the single device
+	pa    patomic.Ctx   // mirror engines: persistent-replica flush set
+}
+
+// Tracer walks a data structure's reachable objects during recovery. It is
+// the "tracing operation" the paper requires the user to provide (§3.2):
+// read reads a field of an object from the persistent post-crash image, and
+// visit must be called exactly once per reachable object with its field
+// count.
+type Tracer func(read func(ref Ref, field int) uint64, visit func(ref Ref, fields int))
+
+// Engine is the persistence interface data structures are written against.
+type Engine interface {
+	// Kind identifies the implementation.
+	Kind() Kind
+	// NewCtx creates a per-thread context.
+	NewCtx() *Ctx
+
+	// OpBegin/OpEnd bracket every data-structure operation; they manage
+	// the reclamation epoch and any end-of-operation durability barrier.
+	OpBegin(c *Ctx)
+	OpEnd(c *Ctx)
+
+	// Alloc creates an uninitialized object of the given number of
+	// logical fields. Initialize every field with StoreInit and call
+	// Publish before making the object reachable.
+	Alloc(c *Ctx, fields int) Ref
+	// StoreInit writes a field of an unpublished object (no concurrency,
+	// no sequence bump beyond the initial one).
+	StoreInit(c *Ctx, ref Ref, field int, v uint64)
+	// Publish is the durability barrier between initializing an object
+	// and linking it into the structure.
+	Publish(c *Ctx, ref Ref)
+	// FreeUnpublished returns an object that was never made reachable.
+	FreeUnpublished(c *Ctx, ref Ref, fields int)
+	// Retire schedules an unlinked object for epoch-based reclamation.
+	Retire(c *Ctx, ref Ref, fields int)
+
+	// Load reads a field with the engine's full persistence discipline
+	// (a "critical" read in NVTraverse terms).
+	Load(c *Ctx, ref Ref, field int) uint64
+	// TraversalLoad reads a field during a search phase; engines that
+	// distinguish traversal from critical reads skip persistence here.
+	TraversalLoad(c *Ctx, ref Ref, field int) uint64
+	// Store durably writes a field.
+	Store(c *Ctx, ref Ref, field int, v uint64)
+	// CAS durably compares-and-swaps a field.
+	CAS(c *Ctx, ref Ref, field int, old, new uint64) bool
+	// FetchAdd durably adds to a field, returning the previous value.
+	FetchAdd(c *Ctx, ref Ref, field int, delta uint64) uint64
+	// MakePersistent ensures an object's fields are durable; traversal
+	// data structures call it on the destination nodes before their
+	// critical section (the NVTraverse barrier). No-op elsewhere.
+	MakePersistent(c *Ctx, ref Ref, fields int)
+
+	// RootRef returns the persistent root object (RootFields fields).
+	RootRef() Ref
+
+	// Freeze makes all device operations panic, unwinding in-flight
+	// operations so a crash can be taken.
+	Freeze()
+	// FreezeAfter arms a countdown on the persistent device: its n-th
+	// subsequent operation freezes it. Deterministic crash placement for
+	// the exhaustive crash-point tests.
+	FreezeAfter(n int64)
+	// Crash simulates a power failure (devices must be quiesced).
+	Crash(policy pmem.CrashPolicy, rng *rand.Rand)
+	// Recover rebuilds volatile state after Crash using the structure's
+	// tracer; for non-durable engines it reinitializes empty state.
+	Recover(tr Tracer)
+	// RecoveryLoad reads a field from the persistent post-crash image;
+	// only valid between Crash and the end of Recover.
+	RecoveryLoad(ref Ref, field int) uint64
+
+	// Counters reports cumulative flush and fence counts across all
+	// devices (for the ablation benchmarks).
+	Counters() (flushes, fences uint64)
+	// Footprint reports the live allocated words (in the engine's cell
+	// layout) and how many device replicas hold them, so total memory is
+	// words × replicas × 8 bytes — the space-overhead account of §6.2.5.
+	Footprint() (words uint64, replicas int)
+}
+
+// Config describes an engine instance.
+type Config struct {
+	Kind Kind
+	// Words is the capacity of each device in 8-byte words.
+	Words int
+	// RootFields is the number of fields of the persistent root object.
+	RootFields int
+	// Latency applies the DRAM/NVMM latency models (benchmarks). When
+	// false all devices run at native speed (tests).
+	Latency bool
+	// Track maintains the persistent media image so Crash/Recover work.
+	// Benchmarks that never crash can disable it.
+	Track bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Words == 0 {
+		c.Words = 1 << 20
+	}
+	if c.RootFields == 0 {
+		c.RootFields = 8
+	}
+}
+
+// New creates an engine.
+func New(cfg Config) Engine {
+	cfg.setDefaults()
+	switch cfg.Kind {
+	case OrigDRAM, OrigNVMM, Izraelevitz, NVTraverse:
+		return newDirect(cfg)
+	case MirrorDRAM, MirrorNVMM:
+		return newMirror(cfg)
+	default:
+		panic(fmt.Sprintf("engine: unknown kind %v", cfg.Kind))
+	}
+}
+
+// rootBase is the device offset of the persistent root object. It leaves
+// word 0 unused (nil) and keeps the root 32-byte aligned.
+const rootBase = 8
+
+// rootsRegionWords returns the words reserved for the root object given the
+// cell width, rounded so the allocator base stays aligned.
+func rootsRegionWords(rootFields, cellW int) uint64 {
+	n := uint64(rootFields*cellW + rootBase)
+	return (n + palloc.AlignWords - 1) &^ (palloc.AlignWords - 1)
+}

@@ -1,0 +1,425 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"mirror/internal/pmem"
+)
+
+func newTestEngine(k Kind) Engine {
+	return New(Config{Kind: k, Words: 1 << 18, RootFields: 4, Track: true})
+}
+
+func forEachKind(t *testing.T, f func(t *testing.T, e Engine)) {
+	for _, k := range Kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			f(t, newTestEngine(k))
+		})
+	}
+}
+
+func forEachDurable(t *testing.T, f func(t *testing.T, e Engine)) {
+	for _, k := range Kinds() {
+		if !k.Durable() {
+			continue
+		}
+		t.Run(k.String(), func(t *testing.T) {
+			f(t, newTestEngine(k))
+		})
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		OrigDRAM: "OrigDRAM", OrigNVMM: "OrigNVMM", Izraelevitz: "Izraelevitz",
+		NVTraverse: "NVTraverse", MirrorDRAM: "Mirror", MirrorNVMM: "MirrorNVMM",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}
+
+func TestDurableFlag(t *testing.T) {
+	if OrigDRAM.Durable() || OrigNVMM.Durable() {
+		t.Error("originals must not be durable")
+	}
+	for _, k := range []Kind{Izraelevitz, NVTraverse, MirrorDRAM, MirrorNVMM} {
+		if !k.Durable() {
+			t.Errorf("%v must be durable", k)
+		}
+	}
+}
+
+func TestObjectLifecycle(t *testing.T) {
+	forEachKind(t, func(t *testing.T, e Engine) {
+		c := e.NewCtx()
+		e.OpBegin(c)
+		ref := e.Alloc(c, 3)
+		if ref == 0 {
+			t.Fatal("Alloc returned nil ref")
+		}
+		if ref&3 != 0 {
+			t.Fatalf("ref %d not 32-byte aligned", ref)
+		}
+		e.StoreInit(c, ref, 0, 10)
+		e.StoreInit(c, ref, 1, 20)
+		e.StoreInit(c, ref, 2, 30)
+		e.Publish(c, ref)
+		for f, want := range []uint64{10, 20, 30} {
+			if got := e.Load(c, ref, f); got != want {
+				t.Errorf("field %d = %d, want %d", f, got, want)
+			}
+			if got := e.TraversalLoad(c, ref, f); got != want {
+				t.Errorf("traversal field %d = %d, want %d", f, got, want)
+			}
+		}
+		e.OpEnd(c)
+	})
+}
+
+func TestStoreCASFetchAdd(t *testing.T) {
+	forEachKind(t, func(t *testing.T, e Engine) {
+		c := e.NewCtx()
+		e.OpBegin(c)
+		ref := e.Alloc(c, 2)
+		e.StoreInit(c, ref, 0, 0)
+		e.StoreInit(c, ref, 1, 5)
+		e.Publish(c, ref)
+
+		e.Store(c, ref, 0, 7)
+		if got := e.Load(c, ref, 0); got != 7 {
+			t.Errorf("after Store: %d, want 7", got)
+		}
+		if !e.CAS(c, ref, 0, 7, 8) {
+			t.Error("CAS 7->8 should succeed")
+		}
+		if e.CAS(c, ref, 0, 7, 9) {
+			t.Error("CAS 7->9 should fail")
+		}
+		if old := e.FetchAdd(c, ref, 1, 3); old != 5 {
+			t.Errorf("FetchAdd returned %d, want 5", old)
+		}
+		if got := e.Load(c, ref, 1); got != 8 {
+			t.Errorf("after FetchAdd: %d, want 8", got)
+		}
+		e.OpEnd(c)
+	})
+}
+
+func TestRootFields(t *testing.T) {
+	forEachKind(t, func(t *testing.T, e Engine) {
+		c := e.NewCtx()
+		e.OpBegin(c)
+		root := e.RootRef()
+		for f := 0; f < 4; f++ {
+			if got := e.Load(c, root, f); got != 0 {
+				t.Errorf("fresh root field %d = %d, want 0", f, got)
+			}
+		}
+		if !e.CAS(c, root, 2, 0, 77) {
+			t.Error("root CAS should succeed")
+		}
+		if got := e.Load(c, root, 2); got != 77 {
+			t.Errorf("root field = %d, want 77", got)
+		}
+		e.OpEnd(c)
+	})
+}
+
+func TestCompletedWriteIsDurable(t *testing.T) {
+	forEachDurable(t, func(t *testing.T, e Engine) {
+		c := e.NewCtx()
+		e.OpBegin(c)
+		root := e.RootRef()
+		e.Store(c, root, 0, 1234)
+		e.OpEnd(c)
+		// A completed operation's writes must survive even the most
+		// adversarial crash (drop everything unfenced).
+		e.Crash(pmem.CrashDropAll, nil)
+		if got := e.RecoveryLoad(root, 0); got != 1234 {
+			t.Errorf("RecoveryLoad after crash = %d, want 1234", got)
+		}
+	})
+}
+
+func TestPublishedObjectIsDurable(t *testing.T) {
+	forEachDurable(t, func(t *testing.T, e Engine) {
+		c := e.NewCtx()
+		e.OpBegin(c)
+		ref := e.Alloc(c, 2)
+		e.StoreInit(c, ref, 0, 42)
+		e.StoreInit(c, ref, 1, 43)
+		e.Publish(c, ref)
+		e.Store(c, e.RootRef(), 0, ref) // link it
+		e.OpEnd(c)
+		e.Crash(pmem.CrashDropAll, nil)
+		if got := e.RecoveryLoad(e.RootRef(), 0); got != ref {
+			t.Fatalf("root link lost: %d, want %d", got, ref)
+		}
+		if got := e.RecoveryLoad(ref, 0); got != 42 {
+			t.Errorf("published field lost: %d, want 42", got)
+		}
+	})
+}
+
+func TestVolatileEnginesLoseEverything(t *testing.T) {
+	for _, k := range []Kind{OrigDRAM, OrigNVMM} {
+		t.Run(k.String(), func(t *testing.T) {
+			e := newTestEngine(k)
+			c := e.NewCtx()
+			e.OpBegin(c)
+			e.Store(c, e.RootRef(), 0, 9)
+			e.OpEnd(c)
+			e.Crash(pmem.CrashKeepAll, nil)
+			e.Recover(nil)
+			c2 := e.NewCtx()
+			e.OpBegin(c2)
+			if got := e.Load(c2, e.RootRef(), 0); got != 0 {
+				t.Errorf("volatile engine kept %d across crash", got)
+			}
+			e.OpEnd(c2)
+		})
+	}
+}
+
+// buildChain links n 2-field nodes (value, next) from root field 0 and
+// returns the refs.
+func buildChain(e Engine, c *Ctx, n int) []Ref {
+	refs := make([]Ref, n)
+	var prev Ref
+	for i := n - 1; i >= 0; i-- {
+		e.OpBegin(c)
+		ref := e.Alloc(c, 2)
+		e.StoreInit(c, ref, 0, uint64(100+i))
+		e.StoreInit(c, ref, 1, prev)
+		e.Publish(c, ref)
+		prev = ref
+		refs[i] = ref
+		e.OpEnd(c)
+	}
+	e.OpBegin(c)
+	e.Store(c, e.RootRef(), 0, prev)
+	e.OpEnd(c)
+	return refs
+}
+
+// chainTracer walks the chain built by buildChain.
+func chainTracer(e Engine) Tracer {
+	return func(read func(Ref, int) uint64, visit func(Ref, int)) {
+		ref := read(e.RootRef(), 0)
+		for ref != 0 {
+			visit(ref, 2)
+			ref = read(ref, 1)
+		}
+	}
+}
+
+func TestCrashRecoverChain(t *testing.T) {
+	forEachDurable(t, func(t *testing.T, e Engine) {
+		c := e.NewCtx()
+		const n = 50
+		buildChain(e, c, n)
+		e.Crash(pmem.CrashDropAll, nil)
+		e.Recover(chainTracer(e))
+
+		c2 := e.NewCtx()
+		e.OpBegin(c2)
+		ref := e.Load(c2, e.RootRef(), 0)
+		for i := 0; i < n; i++ {
+			if ref == 0 {
+				t.Fatalf("chain broken at node %d", i)
+			}
+			if got := e.Load(c2, ref, 0); got != uint64(100+i) {
+				t.Errorf("node %d value = %d, want %d", i, got, 100+i)
+			}
+			ref = e.Load(c2, ref, 1)
+		}
+		if ref != 0 {
+			t.Error("chain longer than expected")
+		}
+		e.OpEnd(c2)
+	})
+}
+
+func TestRecoveryReclaimsUnreachable(t *testing.T) {
+	forEachDurable(t, func(t *testing.T, e Engine) {
+		c := e.NewCtx()
+		buildChain(e, c, 10)
+		// Allocate garbage that is never linked (published but
+		// unreachable: leaked at crash, must be reclaimed by recovery's
+		// offline GC).
+		e.OpBegin(c)
+		for i := 0; i < 100; i++ {
+			g := e.Alloc(c, 2)
+			e.StoreInit(c, g, 0, 1)
+			e.StoreInit(c, g, 1, 0)
+			e.Publish(c, g)
+		}
+		e.OpEnd(c)
+		e.Crash(pmem.CrashKeepAll, nil)
+		e.Recover(chainTracer(e))
+
+		// After recovery the allocator must be able to hand out the
+		// reclaimed space again without overlapping live nodes.
+		c2 := e.NewCtx()
+		e.OpBegin(c2)
+		live := make(map[Ref]bool)
+		ref := e.Load(c2, e.RootRef(), 0)
+		for ref != 0 {
+			live[ref] = true
+			ref = e.Load(c2, ref, 1)
+		}
+		for i := 0; i < 200; i++ {
+			g := e.Alloc(c2, 2)
+			if live[g] {
+				t.Fatalf("allocator handed out live node %d after recovery", g)
+			}
+		}
+		e.OpEnd(c2)
+	})
+}
+
+func TestCrashMidOperationChainIntact(t *testing.T) {
+	// Crash at random points while a writer extends the chain; after
+	// recovery the chain must be a consistent prefix-extension: every
+	// node reachable from the root is fully initialized.
+	forEachDurable(t, func(t *testing.T, e Engine) {
+		rng := rand.New(rand.NewSource(99))
+		c := e.NewCtx()
+		buildChain(e, c, 5)
+
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != pmem.ErrFrozen {
+					panic(r)
+				}
+			}()
+			w := e.NewCtx()
+			for i := 0; ; i++ {
+				if i == 3 {
+					e.Freeze() // freeze at an arbitrary point mid-stream
+				}
+				e.OpBegin(w)
+				ref := e.Alloc(w, 2)
+				e.StoreInit(w, ref, 0, uint64(1000+i))
+				head := e.Load(w, e.RootRef(), 0)
+				e.StoreInit(w, ref, 1, head)
+				e.Publish(w, ref)
+				e.CAS(w, e.RootRef(), 0, head, ref)
+				e.OpEnd(w)
+			}
+		}()
+		e.Crash(pmem.CrashRandom, rng)
+		e.Recover(chainTracer(e))
+
+		c2 := e.NewCtx()
+		e.OpBegin(c2)
+		ref := e.Load(c2, e.RootRef(), 0)
+		count := 0
+		for ref != 0 {
+			v := e.Load(c2, ref, 0)
+			if v == 0 {
+				t.Fatal("reachable node with uninitialized value after crash")
+			}
+			ref = e.Load(c2, ref, 1)
+			count++
+			if count > 100 {
+				t.Fatal("chain cycle after recovery")
+			}
+		}
+		if count < 5 {
+			t.Errorf("pre-crash chain lost: %d nodes", count)
+		}
+		e.OpEnd(c2)
+	})
+}
+
+func TestCountersGrowOnlyForDurable(t *testing.T) {
+	forEachKind(t, func(t *testing.T, e Engine) {
+		c := e.NewCtx()
+		e.OpBegin(c)
+		e.Store(c, e.RootRef(), 0, 1)
+		e.OpEnd(c)
+		fl, fe := e.Counters()
+		if e.Kind().Durable() {
+			if fl == 0 || fe == 0 {
+				t.Errorf("durable engine issued no flushes/fences: (%d,%d)", fl, fe)
+			}
+		} else {
+			if fl != 0 || fe != 0 {
+				t.Errorf("volatile engine issued flushes/fences: (%d,%d)", fl, fe)
+			}
+		}
+	})
+}
+
+func TestIzraelevitzPersistsReads(t *testing.T) {
+	eIz := newTestEngine(Izraelevitz)
+	eNVT := newTestEngine(NVTraverse)
+	for _, e := range []Engine{eIz, eNVT} {
+		c := e.NewCtx()
+		e.OpBegin(c)
+		e.Store(c, e.RootRef(), 0, 1)
+		e.OpEnd(c)
+	}
+	cIz, cNVT := eIz.NewCtx(), eNVT.NewCtx()
+	fl0, _ := eIz.Counters()
+	eIz.OpBegin(cIz)
+	for i := 0; i < 100; i++ {
+		eIz.TraversalLoad(cIz, eIz.RootRef(), 0)
+	}
+	eIz.OpEnd(cIz)
+	fl1, _ := eIz.Counters()
+
+	nfl0, _ := eNVT.Counters()
+	eNVT.OpBegin(cNVT)
+	for i := 0; i < 100; i++ {
+		eNVT.TraversalLoad(cNVT, eNVT.RootRef(), 0)
+	}
+	eNVT.OpEnd(cNVT)
+	nfl1, _ := eNVT.Counters()
+
+	if fl1-fl0 < 100 {
+		t.Errorf("Izraelevitz traversal loads issued %d flushes, want >= 100", fl1-fl0)
+	}
+	if nfl1-nfl0 != 0 {
+		t.Errorf("NVTraverse traversal loads issued %d flushes, want 0", nfl1-nfl0)
+	}
+}
+
+func TestMirrorNeverFlushesOnLoad(t *testing.T) {
+	e := newTestEngine(MirrorDRAM)
+	c := e.NewCtx()
+	e.OpBegin(c)
+	e.Store(c, e.RootRef(), 0, 1)
+	fl0, fe0 := e.Counters()
+	for i := 0; i < 1000; i++ {
+		e.Load(c, e.RootRef(), 0)
+	}
+	fl1, fe1 := e.Counters()
+	e.OpEnd(c)
+	if fl1 != fl0 || fe1 != fe0 {
+		t.Errorf("Mirror loads issued persistence instructions: flush %d fence %d",
+			fl1-fl0, fe1-fe0)
+	}
+}
+
+func TestFreeUnpublishedReuse(t *testing.T) {
+	forEachKind(t, func(t *testing.T, e Engine) {
+		c := e.NewCtx()
+		e.OpBegin(c)
+		ref := e.Alloc(c, 2)
+		e.FreeUnpublished(c, ref, 2)
+		got := e.Alloc(c, 2)
+		if got != ref {
+			t.Errorf("Alloc after FreeUnpublished = %d, want recycled %d", got, ref)
+		}
+		e.OpEnd(c)
+	})
+}

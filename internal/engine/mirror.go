@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+
+	"mirror/internal/palloc"
+	"mirror/internal/patomic"
+	"mirror/internal/pmem"
+)
+
+// mirrorEngine implements the paper's transformation. Every logical field
+// is a patomic cell — two words (value, sequence number) present at the
+// same offset on a persistent device (rep_p) and a volatile device (rep_v).
+// MirrorDRAM places rep_v on DRAM (§6.2); MirrorNVMM places both replicas
+// on NVMM-speed memory (§6.3) while still treating the second as volatile.
+type mirrorEngine struct {
+	kind       Kind
+	mem        patomic.Mem
+	rootFields int
+
+	mu    sync.Mutex
+	alloc *palloc.Allocator
+	recl  *palloc.Reclaimer
+}
+
+func newMirror(cfg Config) *mirrorEngine {
+	pModel, vModel := pmem.NoLatency(), pmem.NoLatency()
+	if cfg.Latency {
+		pModel = pmem.NVMMModel()
+		if cfg.Kind == MirrorDRAM {
+			vModel = pmem.DRAMModel()
+		} else {
+			vModel = pmem.NVMMModel()
+		}
+	}
+	p := pmem.New(pmem.Config{
+		Name:       cfg.Kind.String() + "-rep_p",
+		Words:      cfg.Words,
+		Persistent: true,
+		Track:      cfg.Track,
+		Model:      pModel,
+	})
+	v := pmem.New(pmem.Config{
+		Name:  cfg.Kind.String() + "-rep_v",
+		Words: cfg.Words,
+		Model: vModel,
+	})
+	e := &mirrorEngine{
+		kind:       cfg.Kind,
+		mem:        patomic.Mem{P: p, V: v},
+		rootFields: cfg.RootFields,
+		recl:       palloc.NewReclaimer(),
+	}
+	e.alloc = palloc.New(palloc.Config{
+		Base: rootsRegionWords(cfg.RootFields, patomic.CellWords),
+		End:  uint64(p.Size()),
+	})
+	// Root cells start initialized so the sequence-number invariants hold
+	// from the first operation.
+	var ctx patomic.Ctx
+	for f := 0; f < cfg.RootFields; f++ {
+		e.mem.InitCell(&ctx, e.cellAddr(rootBase, f), 0)
+	}
+	e.mem.PublishFence(&ctx)
+	return e
+}
+
+func (e *mirrorEngine) Kind() Kind { return e.kind }
+
+func (e *mirrorEngine) NewCtx() *Ctx {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return &Ctx{Cache: palloc.NewCache(e.alloc, e.recl)}
+}
+
+func (e *mirrorEngine) cellAddr(ref Ref, field int) uint64 {
+	return ref + uint64(field)*patomic.CellWords
+}
+
+func (e *mirrorEngine) OpBegin(c *Ctx) { c.Cache.Enter() }
+
+// OpEnd needs no durability barrier: every Mirror write is durable before
+// it is visible, so a completed operation is durable by construction.
+func (e *mirrorEngine) OpEnd(c *Ctx) { c.Cache.Exit() }
+
+func (e *mirrorEngine) Alloc(c *Ctx, fields int) Ref {
+	return c.Cache.Alloc(fields * patomic.CellWords)
+}
+
+func (e *mirrorEngine) StoreInit(c *Ctx, ref Ref, field int, v uint64) {
+	e.mem.InitCell(&c.pa, e.cellAddr(ref, field), v)
+}
+
+func (e *mirrorEngine) Publish(c *Ctx, ref Ref) {
+	e.mem.PublishFence(&c.pa)
+}
+
+func (e *mirrorEngine) FreeUnpublished(c *Ctx, ref Ref, fields int) {
+	c.Cache.Free(ref, fields*patomic.CellWords)
+}
+
+func (e *mirrorEngine) Retire(c *Ctx, ref Ref, fields int) {
+	c.Cache.Retire(ref, fields*patomic.CellWords)
+}
+
+func (e *mirrorEngine) Load(c *Ctx, ref Ref, field int) uint64 {
+	return e.mem.Load(e.cellAddr(ref, field))
+}
+
+// TraversalLoad is identical to Load: Mirror never persists reads, which is
+// precisely why it needs no traversal/critical distinction.
+func (e *mirrorEngine) TraversalLoad(c *Ctx, ref Ref, field int) uint64 {
+	return e.mem.Load(e.cellAddr(ref, field))
+}
+
+func (e *mirrorEngine) Store(c *Ctx, ref Ref, field int, v uint64) {
+	e.mem.Store(&c.pa, e.cellAddr(ref, field), v)
+}
+
+func (e *mirrorEngine) CAS(c *Ctx, ref Ref, field int, old, new uint64) bool {
+	ok, _ := e.mem.CompareAndSwap(&c.pa, e.cellAddr(ref, field), old, new)
+	return ok
+}
+
+func (e *mirrorEngine) FetchAdd(c *Ctx, ref Ref, field int, delta uint64) uint64 {
+	return e.mem.FetchAdd(&c.pa, e.cellAddr(ref, field), delta)
+}
+
+func (e *mirrorEngine) MakePersistent(c *Ctx, ref Ref, fields int) {}
+
+func (e *mirrorEngine) RootRef() Ref { return rootBase }
+
+func (e *mirrorEngine) Freeze() {
+	e.mem.P.Freeze()
+	e.mem.V.Freeze()
+}
+
+func (e *mirrorEngine) FreezeAfter(n int64) { e.mem.P.FreezeAfter(n) }
+
+func (e *mirrorEngine) Crash(policy pmem.CrashPolicy, rng *rand.Rand) {
+	e.mem.P.Freeze()
+	e.mem.V.Freeze()
+	e.mem.P.Crash(policy, rng)
+	e.mem.V.Crash(policy, rng) // volatile: wiped
+}
+
+// Recover implements §4.3.3: resurrect the roots, trace all reachable
+// objects on persistent space, copy them to the volatile replica at the
+// same offsets, and rebuild the allocator from the reachable extents
+// (everything unreachable is reclaimed — the offline GC).
+func (e *mirrorEngine) Recover(tr Tracer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.recl = palloc.NewReclaimer()
+	e.mem.RecoverRange(rootBase, e.rootFields*patomic.CellWords)
+	var extents []palloc.Extent
+	if tr != nil {
+		tr(e.RecoveryLoad, func(ref Ref, fields int) {
+			words := fields * patomic.CellWords
+			e.mem.RecoverRange(ref, words)
+			extents = append(extents, palloc.Extent{Off: ref, Words: words})
+		})
+	}
+	e.alloc.Rebuild(extents)
+}
+
+func (e *mirrorEngine) RecoveryLoad(ref Ref, field int) uint64 {
+	return e.mem.P.ReadRaw(e.cellAddr(ref, field))
+}
+
+func (e *mirrorEngine) Counters() (uint64, uint64) {
+	f1, n1 := e.mem.P.Counters()
+	f2, n2 := e.mem.V.Counters()
+	return f1 + f2, n1 + n2
+}
+
+func (e *mirrorEngine) Footprint() (uint64, int) {
+	return e.alloc.LiveWords(), 2
+}

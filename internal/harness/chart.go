@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders the table as a rough ASCII chart, one mark per competitor
+// per row, on a shared linear throughput axis — enough to eyeball the
+// shape the corresponding paper figure plots.
+func (t *Table) Chart() string {
+	const width = 64
+	max := 0.0
+	for _, r := range t.Rows {
+		for _, v := range r.Cells {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		return "(no data)\n"
+	}
+	marks := make([]byte, len(t.Columns))
+	for i := range marks {
+		marks[i] = byte('1' + i%9)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.PanelID, t.Title)
+	fmt.Fprintf(&b, "0 %s %.3f Mops/s\n", strings.Repeat("-", width), max)
+	for _, r := range t.Rows {
+		// Compose one line: place each competitor's mark at its scaled
+		// position; collisions keep the later mark.
+		line := make([]byte, width+1)
+		for i := range line {
+			line[i] = ' '
+		}
+		for i, v := range r.Cells {
+			pos := int(v / max * float64(width))
+			if pos > width {
+				pos = width
+			}
+			line[pos] = marks[i]
+		}
+		fmt.Fprintf(&b, "%-8d|%s|\n", r.X, string(line))
+	}
+	b.WriteString("legend: ")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%c=%s ", marks[i], c)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"mirror/internal/engine"
+	"mirror/internal/pmem"
+	"mirror/internal/structures/hashtable"
+	"mirror/internal/zuriel"
+)
+
+// RecoveryRow is one engine's recovery measurement.
+type RecoveryRow struct {
+	Engine  string
+	Keys    int
+	Elapsed time.Duration
+}
+
+// RecoveryReport quantifies the §4.3 trade-off: Mirror and the direct
+// transformations recover by tracing the reachable objects (and, for
+// Mirror, copying them to the volatile replica), while the hand-made sets
+// pay a full heap scan plus a rebuild. Run-time overhead buys recovery
+// speed and vice versa.
+type RecoveryReport struct {
+	Rows []RecoveryRow
+}
+
+// Format renders the report.
+func (r *RecoveryReport) Format() string {
+	var b strings.Builder
+	b.WriteString("recovery time by engine and structure size (hash table)\n")
+	fmt.Fprintf(&b, "%-14s%10s%14s%16s\n", "engine", "keys", "recovery", "keys/ms")
+	for _, row := range r.Rows {
+		rate := float64(row.Keys) / (float64(row.Elapsed.Microseconds()) / 1000)
+		fmt.Fprintf(&b, "%-14s%10d%14s%16.0f\n",
+			row.Engine, row.Keys, row.Elapsed.Round(10*time.Microsecond), rate)
+	}
+	return b.String()
+}
+
+// MeasureRecovery crashes and recovers a hash table of each size under
+// each durable engine plus the Link-Free baseline, timing recovery.
+func MeasureRecovery(sizes []int) *RecoveryReport {
+	rep := &RecoveryReport{}
+	rng := rand.New(rand.NewSource(42))
+	for _, keys := range sizes {
+		for _, kind := range []engine.Kind{engine.MirrorDRAM, engine.MirrorNVMM, engine.Izraelevitz, engine.NVTraverse} {
+			e := engine.New(engine.Config{
+				Kind:  kind,
+				Words: deviceWords(StHash, kind, keys*2),
+				Track: true,
+			})
+			c := e.NewCtx()
+			h := hashtable.New(e, c, bucketsFor(keys))
+			for k := 1; k <= keys; k++ {
+				h.Insert(c, uint64(k), uint64(k))
+			}
+			e.Crash(pmem.CrashDropAll, rng)
+			start := time.Now()
+			e.Recover(hashtable.TracerAt(e, 0))
+			rep.Rows = append(rep.Rows, RecoveryRow{
+				Engine: kind.String(), Keys: keys, Elapsed: time.Since(start),
+			})
+		}
+		// Link-Free: scan-based recovery.
+		lf := zuriel.NewLinkFree(zuriel.Config{
+			Words: keys*4*4 + bucketsFor(keys) + 1<<20, Buckets: bucketsFor(keys), Track: true,
+		})
+		lc := lf.NewCtx()
+		for k := 1; k <= keys; k++ {
+			lf.Insert(lc, uint64(k), uint64(k))
+		}
+		lf.Crash(pmem.CrashDropAll, rng)
+		start := time.Now()
+		lf.Recover()
+		rep.Rows = append(rep.Rows, RecoveryRow{
+			Engine: "LinkFree", Keys: keys, Elapsed: time.Since(start),
+		})
+	}
+	return rep
+}

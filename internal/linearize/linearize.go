@@ -1,0 +1,203 @@
+// Package linearize is an offline linearizability checker for concurrent
+// set histories (Wing–Gong search with visited-state memoization, in the
+// style of Lowe's refinements). The crash harness checks durable
+// linearizability against per-key single-writer histories, which is exact
+// but restricted; this checker validates *full* linearizability of
+// arbitrary concurrent histories — any thread may operate on any key — at
+// the cost of bounded history length.
+//
+// A history is a sequence of operation records with invocation/response
+// timestamps drawn from one global atomic counter. The checker searches
+// for a total order of operations that (a) respects real-time order — an
+// operation that responded before another was invoked must be linearized
+// first — and (b) is legal for sequential set semantics, including each
+// operation's observed return value.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"mirror/internal/engine"
+	"mirror/internal/structures"
+)
+
+// OpKind enumerates set operations.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpContains
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return "contains"
+	}
+}
+
+// Op is one recorded operation.
+type Op struct {
+	Kind     OpKind
+	Key      uint64
+	Result   bool   // returned value (presence/success)
+	Inv, Res uint64 // global timestamps
+	Thread   int
+}
+
+// History is a recorded concurrent execution. Checkable histories hold at
+// most 64 operations (the search uses a bitmask).
+type History struct {
+	clock atomic.Uint64
+	mu    chan struct{} // 1-slot semaphore guarding Ops
+	Ops   []Op
+}
+
+// NewHistory creates an empty history.
+func NewHistory() *History {
+	h := &History{mu: make(chan struct{}, 1)}
+	h.mu <- struct{}{}
+	return h
+}
+
+// Record wraps a structures.Set so that every operation through the
+// wrapper is appended to the history.
+func (h *History) Record(set structures.Set, thread int) *Recorder {
+	return &Recorder{h: h, set: set, thread: thread}
+}
+
+// Recorder is a per-thread recording wrapper.
+type Recorder struct {
+	h      *History
+	set    structures.Set
+	thread int
+}
+
+func (r *Recorder) record(kind OpKind, key uint64, f func() bool) bool {
+	inv := r.h.clock.Add(1)
+	result := f()
+	res := r.h.clock.Add(1)
+	<-r.h.mu
+	r.h.Ops = append(r.h.Ops, Op{
+		Kind: kind, Key: key, Result: result,
+		Inv: inv, Res: res, Thread: r.thread,
+	})
+	r.h.mu <- struct{}{}
+	return result
+}
+
+// Insert records an insert.
+func (r *Recorder) Insert(c *engine.Ctx, key, val uint64) bool {
+	return r.record(OpInsert, key, func() bool { return r.set.Insert(c, key, val) })
+}
+
+// Delete records a delete.
+func (r *Recorder) Delete(c *engine.Ctx, key uint64) bool {
+	return r.record(OpDelete, key, func() bool { return r.set.Delete(c, key) })
+}
+
+// Contains records a membership query.
+func (r *Recorder) Contains(c *engine.Ctx, key uint64) bool {
+	return r.record(OpContains, key, func() bool { return r.set.Contains(c, key) })
+}
+
+// setState is a canonical encoding of a small set (sorted keys).
+func setState(m map[uint64]bool) string {
+	keys := make([]uint64, 0, len(m))
+	for k, present := range m {
+		if present {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return fmt.Sprint(keys)
+}
+
+// apply returns whether op is legal in state s, and mutates s on success.
+func apply(s map[uint64]bool, op Op) bool {
+	present := s[op.Key]
+	switch op.Kind {
+	case OpInsert:
+		if op.Result == present {
+			return false // insert succeeds iff absent
+		}
+		if op.Result {
+			s[op.Key] = true
+		}
+	case OpDelete:
+		if op.Result != present {
+			return false // delete succeeds iff present
+		}
+		if op.Result {
+			s[op.Key] = false
+		}
+	case OpContains:
+		if op.Result != present {
+			return false
+		}
+	}
+	return true
+}
+
+func unapply(s map[uint64]bool, op Op, prev bool) {
+	s[op.Key] = prev
+}
+
+// Check searches for a linearization of the history starting from the
+// given initial set contents. It returns nil if one exists, or an error
+// describing the failure.
+func Check(h *History, initial map[uint64]bool) error {
+	ops := h.Ops
+	if len(ops) > 64 {
+		return fmt.Errorf("linearize: history of %d ops exceeds the 64-op bound", len(ops))
+	}
+	state := make(map[uint64]bool, len(initial))
+	for k, v := range initial {
+		state[k] = v
+	}
+	visited := make(map[string]bool)
+	var dfs func(done uint64) bool
+	dfs = func(done uint64) bool {
+		if done == (uint64(1)<<len(ops))-1 {
+			return true
+		}
+		key := fmt.Sprintf("%x|%s", done, setState(state))
+		if visited[key] {
+			return false
+		}
+		visited[key] = true
+		// minRes is the earliest response among unlinearized ops; only
+		// ops invoked before it may linearize next (real-time order).
+		minRes := ^uint64(0)
+		for i, op := range ops {
+			if done&(1<<i) == 0 && op.Res < minRes {
+				minRes = op.Res
+			}
+		}
+		for i, op := range ops {
+			if done&(1<<i) != 0 || op.Inv > minRes {
+				continue
+			}
+			prev := state[op.Key]
+			if apply(state, op) {
+				if dfs(done | 1<<i) {
+					return true
+				}
+				unapply(state, op, prev)
+			}
+		}
+		return false
+	}
+	if !dfs(0) {
+		return fmt.Errorf("linearize: no valid linearization for %d ops", len(ops))
+	}
+	return nil
+}

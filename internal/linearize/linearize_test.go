@@ -1,0 +1,140 @@
+package linearize
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mirror/internal/engine"
+	"mirror/internal/structures"
+	"mirror/internal/structures/bst"
+	"mirror/internal/structures/hashtable"
+	"mirror/internal/structures/list"
+	"mirror/internal/structures/skiplist"
+)
+
+func TestSequentialHistoriesCheck(t *testing.T) {
+	h := NewHistory()
+	h.Ops = []Op{
+		{Kind: OpInsert, Key: 1, Result: true, Inv: 1, Res: 2},
+		{Kind: OpContains, Key: 1, Result: true, Inv: 3, Res: 4},
+		{Kind: OpDelete, Key: 1, Result: true, Inv: 5, Res: 6},
+		{Kind: OpContains, Key: 1, Result: false, Inv: 7, Res: 8},
+		{Kind: OpDelete, Key: 1, Result: false, Inv: 9, Res: 10},
+	}
+	if err := Check(h, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRejectsIllegalSequential(t *testing.T) {
+	h := NewHistory()
+	h.Ops = []Op{
+		{Kind: OpInsert, Key: 1, Result: true, Inv: 1, Res: 2},
+		{Kind: OpContains, Key: 1, Result: false, Inv: 3, Res: 4}, // must be true
+	}
+	if err := Check(h, nil); err == nil {
+		t.Error("illegal history accepted")
+	}
+}
+
+func TestRespectsRealTimeOrder(t *testing.T) {
+	// contains(1)=false AFTER insert(1)=true completed: illegal even
+	// though a reordering would make it legal.
+	h := NewHistory()
+	h.Ops = []Op{
+		{Kind: OpInsert, Key: 1, Result: true, Inv: 1, Res: 2},
+		{Kind: OpContains, Key: 1, Result: false, Inv: 5, Res: 6},
+	}
+	if err := Check(h, nil); err == nil {
+		t.Error("real-time violation accepted")
+	}
+	// The same two ops overlapping: legal (contains may linearize first).
+	h2 := NewHistory()
+	h2.Ops = []Op{
+		{Kind: OpInsert, Key: 1, Result: true, Inv: 1, Res: 6},
+		{Kind: OpContains, Key: 1, Result: false, Inv: 2, Res: 5},
+	}
+	if err := Check(h2, nil); err != nil {
+		t.Errorf("overlapping reorder rejected: %v", err)
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	h := NewHistory()
+	h.Ops = []Op{
+		{Kind: OpContains, Key: 7, Result: true, Inv: 1, Res: 2},
+		{Kind: OpInsert, Key: 7, Result: false, Inv: 3, Res: 4},
+	}
+	if err := Check(h, map[uint64]bool{7: true}); err != nil {
+		t.Error(err)
+	}
+	if err := Check(h, nil); err == nil {
+		t.Error("history depends on initial state; empty initial must fail")
+	}
+}
+
+func TestHistoryBound(t *testing.T) {
+	h := NewHistory()
+	for i := 0; i < 65; i++ {
+		h.Ops = append(h.Ops, Op{Kind: OpContains, Key: 1, Result: false,
+			Inv: uint64(2*i + 1), Res: uint64(2*i + 2)})
+	}
+	if err := Check(h, nil); err == nil {
+		t.Error("oversized history accepted")
+	}
+}
+
+// TestStructuresAreLinearizable records real concurrent histories on every
+// structure under the Mirror engine — high contention on few keys — and
+// checks full linearizability.
+func TestStructuresAreLinearizable(t *testing.T) {
+	builders := map[string]func(e engine.Engine, c *engine.Ctx) structures.Set{
+		"list":      func(e engine.Engine, c *engine.Ctx) structures.Set { return list.New(e, 0) },
+		"hashtable": func(e engine.Engine, c *engine.Ctx) structures.Set { return hashtable.New(e, c, 16) },
+		"bst":       func(e engine.Engine, c *engine.Ctx) structures.Set { return bst.New(e, c) },
+		"skiplist":  func(e engine.Engine, c *engine.Ctx) structures.Set { return skiplist.New(e, c) },
+	}
+	kinds := []engine.Kind{engine.MirrorDRAM, engine.NVTraverse, engine.OrigDRAM}
+	for name, build := range builders {
+		for _, kind := range kinds {
+			t.Run(fmt.Sprintf("%s/%s", name, kind), func(t *testing.T) {
+				t.Parallel()
+				for round := 0; round < 20; round++ {
+					e := engine.New(engine.Config{Kind: kind, Words: 1 << 18})
+					c0 := e.NewCtx()
+					set := build(e, c0)
+					h := NewHistory()
+					const threads = 4
+					const opsPer = 12 // 48 ops total, 3 keys: heavy contention
+					var wg sync.WaitGroup
+					for w := 0; w < threads; w++ {
+						wg.Add(1)
+						go func(w int) {
+							defer wg.Done()
+							c := e.NewCtx()
+							r := h.Record(set, w)
+							state := uint64(round*1000 + w*7 + 13)
+							for i := 0; i < opsPer; i++ {
+								state = state*6364136223846793005 + 1442695040888963407
+								key := state>>33%3 + 1
+								switch state >> 61 % 3 {
+								case 0:
+									r.Insert(c, key, key)
+								case 1:
+									r.Delete(c, key)
+								default:
+									r.Contains(c, key)
+								}
+							}
+						}(w)
+					}
+					wg.Wait()
+					if err := Check(h, nil); err != nil {
+						t.Fatalf("round %d: %v\nhistory: %+v", round, err, h.Ops)
+					}
+				}
+			})
+		}
+	}
+}

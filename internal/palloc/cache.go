@@ -1,0 +1,195 @@
+package palloc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// cacheCap is the target number of objects a thread cache holds per
+	// class before spilling half back to the central list.
+	cacheCap = 128
+	// refillBatch is how many objects a cache pulls from the allocator
+	// at once.
+	refillBatch = 32
+	// advanceEvery is how many retires happen between epoch-advance
+	// attempts.
+	advanceEvery = 64
+	// exitDrainEvery is how many operation exits happen between
+	// quiesced-context drain attempts.
+	exitDrainEvery = 32
+	// idleEpoch marks a thread as not inside any operation.
+	idleEpoch = ^uint64(0)
+)
+
+type retired struct {
+	off   uint64
+	words int
+	epoch uint64
+}
+
+// Reclaimer coordinates epoch-based reclamation across the thread caches of
+// one engine instance (the ssmem role). Objects retired at epoch e are
+// returned to the allocator once the global epoch reaches e+2, at which
+// point no thread can still hold a reference obtained before the retire.
+type Reclaimer struct {
+	global atomic.Uint64
+
+	mu     sync.Mutex
+	caches []*Cache
+}
+
+// NewReclaimer creates an empty Reclaimer.
+func NewReclaimer() *Reclaimer {
+	r := &Reclaimer{}
+	r.global.Store(1)
+	return r
+}
+
+// Epoch returns the current global epoch (for tests and diagnostics).
+func (r *Reclaimer) Epoch() uint64 { return r.global.Load() }
+
+func (r *Reclaimer) tryAdvance() {
+	g := r.global.Load()
+	r.mu.Lock()
+	caches := r.caches
+	r.mu.Unlock()
+	for _, c := range caches {
+		a := c.announce.Load()
+		if a != idleEpoch && a < g {
+			return
+		}
+	}
+	r.global.CompareAndSwap(g, g+1)
+}
+
+// Cache is a per-thread allocation cache and reclamation context. A Cache
+// must be used by one goroutine at a time.
+type Cache struct {
+	_        [64]byte // avoid false sharing of the announce word
+	announce atomic.Uint64
+	_        [64]byte
+
+	alloc *Allocator
+	recl  *Reclaimer
+
+	free        [][]uint64
+	limbo       []retired
+	retireCount int
+	exitCount   int
+}
+
+// NewCache creates a thread cache bound to alloc, registered with recl.
+func NewCache(alloc *Allocator, recl *Reclaimer) *Cache {
+	c := &Cache{
+		alloc: alloc,
+		recl:  recl,
+		free:  make([][]uint64, len(classSizes)),
+	}
+	c.announce.Store(idleEpoch)
+	recl.mu.Lock()
+	recl.caches = append(recl.caches, c)
+	recl.mu.Unlock()
+	return c
+}
+
+// Enter announces the start of a data-structure operation; references read
+// from shared memory are protected until Exit.
+func (c *Cache) Enter() {
+	c.announce.Store(c.recl.global.Load())
+}
+
+// Exit announces the end of an operation. Periodically it also tries to
+// advance the epoch and drain the limbo from this quiesced context — the
+// thread holds no protected references here, so unlike a drain inside
+// Retire (which runs mid-operation) this one can make progress even when
+// this cache's own announcement was the stale one blocking the epoch.
+func (c *Cache) Exit() {
+	c.announce.Store(idleEpoch)
+	c.exitCount++
+	if len(c.limbo) > 0 && c.exitCount%exitDrainEvery == 0 {
+		c.recl.tryAdvance()
+		c.drain()
+	}
+}
+
+// Alloc returns an offset for an object of the given number of words. The
+// returned memory may contain stale contents; callers initialize every
+// field before publishing. Panics if the region is exhausted.
+func (c *Cache) Alloc(words int) uint64 {
+	cls := classOf(words)
+	if cls < 0 {
+		return c.alloc.allocLarge(words)
+	}
+	fl := c.free[cls]
+	if len(fl) == 0 {
+		fl = c.alloc.refill(cls, fl, refillBatch)
+		if len(fl) == 0 {
+			panic(fmt.Sprintf("palloc: out of memory allocating %d words", words))
+		}
+	}
+	off := fl[len(fl)-1]
+	c.free[cls] = fl[:len(fl)-1]
+	c.alloc.allocated.Add(uint64(classSizes[cls]))
+	return off
+}
+
+// Free returns an object immediately. Only safe when no other thread can
+// hold a reference (e.g. an object that was never published).
+func (c *Cache) Free(off uint64, words int) {
+	cls := classOf(words)
+	if cls < 0 {
+		c.alloc.freeLarge(off)
+		return
+	}
+	c.free[cls] = append(c.free[cls], off)
+	c.alloc.allocated.Add(^uint64(classSizes[cls] - 1))
+	if len(c.free[cls]) > cacheCap {
+		half := len(c.free[cls]) / 2
+		c.alloc.release(cls, c.free[cls][half:])
+		c.free[cls] = c.free[cls][:half]
+	}
+}
+
+// Retire schedules an unlinked object for reclamation once no concurrent
+// operation can still reach it.
+func (c *Cache) Retire(off uint64, words int) {
+	c.limbo = append(c.limbo, retired{off, words, c.recl.global.Load()})
+	c.retireCount++
+	if c.retireCount%advanceEvery == 0 {
+		c.recl.tryAdvance()
+	}
+	c.drain()
+}
+
+// drain frees limbo objects that are two epochs old.
+func (c *Cache) drain() {
+	g := c.recl.global.Load()
+	i := 0
+	for i < len(c.limbo) && c.limbo[i].epoch+2 <= g {
+		c.Free(c.limbo[i].off, c.limbo[i].words)
+		i++
+	}
+	if i > 0 {
+		c.limbo = c.limbo[:copy(c.limbo, c.limbo[i:])]
+	}
+}
+
+// LimboLen returns the number of objects awaiting reclamation (tests).
+func (c *Cache) LimboLen() int { return len(c.limbo) }
+
+// CachesForTest exposes the registered cache count for diagnostics.
+func (r *Reclaimer) CachesForTest() []*Cache {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Cache(nil), r.caches...)
+}
+
+// DebugCounts reports limbo length and cached-free objects (diagnostics).
+func (c *Cache) DebugCounts() (limbo int, freeObjs int) {
+	for _, fl := range c.free {
+		freeObjs += len(fl)
+	}
+	return len(c.limbo), freeObjs
+}

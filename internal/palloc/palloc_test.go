@@ -1,0 +1,358 @@
+package palloc
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestAlloc() *Allocator {
+	return New(Config{Base: 64, End: 64 + 64*ChunkWords})
+}
+
+func TestClassSize(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 4}, {4, 4}, {5, 8}, {8, 8}, {9, 12}, {30, 32}, {100, 128},
+		{4096, 4096}, {4097, 2 * ChunkWords}, {3 * ChunkWords, 3 * ChunkWords},
+	}
+	for _, c := range cases {
+		if got := ClassSize(c.in); got != c.want {
+			t.Errorf("ClassSize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAllocAlignmentAndBounds(t *testing.T) {
+	a := newTestAlloc()
+	c := NewCache(a, NewReclaimer())
+	for i := 0; i < 1000; i++ {
+		off := c.Alloc(6)
+		if off%AlignWords != 0 {
+			t.Fatalf("alloc %d: offset %d not %d-word aligned", i, off, AlignWords)
+		}
+		if off < a.Base() || off+8 > a.End() {
+			t.Fatalf("alloc %d: offset %d outside region", i, off)
+		}
+	}
+}
+
+func TestAllocNoOverlap(t *testing.T) {
+	a := newTestAlloc()
+	c := NewCache(a, NewReclaimer())
+	seen := make(map[uint64]bool)
+	sizes := []int{4, 6, 8, 12, 30, 100}
+	type obj struct {
+		off  uint64
+		size int
+	}
+	var objs []obj
+	for i := 0; i < 5000; i++ {
+		n := sizes[i%len(sizes)]
+		off := c.Alloc(n)
+		objs = append(objs, obj{off, ClassSize(n)})
+		seen[off] = true
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].off < objs[j].off })
+	for i := 1; i < len(objs); i++ {
+		if objs[i-1].off+uint64(objs[i-1].size) > objs[i].off {
+			t.Fatalf("objects overlap: [%d,+%d) and [%d,...)",
+				objs[i-1].off, objs[i-1].size, objs[i].off)
+		}
+	}
+	if len(seen) != 5000 {
+		t.Errorf("duplicate offsets: %d unique of 5000", len(seen))
+	}
+}
+
+func TestFreeReuse(t *testing.T) {
+	a := newTestAlloc()
+	c := NewCache(a, NewReclaimer())
+	off := c.Alloc(8)
+	c.Free(off, 8)
+	// The freed object should come back before fresh memory.
+	got := c.Alloc(8)
+	if got != off {
+		t.Errorf("Alloc after Free = %d, want recycled %d", got, off)
+	}
+}
+
+func TestLiveWordsBalance(t *testing.T) {
+	a := newTestAlloc()
+	c := NewCache(a, NewReclaimer())
+	var offs []uint64
+	for i := 0; i < 100; i++ {
+		offs = append(offs, c.Alloc(8))
+	}
+	if got := a.LiveWords(); got != 800 {
+		t.Errorf("LiveWords = %d, want 800", got)
+	}
+	for _, off := range offs {
+		c.Free(off, 8)
+	}
+	if got := a.LiveWords(); got != 0 {
+		t.Errorf("LiveWords after frees = %d, want 0", got)
+	}
+}
+
+func TestLargeAllocFree(t *testing.T) {
+	a := newTestAlloc()
+	c := NewCache(a, NewReclaimer())
+	off := c.Alloc(3*ChunkWords - 5)
+	if off%ChunkWords != a.Base()%ChunkWords {
+		t.Errorf("large alloc not chunk aligned: %d", off)
+	}
+	c.Free(off, 3*ChunkWords-5)
+	if got := a.LiveWords(); got != 0 {
+		t.Errorf("LiveWords = %d after large free", got)
+	}
+	// Freed chunks are reusable by class allocations.
+	for i := 0; i < 3*ChunkWords/8; i++ {
+		c.Alloc(8)
+	}
+}
+
+func TestOutOfMemoryPanics(t *testing.T) {
+	a := New(Config{Base: 64, End: 64 + 2*ChunkWords})
+	c := NewCache(a, NewReclaimer())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected out-of-memory panic")
+		}
+	}()
+	for i := 0; i < 3*ChunkWords; i++ {
+		c.Alloc(4)
+	}
+}
+
+func TestEpochAdvanceAndDrain(t *testing.T) {
+	a := newTestAlloc()
+	r := NewReclaimer()
+	c := NewCache(a, r)
+	off := c.Alloc(8)
+	c.Enter()
+	c.Retire(off, 8)
+	if c.LimboLen() != 1 {
+		t.Fatalf("limbo = %d, want 1", c.LimboLen())
+	}
+	c.Exit()
+	// Retire enough dummies to force epoch advances; the first object
+	// must eventually be reclaimed.
+	for i := 0; i < 4*advanceEvery; i++ {
+		c.Enter()
+		o := c.Alloc(8)
+		c.Retire(o, 8)
+		c.Exit()
+	}
+	if c.LimboLen() >= 4*advanceEvery {
+		t.Errorf("limbo never drained: %d", c.LimboLen())
+	}
+}
+
+func TestEpochBlockedByActiveReader(t *testing.T) {
+	a := newTestAlloc()
+	r := NewReclaimer()
+	writer := NewCache(a, r)
+	reader := NewCache(a, r)
+	reader.Enter() // pins the epoch
+	e0 := r.Epoch()
+	for i := 0; i < 8*advanceEvery; i++ {
+		writer.Enter()
+		o := writer.Alloc(8)
+		writer.Retire(o, 8)
+		writer.Exit()
+	}
+	if r.Epoch() > e0+1 {
+		t.Errorf("epoch advanced from %d to %d past a pinned reader", e0, r.Epoch())
+	}
+	reader.Exit()
+	for i := 0; i < 4*advanceEvery; i++ {
+		writer.Enter()
+		o := writer.Alloc(8)
+		writer.Retire(o, 8)
+		writer.Exit()
+	}
+	if r.Epoch() <= e0+1 {
+		t.Errorf("epoch stuck at %d after reader exit", r.Epoch())
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	a := New(Config{Base: 64, End: 64 + 256*ChunkWords})
+	r := NewReclaimer()
+	const workers = 8
+	var wg sync.WaitGroup
+	offsCh := make(chan []uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c := NewCache(a, r)
+			rng := rand.New(rand.NewSource(seed))
+			var mine []uint64
+			for i := 0; i < 3000; i++ {
+				switch {
+				case len(mine) > 0 && rng.Intn(2) == 0:
+					n := len(mine) - 1
+					c.Free(mine[n], 8)
+					mine = mine[:n]
+				default:
+					mine = append(mine, c.Alloc(8))
+				}
+			}
+			offsCh <- mine
+		}(int64(w))
+	}
+	wg.Wait()
+	close(offsCh)
+	seen := make(map[uint64]bool)
+	live := 0
+	for offs := range offsCh {
+		for _, off := range offs {
+			if seen[off] {
+				t.Fatalf("offset %d live in two threads", off)
+			}
+			seen[off] = true
+			live++
+		}
+	}
+	if got := a.LiveWords(); got != uint64(live*8) {
+		t.Errorf("LiveWords = %d, want %d", got, live*8)
+	}
+}
+
+func TestRebuildRoundTrip(t *testing.T) {
+	a := newTestAlloc()
+	c := NewCache(a, NewReclaimer())
+	// Allocate a mix, free some, keep the rest as "reachable".
+	type obj struct {
+		off  uint64
+		size int
+	}
+	var kept []obj
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{4, 8, 12, 24, 100}
+	for i := 0; i < 2000; i++ {
+		n := sizes[rng.Intn(len(sizes))]
+		off := c.Alloc(n)
+		if rng.Intn(3) == 0 {
+			c.Free(off, n)
+		} else {
+			kept = append(kept, obj{off, n})
+		}
+	}
+	big := c.Alloc(2 * ChunkWords)
+	extents := make([]Extent, 0, len(kept)+1)
+	for _, o := range kept {
+		extents = append(extents, Extent{Off: o.off, Words: o.size})
+	}
+	extents = append(extents, Extent{Off: big, Words: 2 * ChunkWords})
+
+	// Simulate crash: rebuild from extents with a fresh cache.
+	a.Rebuild(extents)
+	c2 := NewCache(a, NewReclaimer())
+
+	wantLive := uint64(2 * ChunkWords)
+	for _, o := range kept {
+		wantLive += uint64(ClassSize(o.size))
+	}
+	if got := a.LiveWords(); got != wantLive {
+		t.Errorf("LiveWords after rebuild = %d, want %d", got, wantLive)
+	}
+
+	// New allocations must not land inside any surviving extent.
+	occupied := make(map[uint64]int)
+	for _, e := range extents {
+		occupied[e.Off] = ClassSize(e.Words)
+	}
+	overlaps := func(off uint64, size int) bool {
+		for o, s := range occupied {
+			if off < o+uint64(s) && o < off+uint64(size) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 2000; i++ {
+		n := sizes[rng.Intn(len(sizes))]
+		off := c2.Alloc(n)
+		if overlaps(off, ClassSize(n)) {
+			t.Fatalf("post-rebuild alloc at %d overlaps a surviving extent", off)
+		}
+		occupied[off] = ClassSize(n)
+	}
+}
+
+func TestRebuildEmpty(t *testing.T) {
+	a := newTestAlloc()
+	c := NewCache(a, NewReclaimer())
+	for i := 0; i < 1000; i++ {
+		c.Alloc(8)
+	}
+	a.Rebuild(nil)
+	if got := a.LiveWords(); got != 0 {
+		t.Errorf("LiveWords after empty rebuild = %d", got)
+	}
+	c2 := NewCache(a, NewReclaimer())
+	// All space must be reusable again.
+	for i := 0; i < 1000; i++ {
+		c2.Alloc(8)
+	}
+}
+
+func TestQuickClassSizeInvariants(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw)%8192 + 1
+		s := ClassSize(n)
+		return s >= n && s%AlignWords == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAllocFree(b *testing.B) {
+	a := New(Config{Base: 64, End: 64 + 1024*ChunkWords})
+	r := NewReclaimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := NewCache(a, r)
+		for pb.Next() {
+			off := c.Alloc(8)
+			c.Free(off, 8)
+		}
+	})
+}
+
+// TestOversubscribedChurnBounded regresses the EBR starvation fix: with
+// more churning goroutines than cores, limbo must still drain via the
+// quiesced-context Exit drains, keeping live memory bounded.
+func TestOversubscribedChurnBounded(t *testing.T) {
+	a := New(Config{Base: 64, End: 64 + 2048*ChunkWords})
+	r := NewReclaimer()
+	workers := runtime.GOMAXPROCS(0)*4 + 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewCache(a, r)
+			for i := 0; i < 30000; i++ {
+				c.Enter()
+				off := c.Alloc(4)
+				c.Retire(off, 4)
+				c.Exit()
+				if i%8 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// All retired; only the last epochs' limbo may remain.
+	bound := uint64(workers) * 4 * (advanceEvery*4 + cacheCap)
+	if got := a.LiveWords(); got > bound {
+		t.Errorf("live = %d words after churn, want <= %d (reclamation starved)", got, bound)
+	}
+}

@@ -1,0 +1,216 @@
+// Package patomic implements the Mirror primitive of the paper: a
+// persistent atomic cell (the C++ patomic<T> of Figure 2) consisting of a
+// value word and a sequence-number word kept in lock step on two replicas —
+// a persistent replica rep_p and a volatile replica rep_v, at the same
+// offset of two devices (§4.3.1's identity address translation).
+//
+// The operation semantics follow §4.1 exactly:
+//
+//   - Load (Figure 5) reads only the value word of the volatile replica
+//     and is wait-free. Every value it can observe was persisted before it
+//     became visible in rep_v, which is why Mirror never needs to persist
+//     reads.
+//   - CompareAndSwap (Figure 4) first validates that the two replicas
+//     agree (helping an in-flight writer if rep_p is one sequence number
+//     ahead), then installs (newVal, seq+1) into rep_p with a DWCAS,
+//     flushes and fences it, and finally mirrors the update into rep_v.
+//   - Store and FetchAdd never fail, so they loop over CompareAndSwap as
+//     §4.1.2 prescribes.
+//
+// The invariants proved in §5 (Lemmas 5.3–5.5) hold per cell: the volatile
+// sequence number is equal to or exactly one behind the persistent one, and
+// equal sequence numbers imply equal values. Tests assert them directly.
+package patomic
+
+import (
+	"sync/atomic"
+
+	"mirror/internal/pmem"
+)
+
+// InitSeq is the sequence number given to freshly initialized cells. It is
+// nonzero so an initialized cell is distinguishable from zeroed memory.
+const InitSeq = 1
+
+// CellWords is the footprint of one cell in words (value + sequence).
+const CellWords = 2
+
+// Ctx carries the per-thread flush set for the persistent device. One Ctx
+// must not be shared between goroutines.
+type Ctx struct {
+	FS pmem.FlushSet
+}
+
+// Mem is a pair of replicas: cell offsets are valid on both devices.
+type Mem struct {
+	P *pmem.Device // persistent replica rep_p
+	V *pmem.Device // volatile replica rep_v (possibly NVMM-backed, see §6.3)
+
+	// Contention statistics (atomic; zero cost when not read).
+	helps   atomic.Uint64 // completions of another thread's write (lines 19–26)
+	retries atomic.Uint64 // protocol restarts of any kind
+}
+
+// Stats returns the cumulative help completions and protocol retries —
+// how often the Figure 4 help path and restart paths actually run.
+func (m *Mem) Stats() (helps, retries uint64) {
+	return m.helps.Load(), m.retries.Load()
+}
+
+// Load returns the cell's current value. It is wait-free and touches only
+// the volatile replica (Figure 5).
+func (m *Mem) Load(off uint64) uint64 {
+	return m.V.Load(off)
+}
+
+// LoadWithSeq returns the volatile replica's (value, seq) pair atomically;
+// recovery and tests use it.
+func (m *Mem) LoadWithSeq(off uint64) (v, seq uint64) {
+	return m.V.LoadPair(off)
+}
+
+// CompareAndSwap implements Figure 4. It atomically replaces the cell's
+// value with newVal if the current value equals expected, making the new
+// value durable before it becomes visible to loads. It returns whether the
+// swap happened and the value observed when it did not (the updated
+// "expected" of compare_exchange_strong).
+func (m *Mem) CompareAndSwap(ctx *Ctx, off uint64, expected, newVal uint64) (bool, uint64) {
+	for {
+		pv, ps := m.P.LoadPair(off) // read rep_p (atomic pair ≙ seq/val/seq validation)
+		vv, vs := m.V.LoadPair(off) // read rep_v
+
+		if ps == vs+1 {
+			// Another write installed (pv, ps) in rep_p but has not
+			// reached rep_v yet: help complete it (lines 19–26).
+			// The flush+fence guarantees the value is durable before
+			// it becomes loadable.
+			m.P.Flush(&ctx.FS, off)
+			m.P.Fence(&ctx.FS)
+			m.V.DWCAS(off, vv, vs, pv, ps)
+			m.helps.Add(1)
+			continue
+		}
+		if ps != vs {
+			// Torn view across the two pair reads; retry (line 29).
+			m.retries.Add(1)
+			continue
+		}
+		if pv != expected {
+			// Fail without writing (lines 32–35).
+			return false, pv
+		}
+
+		// Install into rep_p first (lines 38–42). The flush+fence runs
+		// whether or not the DWCAS succeeded: on failure it helps
+		// persist the competing write before we touch rep_v.
+		ok, curV, curS := m.P.DWCAS(off, pv, ps, newVal, ps+1)
+		m.P.Flush(&ctx.FS, off)
+		m.P.Fence(&ctx.FS)
+		if ok {
+			// Mirror into rep_v (line 44). Failure here means a helper
+			// already completed our write (or a later one); either way
+			// the operation is linearized.
+			m.V.DWCAS(off, pv, ps, newVal, ps+1)
+			return true, pv
+		}
+		if curV == expected {
+			// The value still matches but the sequence number moved
+			// (same-value overwrite by a concurrent thread). A regular
+			// CAS must succeed in this situation, so retry (line 46).
+			m.retries.Add(1)
+			continue
+		}
+		// Help the winner's value into rep_v from the state we saw
+		// before failing (line 47), then fail.
+		m.V.DWCAS(off, vv, vs, curV, curS)
+		return false, curV
+	}
+}
+
+// Store atomically replaces the cell's value unconditionally, looping over
+// CompareAndSwap as simple writes never fail (§4.1.2).
+func (m *Mem) Store(ctx *Ctx, off uint64, v uint64) {
+	cur := m.Load(off)
+	for {
+		ok, actual := m.CompareAndSwap(ctx, off, cur, v)
+		if ok {
+			return
+		}
+		cur = actual
+	}
+}
+
+// Exchange atomically replaces the cell's value and returns the previous
+// one (std::atomic's exchange, via the CAS loop like every other write).
+func (m *Mem) Exchange(ctx *Ctx, off uint64, v uint64) uint64 {
+	cur := m.Load(off)
+	for {
+		ok, actual := m.CompareAndSwap(ctx, off, cur, v)
+		if ok {
+			return cur
+		}
+		cur = actual
+	}
+}
+
+// FetchAdd atomically adds delta to the cell and returns the previous
+// value.
+func (m *Mem) FetchAdd(ctx *Ctx, off uint64, delta uint64) uint64 {
+	cur := m.Load(off)
+	for {
+		ok, actual := m.CompareAndSwap(ctx, off, cur, cur+delta)
+		if ok {
+			return cur
+		}
+		cur = actual
+	}
+}
+
+// InitCell initializes an unpublished cell on both replicas with value v
+// and sequence number InitSeq, and flushes the persistent copy. The flush
+// is not fenced: callers batch the fence via PublishFence before the cell
+// becomes reachable, mirroring the allocator wrapper of §4.3.2.
+func (m *Mem) InitCell(ctx *Ctx, off uint64, v uint64) {
+	m.P.Store(off, v)
+	m.P.Store(off+1, InitSeq)
+	m.P.Flush(&ctx.FS, off)
+	m.V.Store(off, v)
+	m.V.Store(off+1, InitSeq)
+}
+
+// PublishFence fences all pending persistent-replica flushes of this
+// context. It must run after a new object's InitCells and before the CAS
+// that publishes the object, so the object's contents are durable no later
+// than the reference to it.
+func (m *Mem) PublishFence(ctx *Ctx) {
+	m.P.Fence(&ctx.FS)
+}
+
+// RecoverRange rebuilds the volatile replica of every cell in
+// [off, off+words) from the persistent replica's current (post-crash)
+// content. Only whole cells are copied; words must be even.
+func (m *Mem) RecoverRange(off uint64, words int) {
+	for i := 0; i+1 < words; i += CellWords {
+		m.V.WriteRaw(off+uint64(i), m.P.ReadRaw(off+uint64(i)))
+		m.V.WriteRaw(off+uint64(i)+1, m.P.ReadRaw(off+uint64(i)+1))
+	}
+}
+
+// CheckInvariants verifies Lemmas 5.3–5.5 for one cell. It requires a
+// quiesced system (no concurrent writers) and returns a description of the
+// first violated invariant, or the empty string.
+func (m *Mem) CheckInvariants(off uint64) string {
+	pv, ps := m.P.LoadPair(off)
+	vv, vs := m.V.LoadPair(off)
+	switch {
+	case ps == vs:
+		if pv != vv {
+			return "equal sequence numbers with different values (Lemma 5.5)"
+		}
+	case ps == vs+1:
+		// Legal in-flight state.
+	default:
+		return "volatile sequence neither equal to nor one behind persistent (Lemma 5.4)"
+	}
+	return ""
+}

@@ -1,0 +1,160 @@
+package patomic
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mirror/internal/pmem"
+)
+
+func initWide(m *Mem, val, ver uint64) *Ctx {
+	ctx := &Ctx{}
+	m.InitWideCell(ctx, cell, val, ver)
+	m.PublishFence(ctx)
+	return ctx
+}
+
+func TestWideLoadAfterInit(t *testing.T) {
+	m := newMem(64)
+	initWide(m, 7, 100)
+	v, ver := m.WideLoad(cell)
+	if v != 7 || ver != 100 {
+		t.Errorf("WideLoad = (%d,%d), want (7,100)", v, ver)
+	}
+}
+
+func TestWideCASSuccess(t *testing.T) {
+	m := newMem(64)
+	ctx := initWide(m, 7, 100)
+	ok, ov, over := m.WideCAS(ctx, cell, 7, 100, 8, 150)
+	if !ok || ov != 7 || over != 100 {
+		t.Fatalf("WideCAS = (%v,%d,%d)", ok, ov, over)
+	}
+	if v, ver := m.WideLoad(cell); v != 8 || ver != 150 {
+		t.Errorf("after CAS: (%d,%d), want (8,150)", v, ver)
+	}
+	// Durable before visible.
+	if m.P.PersistedWord(cell) != 8 || m.P.PersistedWord(cell+1) != 150 {
+		t.Error("wide CAS not persisted")
+	}
+}
+
+func TestWideCASFailure(t *testing.T) {
+	m := newMem(64)
+	ctx := initWide(m, 7, 100)
+	ok, ov, over := m.WideCAS(ctx, cell, 7, 99, 8, 150)
+	if ok {
+		t.Fatal("stale-version CAS should fail")
+	}
+	if ov != 7 || over != 100 {
+		t.Errorf("observed (%d,%d), want (7,100)", ov, over)
+	}
+}
+
+func TestWideCASRequiresIncreasingVersion(t *testing.T) {
+	m := newMem(64)
+	ctx := initWide(m, 7, 100)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing version should panic")
+		}
+	}()
+	m.WideCAS(ctx, cell, 7, 100, 8, 100)
+}
+
+func TestWideHelpPath(t *testing.T) {
+	m := newMem(64)
+	ctx := initWide(m, 7, 100)
+	// Stall a writer after the persistent install (version jumps by 37).
+	if ok, _, _ := m.P.DWCAS(cell, 7, 100, 9, 137); !ok {
+		t.Fatal("setup failed")
+	}
+	// A second writer must help before proceeding.
+	ok, ov, over := m.WideCAS(ctx, cell, 9, 137, 10, 200)
+	if !ok || ov != 9 || over != 137 {
+		t.Fatalf("WideCAS after help = (%v,%d,%d)", ok, ov, over)
+	}
+	if v, ver := m.WideLoad(cell); v != 10 || ver != 200 {
+		t.Errorf("final (%d,%d), want (10,200)", v, ver)
+	}
+}
+
+func TestWideConcurrentMonotone(t *testing.T) {
+	m := newMem(64)
+	initWide(m, 0, 1)
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := &Ctx{}
+			for i := 0; i < 2000; i++ {
+				for {
+					v, ver := m.WideLoad(cell)
+					if ok, _, _ := m.WideCAS(ctx, cell, v, ver, v+1, ver+2); ok {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, ver := m.WideLoad(cell)
+	if v != workers*2000 {
+		t.Errorf("value = %d, want %d", v, workers*2000)
+	}
+	if ver != 1+2*uint64(workers*2000) {
+		t.Errorf("version = %d, want %d", ver, 1+2*workers*2000)
+	}
+	pv, ps := m.P.LoadPair(cell)
+	if pv != v || ps != ver {
+		t.Errorf("replicas differ: P=(%d,%d) V=(%d,%d)", pv, ps, v, ver)
+	}
+}
+
+func TestWideCrashRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 30; round++ {
+		m := newMem(64)
+		ctx := initWide(m, 0, 1)
+		var completedVal, completedVer uint64 = 0, 1
+		m.P.FreezeAfter(int64(rng.Intn(150) + 1))
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != pmem.ErrFrozen {
+					panic(r)
+				}
+			}()
+			for i := uint64(1); i <= 500; i++ {
+				v, ver := m.WideLoad(cell)
+				if ok, _, _ := m.WideCAS(ctx, cell, v, ver, v+1, ver+3); ok {
+					completedVal, completedVer = v+1, ver+3
+				}
+			}
+		}()
+		m.P.Freeze()
+		m.V.Freeze()
+		m.P.Crash(pmem.CrashPolicy(round%3), rng)
+		m.V.Crash(pmem.CrashPolicy(round%3), rng)
+		m.RecoverRange(cell, CellWords)
+		v, ver := m.WideLoad(cell)
+		// The completed CAS was fenced, so neither word may regress below
+		// it; the single unfenced in-flight update may have persisted
+		// fully, partially (per-word tearing at 8-byte persistence
+		// granularity), or not at all.
+		if v != completedVal && v != completedVal+1 {
+			t.Fatalf("round %d: recovered value %d, completed %d",
+				round, v, completedVal)
+		}
+		if ver != completedVer && ver != completedVer+3 {
+			t.Fatalf("round %d: recovered version %d, completed %d",
+				round, ver, completedVer)
+		}
+		// Replicas must agree after recovery.
+		if pv, ps := m.P.LoadPair(cell); pv != v || ps != ver {
+			t.Fatalf("round %d: replicas differ after recovery", round)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package pmem simulates the memory devices of the paper's platform: a
+// byte-addressable non-volatile main memory (NVMM) with explicit write-back
+// instructions, and a conventional volatile DRAM. Go offers no cache-line
+// flush control and its GC-managed heap cannot survive a process "crash",
+// so this substrate reifies the hardware model of §2.1–2.2 in software:
+//
+//   - A Device is a word-addressable array. The array contents play the
+//     role of the cache hierarchy's current view of memory.
+//   - A persistent Device additionally keeps a media image: the content
+//     that would survive a power failure. Words reach the media only via
+//     Flush+Fence (clwb+sfence, §2.2) — or nondeterministically at crash
+//     time, modeling implicit cache evictions.
+//   - Crash applies the eviction adversary to the media, then resets the
+//     device's current view from the media (persistent device) or wipes it
+//     (volatile device).
+//
+// Addresses are word offsets (8 bytes per word). Offset 0 is reserved so it
+// can serve as a null pointer. A LatencyModel injects calibrated spin
+// delays so benchmark results keep the DRAM/NVMM cost ratios of the real
+// platform.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"mirror/internal/dwcas"
+)
+
+// WordsPerLine is the cache-line size in words (64 bytes).
+const WordsPerLine = 8
+
+const lineShift = 3 // log2(WordsPerLine)
+
+// ErrFrozen is the panic value raised by every device operation after
+// Freeze; the crash harness recovers it to unwind in-flight operations at an
+// arbitrary instruction boundary, simulating a full-system power failure.
+var ErrFrozen = errors.New("pmem: device frozen (simulated power failure)")
+
+// CrashPolicy selects how the eviction adversary treats words that were
+// written but never explicitly flushed and fenced before the crash.
+type CrashPolicy int
+
+const (
+	// CrashDropAll loses every unfenced write: the most adversarial
+	// outcome for algorithms that forget a flush.
+	CrashDropAll CrashPolicy = iota
+	// CrashKeepAll persists every write, as if the cache had eagerly
+	// evicted everything: the most adversarial outcome for algorithms
+	// that rely on writes *not* persisting.
+	CrashKeepAll
+	// CrashRandom flips an independent coin per word (8-byte persist
+	// granularity, matching x86 persistence atomicity).
+	CrashRandom
+)
+
+// Config describes a Device.
+type Config struct {
+	Name       string       // for diagnostics
+	Words      int          // capacity in 8-byte words (offset 0 reserved)
+	Persistent bool         // survives Crash via its media image
+	Track      bool         // maintain the media image (required for Crash)
+	Model      LatencyModel // injected access costs
+}
+
+// Device is one simulated memory device. All word accesses are atomic; the
+// two-word operations are atomic via internal/dwcas. A Device is safe for
+// concurrent use.
+type Device struct {
+	name       string
+	persistent bool
+	track      bool
+	model      LatencyModel
+	fast       bool // model.Zero(): skip latency calls
+
+	words []uint64 // current (cache) view; 16-byte aligned base
+	media []uint64 // persisted image, nil unless track && persistent
+
+	frozen    atomic.Bool
+	countOn   atomic.Bool
+	countdown atomic.Int64
+
+	flushes atomic.Uint64
+	fences  atomic.Uint64
+
+	fenceLocks []sync.Mutex // striped per line group, serializes media copies
+}
+
+const fenceStripes = 256
+
+// New creates a Device. Words is rounded up to a whole number of cache
+// lines and must be at least one line.
+func New(cfg Config) *Device {
+	if cfg.Words < WordsPerLine {
+		cfg.Words = WordsPerLine
+	}
+	words := (cfg.Words + WordsPerLine - 1) &^ (WordsPerLine - 1)
+	d := &Device{
+		name:       cfg.Name,
+		persistent: cfg.Persistent,
+		track:      cfg.Track && cfg.Persistent,
+		model:      cfg.Model,
+		fast:       cfg.Model.Zero(),
+		words:      alignedWords(words),
+		fenceLocks: make([]sync.Mutex, fenceStripes),
+	}
+	if d.track {
+		d.media = alignedWords(words)
+	}
+	return d
+}
+
+// alignedWords allocates a word slice whose element 0 is 16-byte aligned,
+// so any even offset is a legal DWCAS address.
+func alignedWords(n int) []uint64 {
+	buf := make([]uint64, n+1)
+	if uintptr(unsafe.Pointer(&buf[0]))&15 != 0 {
+		return buf[1 : n+1]
+	}
+	return buf[:n]
+}
+
+// Name returns the device's diagnostic name.
+func (d *Device) Name() string { return d.name }
+
+// Size returns the device capacity in words.
+func (d *Device) Size() int { return len(d.words) }
+
+// Persistent reports whether the device keeps its media across Crash.
+func (d *Device) Persistent() bool { return d.persistent }
+
+func (d *Device) check(off uint64) {
+	if d.frozen.Load() {
+		panic(ErrFrozen)
+	}
+	if d.countOn.Load() && d.countdown.Add(-1) == 0 {
+		d.frozen.Store(true)
+		panic(ErrFrozen)
+	}
+	if off == 0 || off >= uint64(len(d.words)) {
+		panic(fmt.Sprintf("pmem: %s: offset %d out of range [1,%d)", d.name, off, len(d.words)))
+	}
+}
+
+// Load atomically reads the word at off.
+func (d *Device) Load(off uint64) uint64 {
+	d.check(off)
+	if !d.fast {
+		spin(d.model.LoadNS)
+	}
+	return atomic.LoadUint64(&d.words[off])
+}
+
+// Store atomically writes the word at off.
+func (d *Device) Store(off uint64, v uint64) {
+	d.check(off)
+	if !d.fast {
+		spin(d.model.StoreNS)
+	}
+	atomic.StoreUint64(&d.words[off], v)
+}
+
+// CAS atomically compares-and-swaps the word at off.
+func (d *Device) CAS(off uint64, old, new uint64) bool {
+	d.check(off)
+	if !d.fast {
+		spin(d.model.StoreNS)
+	}
+	return atomic.CompareAndSwapUint64(&d.words[off], old, new)
+}
+
+// Add atomically adds delta to the word at off and returns the new value.
+func (d *Device) Add(off uint64, delta uint64) uint64 {
+	d.check(off)
+	if !d.fast {
+		spin(d.model.StoreNS)
+	}
+	return atomic.AddUint64(&d.words[off], delta)
+}
+
+func (d *Device) pairAt(off uint64) *[2]uint64 {
+	if off&1 != 0 {
+		panic(fmt.Sprintf("pmem: %s: DWCAS offset %d not 16-byte aligned", d.name, off))
+	}
+	return (*[2]uint64)(unsafe.Pointer(&d.words[off]))
+}
+
+// LoadPair atomically reads the two words at even offset off.
+func (d *Device) LoadPair(off uint64) (v0, v1 uint64) {
+	d.check(off)
+	if !d.fast {
+		spin(d.model.LoadNS)
+	}
+	return dwcas.Load(d.pairAt(off))
+}
+
+// DWCAS atomically compares the two words at even offset off with
+// (old0, old1) and swaps in (new0, new1) on match. It returns whether the
+// swap happened and the observed pair (the "before" value of Figure 4).
+func (d *Device) DWCAS(off uint64, old0, old1, new0, new1 uint64) (swapped bool, cur0, cur1 uint64) {
+	d.check(off)
+	if !d.fast {
+		spin(d.model.StoreNS)
+	}
+	return dwcas.CompareAndSwap(d.pairAt(off), old0, old1, new0, new1)
+}
+
+// FlushSet accumulates the cache lines a thread has flushed but not yet
+// fenced. Each simulated thread owns one FlushSet per persistent device; it
+// corresponds to the set of in-flight clwb instructions between two sfences.
+type FlushSet struct {
+	lines []uint64
+}
+
+// Reset discards any pending flushes (used when a context is recycled).
+func (s *FlushSet) Reset() { s.lines = s.lines[:0] }
+
+func (s *FlushSet) add(line uint64) {
+	for _, l := range s.lines {
+		if l == line {
+			return
+		}
+	}
+	s.lines = append(s.lines, line)
+}
+
+// Flush records a write-back request (clwb) for the line containing off.
+// The line's durability is only guaranteed after a subsequent Fence on the
+// same FlushSet; until then the eviction adversary decides its fate.
+func (d *Device) Flush(fs *FlushSet, off uint64) {
+	d.check(off)
+	if !d.fast {
+		spin(d.model.FlushNS)
+	}
+	d.flushes.Add(1)
+	if d.track {
+		fs.add(off >> lineShift)
+	}
+}
+
+// Counters returns the cumulative number of Flush and Fence calls; the
+// ablation benchmarks report persistence-instruction counts with these.
+func (d *Device) Counters() (flushes, fences uint64) {
+	return d.flushes.Load(), d.fences.Load()
+}
+
+// Fence (sfence) commits every line flushed on fs since the previous Fence
+// to the media image. The content committed is the line's content at
+// commit time, matching the write-back window of real hardware.
+func (d *Device) Fence(fs *FlushSet) {
+	if d.frozen.Load() {
+		panic(ErrFrozen)
+	}
+	if !d.fast {
+		spin(d.model.FenceNS)
+	}
+	d.fences.Add(1)
+	if !d.track {
+		return
+	}
+	for _, line := range fs.lines {
+		d.commitLine(line)
+	}
+	fs.lines = fs.lines[:0]
+}
+
+// commitLine copies one line's current content to the media under a striped
+// lock, so two concurrent fences cannot interleave stale and fresh words.
+func (d *Device) commitLine(line uint64) {
+	mu := &d.fenceLocks[line%fenceStripes]
+	mu.Lock()
+	base := line << lineShift
+	for i := uint64(0); i < WordsPerLine; i++ {
+		off := base + i
+		if off >= uint64(len(d.words)) {
+			break
+		}
+		atomic.StoreUint64(&d.media[off], atomic.LoadUint64(&d.words[off]))
+	}
+	mu.Unlock()
+}
+
+// Freeze makes every subsequent device operation panic with ErrFrozen,
+// unwinding in-flight operations so a crash can be taken at an arbitrary
+// point. Freeze does not itself alter memory.
+func (d *Device) Freeze() { d.frozen.Store(true) }
+
+// Frozen reports whether the device is frozen.
+func (d *Device) Frozen() bool { return d.frozen.Load() }
+
+// FreezeAfter arms a countdown: the n-th subsequent device operation
+// freezes the device (and panics). Used to place crashes deterministically.
+func (d *Device) FreezeAfter(n int64) {
+	d.countdown.Store(n)
+	d.countOn.Store(n > 0)
+}
+
+// Crash simulates a power failure. All goroutines using the device must
+// already have unwound (see Freeze). For a persistent device the eviction
+// adversary first decides the fate of every unfenced word, then the current
+// view is reset from the media. For a volatile device everything is zeroed.
+// The device is left unfrozen and ready for recovery.
+func (d *Device) Crash(policy CrashPolicy, rng *rand.Rand) {
+	if d.persistent {
+		if !d.track {
+			panic("pmem: Crash on a persistent device that is not tracking its media (Config.Track=false)")
+		}
+		for i := range d.words {
+			cur, med := d.words[i], d.media[i]
+			if cur == med {
+				continue
+			}
+			switch policy {
+			case CrashKeepAll:
+				d.media[i] = cur
+			case CrashRandom:
+				if rng == nil {
+					panic("pmem: CrashRandom requires a rand source")
+				}
+				if rng.Int63()&1 == 0 {
+					d.media[i] = cur
+				}
+			}
+		}
+		copy(d.words, d.media)
+	} else {
+		for i := range d.words {
+			d.words[i] = 0
+		}
+	}
+	d.countOn.Store(false)
+	d.frozen.Store(false)
+}
+
+// ReadRaw reads a word without latency, freeze checks, or bounds reservation
+// of offset 0. Recovery and test inspection use it.
+func (d *Device) ReadRaw(off uint64) uint64 { return atomic.LoadUint64(&d.words[off]) }
+
+// WriteRaw writes a word without latency or freeze checks. Recovery uses it
+// to rebuild the volatile replica.
+func (d *Device) WriteRaw(off uint64, v uint64) { atomic.StoreUint64(&d.words[off], v) }
+
+// PersistedWord returns the media image of a word; it panics unless the
+// device tracks persistence. Tests use it to assert durability.
+func (d *Device) PersistedWord(off uint64) uint64 {
+	if !d.track {
+		panic("pmem: PersistedWord on non-tracking device")
+	}
+	return atomic.LoadUint64(&d.media[off])
+}
+
+// PersistRange copies the current view of [off, off+n) straight into the
+// media image, bypassing flush/fence bookkeeping. It exists for recovery
+// procedures (which run single-threaded before normal operation resumes)
+// such as the heap sanitization of the Link-Free/SOFT scan.
+func (d *Device) PersistRange(off uint64, n int) {
+	if !d.track {
+		return
+	}
+	for i := uint64(0); i < uint64(n); i++ {
+		atomic.StoreUint64(&d.media[off+i], atomic.LoadUint64(&d.words[off+i]))
+	}
+}
+
+// CopyTo copies n words starting at off from this device's current view
+// into dst at the same offsets, bypassing latency and freeze checks.
+func (d *Device) CopyTo(dst *Device, off uint64, n int) {
+	for i := uint64(0); i < uint64(n); i++ {
+		dst.WriteRaw(off+i, d.ReadRaw(off+i))
+	}
+}

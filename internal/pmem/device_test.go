@@ -1,0 +1,434 @@
+package pmem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestDevice(words int) *Device {
+	return New(Config{Name: "nvmm", Words: words, Persistent: true, Track: true})
+}
+
+func TestNewRoundsToLines(t *testing.T) {
+	d := New(Config{Words: 3})
+	if d.Size() != WordsPerLine {
+		t.Errorf("Size = %d, want %d", d.Size(), WordsPerLine)
+	}
+	d = New(Config{Words: 17})
+	if d.Size() != 24 {
+		t.Errorf("Size = %d, want 24", d.Size())
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	d := newTestDevice(64)
+	d.Store(5, 42)
+	if got := d.Load(5); got != 42 {
+		t.Errorf("Load = %d, want 42", got)
+	}
+}
+
+func TestCASAndAdd(t *testing.T) {
+	d := newTestDevice(64)
+	d.Store(3, 7)
+	if !d.CAS(3, 7, 8) {
+		t.Error("CAS should succeed")
+	}
+	if d.CAS(3, 7, 9) {
+		t.Error("CAS should fail")
+	}
+	if got := d.Add(3, 2); got != 10 {
+		t.Errorf("Add = %d, want 10", got)
+	}
+}
+
+func TestPairOps(t *testing.T) {
+	d := newTestDevice(64)
+	ok, c0, c1 := d.DWCAS(4, 0, 0, 11, 22)
+	if !ok || c0 != 0 || c1 != 0 {
+		t.Fatalf("DWCAS = (%v,%d,%d)", ok, c0, c1)
+	}
+	v0, v1 := d.LoadPair(4)
+	if v0 != 11 || v1 != 22 {
+		t.Errorf("LoadPair = (%d,%d), want (11,22)", v0, v1)
+	}
+	ok, c0, c1 = d.DWCAS(4, 11, 0, 1, 2)
+	if ok || c0 != 11 || c1 != 22 {
+		t.Errorf("failed DWCAS = (%v,%d,%d), want (false,11,22)", ok, c0, c1)
+	}
+}
+
+func TestDWCASAlignmentPanics(t *testing.T) {
+	d := newTestDevice(64)
+	defer func() {
+		if recover() == nil {
+			t.Error("odd-offset DWCAS should panic")
+		}
+	}()
+	d.DWCAS(5, 0, 0, 1, 2)
+}
+
+func TestOffsetZeroReserved(t *testing.T) {
+	d := newTestDevice(64)
+	defer func() {
+		if recover() == nil {
+			t.Error("offset 0 access should panic")
+		}
+	}()
+	d.Load(0)
+}
+
+func TestFlushFenceDurability(t *testing.T) {
+	d := newTestDevice(64)
+	var fs FlushSet
+	d.Store(9, 77)
+	if got := d.PersistedWord(9); got != 0 {
+		t.Fatalf("unfenced store already persisted: %d", got)
+	}
+	d.Flush(&fs, 9)
+	if got := d.PersistedWord(9); got != 0 {
+		t.Fatalf("flushed-but-unfenced store already persisted: %d", got)
+	}
+	d.Fence(&fs)
+	if got := d.PersistedWord(9); got != 77 {
+		t.Fatalf("fenced store not persisted: %d", got)
+	}
+}
+
+func TestFenceOnlyCommitsFlushedLines(t *testing.T) {
+	d := newTestDevice(128)
+	var fs FlushSet
+	d.Store(9, 1)  // line 1
+	d.Store(17, 2) // line 2
+	d.Flush(&fs, 9)
+	d.Fence(&fs)
+	if d.PersistedWord(9) != 1 {
+		t.Error("line 1 should be persisted")
+	}
+	if d.PersistedWord(17) != 0 {
+		t.Error("line 2 must not be persisted")
+	}
+}
+
+func TestFenceClearsSet(t *testing.T) {
+	d := newTestDevice(64)
+	var fs FlushSet
+	d.Store(9, 1)
+	d.Flush(&fs, 9)
+	d.Fence(&fs)
+	d.Store(9, 2)
+	d.Fence(&fs) // no pending flushes: must not commit the new value
+	if got := d.PersistedWord(9); got != 1 {
+		t.Errorf("PersistedWord = %d, want 1 (fence without flush committed)", got)
+	}
+}
+
+func TestFlushWholeLine(t *testing.T) {
+	// Flushing any word of a line writes back the whole line, as clwb does.
+	d := newTestDevice(64)
+	var fs FlushSet
+	d.Store(8, 10)
+	d.Store(15, 20) // same line (words 8..15)
+	d.Flush(&fs, 8)
+	d.Fence(&fs)
+	if d.PersistedWord(15) != 20 {
+		t.Error("whole line should persist on flush of any word in it")
+	}
+}
+
+func TestCrashDropAll(t *testing.T) {
+	d := newTestDevice(64)
+	var fs FlushSet
+	d.Store(9, 1)
+	d.Flush(&fs, 9)
+	d.Fence(&fs)
+	d.Store(9, 2) // unfenced overwrite
+	d.Store(10, 3)
+	d.Freeze()
+	d.Crash(CrashDropAll, nil)
+	if got := d.Load(9); got != 1 {
+		t.Errorf("word 9 = %d after crash, want fenced value 1", got)
+	}
+	if got := d.Load(10); got != 0 {
+		t.Errorf("word 10 = %d after crash, want 0", got)
+	}
+}
+
+func TestCrashKeepAll(t *testing.T) {
+	d := newTestDevice(64)
+	d.Store(9, 5)
+	d.Freeze()
+	d.Crash(CrashKeepAll, nil)
+	if got := d.Load(9); got != 5 {
+		t.Errorf("word 9 = %d, want 5 (KeepAll evicts everything)", got)
+	}
+}
+
+func TestCrashRandomSubsetsBetweenExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := newTestDevice(1024)
+	for off := uint64(1); off < 1000; off++ {
+		d.Store(off, off)
+	}
+	d.Freeze()
+	d.Crash(CrashRandom, rng)
+	kept := 0
+	for off := uint64(1); off < 1000; off++ {
+		switch d.Load(off) {
+		case off:
+			kept++
+		case 0:
+		default:
+			t.Fatalf("word %d has impossible value %d", off, d.Load(off))
+		}
+	}
+	if kept == 0 || kept == 999 {
+		t.Errorf("CrashRandom kept %d/999 words; expected a strict subset", kept)
+	}
+}
+
+func TestVolatileCrashWipes(t *testing.T) {
+	d := New(Config{Name: "dram", Words: 64})
+	d.Store(9, 1)
+	d.Freeze()
+	d.Crash(CrashDropAll, nil)
+	if got := d.Load(9); got != 0 {
+		t.Errorf("volatile device kept %d across crash", got)
+	}
+}
+
+func TestFreezePanics(t *testing.T) {
+	d := newTestDevice(64)
+	d.Freeze()
+	defer func() {
+		if r := recover(); r != ErrFrozen {
+			t.Errorf("recover = %v, want ErrFrozen", r)
+		}
+	}()
+	d.Load(9)
+}
+
+func TestFreezeAfter(t *testing.T) {
+	d := newTestDevice(64)
+	d.FreezeAfter(3)
+	d.Load(9)
+	d.Load(9)
+	func() {
+		defer func() {
+			if r := recover(); r != ErrFrozen {
+				t.Errorf("third op: recover = %v, want ErrFrozen", r)
+			}
+		}()
+		d.Load(9)
+	}()
+	if !d.Frozen() {
+		t.Error("device should be frozen after countdown")
+	}
+}
+
+func TestCrashUnfreezes(t *testing.T) {
+	d := newTestDevice(64)
+	d.Freeze()
+	d.Crash(CrashDropAll, nil)
+	if d.Frozen() {
+		t.Error("Crash should leave the device usable for recovery")
+	}
+	d.Load(9) // must not panic
+}
+
+func TestRawAccessBypassesFreeze(t *testing.T) {
+	d := newTestDevice(64)
+	d.Store(9, 4)
+	d.Freeze()
+	if got := d.ReadRaw(9); got != 4 {
+		t.Errorf("ReadRaw = %d, want 4", got)
+	}
+	d.WriteRaw(9, 6)
+	if got := d.ReadRaw(9); got != 6 {
+		t.Errorf("ReadRaw after WriteRaw = %d, want 6", got)
+	}
+}
+
+func TestCopyTo(t *testing.T) {
+	src := newTestDevice(64)
+	dst := New(Config{Name: "dram", Words: 64})
+	for off := uint64(8); off < 16; off++ {
+		src.Store(off, off*10)
+	}
+	src.CopyTo(dst, 8, 8)
+	for off := uint64(8); off < 16; off++ {
+		if got := dst.Load(off); got != off*10 {
+			t.Errorf("dst[%d] = %d, want %d", off, got, off*10)
+		}
+	}
+}
+
+func TestQuickFlushFenceAlwaysDurable(t *testing.T) {
+	d := newTestDevice(4096)
+	var fs FlushSet
+	f := func(offRaw uint32, v uint64) bool {
+		off := uint64(offRaw)%4094 + 1
+		d.Store(off, v)
+		d.Flush(&fs, off)
+		d.Fence(&fs)
+		return d.PersistedWord(off) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentFenceNoStaleRegress(t *testing.T) {
+	// Two threads alternately bump a word and fence it; the media must
+	// never regress below a value some fence already committed.
+	d := newTestDevice(64)
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var fs FlushSet
+			for i := 0; i < iters; i++ {
+				d.Add(9, 1)
+				d.Flush(&fs, 9)
+				d.Fence(&fs)
+				// The media must hold some value >= the value this
+				// thread just committed minus concurrent updates; at
+				// minimum it must be nonzero from here on.
+				if d.PersistedWord(9) == 0 {
+					t.Error("media regressed to zero after a fence")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if cur, med := d.Load(9), d.PersistedWord(9); med > cur {
+		t.Errorf("media %d ahead of current %d", med, cur)
+	}
+}
+
+func TestLatencyModelZero(t *testing.T) {
+	if !NoLatency().Zero() {
+		t.Error("NoLatency should be Zero")
+	}
+	if DRAMModel().Zero() || NVMMModel().Zero() {
+		t.Error("presets should not be Zero")
+	}
+	if NVMMModel().LoadNS < 2*DRAMModel().LoadNS {
+		t.Error("NVMM reads should be markedly slower than DRAM reads")
+	}
+}
+
+func TestSpinRoughlyMonotonic(t *testing.T) {
+	// spin(0) must be free; larger delays must not panic. We don't
+	// assert wall-clock precision (CI machines vary), only that the
+	// calibration path works.
+	spin(0)
+	spin(50)
+	spin(500)
+}
+
+func BenchmarkDeviceLoadNoLatency(b *testing.B) {
+	d := newTestDevice(1024)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			d.Load(9)
+		}
+	})
+}
+
+func BenchmarkDeviceFlushFence(b *testing.B) {
+	d := newTestDevice(1024)
+	var fs FlushSet
+	for i := 0; i < b.N; i++ {
+		d.Store(9, uint64(i))
+		d.Flush(&fs, 9)
+		d.Fence(&fs)
+	}
+}
+
+func TestPersistRange(t *testing.T) {
+	d := newTestDevice(64)
+	for off := uint64(8); off < 16; off++ {
+		d.Store(off, off*3)
+	}
+	d.PersistRange(8, 8)
+	for off := uint64(8); off < 16; off++ {
+		if got := d.PersistedWord(off); got != off*3 {
+			t.Errorf("media[%d] = %d, want %d", off, got, off*3)
+		}
+	}
+	// Non-tracking device: PersistRange is a no-op, not a panic.
+	d2 := New(Config{Name: "bench", Words: 64, Persistent: true, Track: false})
+	d2.Store(8, 1)
+	d2.PersistRange(8, 1)
+}
+
+func TestCountersCount(t *testing.T) {
+	d := newTestDevice(64)
+	var fs FlushSet
+	d.Store(8, 1)
+	d.Flush(&fs, 8)
+	d.Flush(&fs, 8)
+	d.Fence(&fs)
+	fl, fe := d.Counters()
+	if fl != 2 || fe != 1 {
+		t.Errorf("Counters = (%d,%d), want (2,1)", fl, fe)
+	}
+}
+
+func TestFenceWhileFrozenPanics(t *testing.T) {
+	d := newTestDevice(64)
+	var fs FlushSet
+	d.Store(8, 1)
+	d.Flush(&fs, 8)
+	d.Freeze()
+	defer func() {
+		if r := recover(); r != ErrFrozen {
+			t.Errorf("recover = %v, want ErrFrozen", r)
+		}
+		// The unfenced flush must not have reached the media.
+		d.Crash(CrashDropAll, nil)
+		if got := d.Load(8); got != 0 {
+			t.Errorf("unfenced flush persisted: %d", got)
+		}
+	}()
+	d.Fence(&fs)
+}
+
+func TestFlushSetReset(t *testing.T) {
+	d := newTestDevice(64)
+	var fs FlushSet
+	d.Store(8, 9)
+	d.Flush(&fs, 8)
+	fs.Reset()
+	d.Fence(&fs) // nothing pending: nothing persists
+	if got := d.PersistedWord(8); got != 0 {
+		t.Errorf("Reset did not clear pending flushes: media=%d", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := newTestDevice(64)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access should panic")
+		}
+	}()
+	d.Load(uint64(d.Size()))
+}
+
+func TestDeviceNamePersistentFlags(t *testing.T) {
+	d := New(Config{Name: "x", Words: 64, Persistent: true, Track: true})
+	if d.Name() != "x" || !d.Persistent() {
+		t.Error("accessor mismatch")
+	}
+	v := New(Config{Name: "v", Words: 64})
+	if v.Persistent() {
+		t.Error("volatile device claims persistence")
+	}
+}

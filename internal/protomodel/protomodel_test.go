@@ -1,0 +1,70 @@
+package protomodel
+
+import "testing"
+
+// TestExhaustiveTwoThreadCAS explores every interleaving of two concurrent
+// CAS operations for every interesting argument shape over a small value
+// domain, asserting the invariants and linearization witnesses throughout.
+func TestExhaustiveTwoThreadCAS(t *testing.T) {
+	const init = 5
+	cases := []struct {
+		name                   string
+		aExp, aNew, bExp, bNew uint64
+	}{
+		{"race-same-expected", init, 6, init, 7},
+		{"race-same-everything", init, 6, init, 6},
+		{"one-stale", init, 6, 9, 7},
+		{"both-stale", 8, 6, 9, 7},
+		{"aba-writeback", init, 6, 6, init}, // B re-installs the initial value
+		{"same-value-overwrite", init, init, init, init},
+		{"chain", init, 6, 6, 7}, // B expects A's result
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Explore(init, tc.aExp, tc.aNew, tc.bExp, tc.bNew)
+			for _, e := range c.Errors {
+				t.Error(e)
+			}
+			if c.States < 5 {
+				t.Errorf("only %d states explored; the model is not running", c.States)
+			}
+			t.Logf("%d states", c.States)
+		})
+	}
+}
+
+// TestExhaustiveThreeThreadCAS explores all interleavings of three
+// concurrent operations for a set of argument shapes, including triple
+// races on the same expected value and help chains.
+func TestExhaustiveThreeThreadCAS(t *testing.T) {
+	const init = 5
+	cases := []struct {
+		name string
+		ops  []Op
+	}{
+		{"triple-race", []Op{{init, 6}, {init, 7}, {init, 8}}},
+		{"race-plus-chain", []Op{{init, 6}, {init, 7}, {6, 8}}},
+		{"aba-triangle", []Op{{init, 6}, {6, init}, {init, 7}}},
+		{"same-values", []Op{{init, init}, {init, init}, {init, init}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := ExploreOps(init, tc.ops)
+			for _, e := range c.Errors {
+				t.Error(e)
+			}
+			t.Logf("%d states", c.States)
+		})
+	}
+}
+
+// TestSingleThreadDeterministic sanity-checks the state machine without
+// concurrency: a lone CAS must succeed and install exactly once.
+func TestSingleThreadDeterministic(t *testing.T) {
+	// Thread B is given an expected value that can never match, so it
+	// fails immediately and thread A runs effectively alone.
+	c := Explore(5, 5, 6, 99, 1)
+	for _, e := range c.Errors {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,73 @@
+package bst_test
+
+import (
+	"sort"
+	"testing"
+
+	"mirror/internal/engine"
+	"mirror/internal/structures"
+	"mirror/internal/structures/bst"
+	"mirror/internal/structures/settest"
+)
+
+func TestBSTConformance(t *testing.T) {
+	settest.Run(t, settest.Factory{
+		New: func(e engine.Engine, c *engine.Ctx) structures.Set {
+			return bst.New(e, c)
+		},
+		Words: 1 << 21,
+	})
+}
+
+func TestBSTKeysSorted(t *testing.T) {
+	e := engine.New(engine.Config{Kind: engine.MirrorDRAM, Words: 1 << 19})
+	c := e.NewCtx()
+	b := bst.New(e, c)
+	ins := []uint64{50, 20, 80, 10, 30, 70, 90, 25, 35}
+	for _, k := range ins {
+		if !b.Insert(c, k, k*2) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	keys := b.Keys(c)
+	want := append([]uint64(nil), ins...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+	// Delete interior keys and re-verify.
+	for _, k := range []uint64{50, 10, 90} {
+		if !b.Delete(c, k) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	if b.Len(c) != len(ins)-3 {
+		t.Errorf("Len = %d, want %d", b.Len(c), len(ins)-3)
+	}
+}
+
+func TestBSTDeleteToEmptyAndReuse(t *testing.T) {
+	e := engine.New(engine.Config{Kind: engine.NVTraverse, Words: 1 << 19, Track: true})
+	c := e.NewCtx()
+	b := bst.New(e, c)
+	for round := 0; round < 5; round++ {
+		for k := uint64(1); k <= 50; k++ {
+			if !b.Insert(c, k, k) {
+				t.Fatalf("round %d: insert %d failed", round, k)
+			}
+		}
+		for k := uint64(1); k <= 50; k++ {
+			if !b.Delete(c, k) {
+				t.Fatalf("round %d: delete %d failed", round, k)
+			}
+		}
+		if got := b.Len(c); got != 0 {
+			t.Fatalf("round %d: Len = %d after emptying", round, got)
+		}
+	}
+}

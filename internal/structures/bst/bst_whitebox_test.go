@@ -1,0 +1,117 @@
+package bst
+
+import (
+	"testing"
+
+	"mirror/internal/engine"
+)
+
+// These white-box tests stage the tricky intermediate states of the
+// Natarajan–Mittal protocol by planting flag/tag bits directly, then
+// verify that the public operations help as the algorithm requires.
+
+func newWB(t *testing.T) (engine.Engine, *engine.Ctx, *BST) {
+	t.Helper()
+	e := engine.New(engine.Config{Kind: engine.MirrorDRAM, Words: 1 << 18, Track: true})
+	c := e.NewCtx()
+	return e, c, New(e, c)
+}
+
+// plantFlag flags the edge from key's parent to its leaf, simulating a
+// delete that performed its injection CAS and stalled before cleanup.
+func plantFlag(e engine.Engine, c *engine.Ctx, b *BST, key uint64) {
+	rec := b.seek(c, key)
+	cf := b.childField(c, rec.parent, key)
+	edge := e.Load(c, rec.parent, cf)
+	if addr(edge) != rec.leaf || flagged(edge) {
+		panic("plantFlag: unexpected edge state")
+	}
+	if !e.CAS(c, rec.parent, cf, edge, edge|flagBit) {
+		panic("plantFlag: CAS failed")
+	}
+}
+
+func TestInsertHelpsStalledDelete(t *testing.T) {
+	e, c, b := newWB(t)
+	for _, k := range []uint64{50, 30, 70} {
+		b.Insert(c, k, k)
+	}
+	plantFlag(e, c, b, 30)
+	// The injection CAS linearized the delete: 30 is logically gone.
+	if b.Contains(c, 30) {
+		t.Fatal("flagged key still reported present")
+	}
+	// A re-insert must help excise the stalled delete and then succeed.
+	if !b.Insert(c, 30, 99) {
+		t.Fatal("insert did not help the stalled delete")
+	}
+	if v, ok := b.Get(c, 30); !ok || v != 99 {
+		t.Fatalf("Get(30) = (%d,%v), want (99,true)", v, ok)
+	}
+	if !b.Contains(c, 50) || !b.Contains(c, 70) {
+		t.Error("helping disturbed unrelated keys")
+	}
+}
+
+func TestDeleteOfSiblingHelpsStalledDelete(t *testing.T) {
+	e, c, b := newWB(t)
+	for _, k := range []uint64{50, 30, 70} {
+		b.Insert(c, k, k)
+	}
+	plantFlag(e, c, b, 30)
+	// Deleting the logically-deleted key reports absent (the other
+	// delete linearized first) and helps clean up.
+	if b.Delete(c, 30) {
+		t.Fatal("delete of flagged key should report absent")
+	}
+	// The tree must be fully functional afterwards.
+	if !b.Delete(c, 70) || !b.Delete(c, 50) {
+		t.Fatal("subsequent deletes failed")
+	}
+	if b.Len(c) != 0 {
+		t.Fatalf("Len = %d, want 0", b.Len(c))
+	}
+}
+
+func TestGetTreatsFlaggedAsAbsent(t *testing.T) {
+	e, c, b := newWB(t)
+	b.Insert(c, 10, 1)
+	b.Insert(c, 20, 2)
+	plantFlag(e, c, b, 20)
+	if _, ok := b.Get(c, 20); ok {
+		t.Error("Get returned a logically deleted key")
+	}
+	if _, ok := b.Get(c, 10); !ok {
+		t.Error("Get lost an unrelated key")
+	}
+}
+
+func TestCleanupPreservesFlaggedSibling(t *testing.T) {
+	// Two deletes under one parent: excising one must re-parent the
+	// other's flagged edge with the flag preserved.
+	e, c, b := newWB(t)
+	for _, k := range []uint64{50, 30, 70} {
+		b.Insert(c, k, k)
+	}
+	plantFlag(e, c, b, 30)
+	plantFlag(e, c, b, 70)
+	// Complete 30's deletion via helping; 70 stays logically deleted.
+	rec := b.seek(c, 30)
+	b.cleanup(c, 30, rec)
+	if b.Contains(c, 30) {
+		t.Error("excised key still present")
+	}
+	if b.Contains(c, 70) {
+		t.Error("sibling's flag lost during promotion: 70 resurrected")
+	}
+	if !b.Contains(c, 50) {
+		t.Error("unrelated key lost")
+	}
+	// Both keys re-insertable after their cleanups.
+	if !b.Insert(c, 30, 1) {
+		t.Error("30 not re-insertable")
+	}
+	if !b.Insert(c, 70, 1) {
+		t.Error("70 not re-insertable")
+	}
+}

@@ -1,0 +1,64 @@
+package hashtable_test
+
+import (
+	"testing"
+
+	"mirror/internal/engine"
+	"mirror/internal/structures"
+	"mirror/internal/structures/hashtable"
+	"mirror/internal/structures/settest"
+)
+
+func TestHashTableConformance(t *testing.T) {
+	settest.Run(t, settest.Factory{
+		New: func(e engine.Engine, c *engine.Ctx) structures.Set {
+			return hashtable.New(e, c, 256)
+		},
+		Words: 1 << 21,
+	})
+}
+
+func TestHashTableSingleBucket(t *testing.T) {
+	// One bucket degenerates to a list; everything must still work.
+	e := engine.New(engine.Config{Kind: engine.MirrorDRAM, Words: 1 << 18})
+	c := e.NewCtx()
+	h := hashtable.New(e, c, 1)
+	for k := uint64(1); k <= 100; k++ {
+		if !h.Insert(c, k, k*3) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	if h.Len(c) != 100 {
+		t.Errorf("Len = %d, want 100", h.Len(c))
+	}
+	for k := uint64(1); k <= 100; k++ {
+		if v, ok := h.Get(c, k); !ok || v != k*3 {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+}
+
+func TestHashTableLargeBucketArray(t *testing.T) {
+	// A bucket array larger than one allocator chunk exercises the
+	// large-allocation path under the mirror layout (2 words per field).
+	e := engine.New(engine.Config{Kind: engine.MirrorDRAM, Words: 1 << 22})
+	c := e.NewCtx()
+	h := hashtable.New(e, c, 1<<14)
+	for k := uint64(1); k <= 3000; k++ {
+		h.Insert(c, k, k)
+	}
+	if h.Len(c) != 3000 {
+		t.Errorf("Len = %d, want 3000", h.Len(c))
+	}
+}
+
+func TestHashTableBadBucketCount(t *testing.T) {
+	e := engine.New(engine.Config{Kind: engine.OrigDRAM, Words: 1 << 16})
+	c := e.NewCtx()
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two bucket count should panic")
+		}
+	}()
+	hashtable.New(e, c, 3)
+}

@@ -1,0 +1,27 @@
+package list_test
+
+import (
+	"testing"
+
+	"mirror/internal/dwcas"
+	"mirror/internal/engine"
+	"mirror/internal/structures"
+	"mirror/internal/structures/list"
+	"mirror/internal/structures/settest"
+)
+
+// TestListConformanceFallbackDWCAS runs the full conformance suite with
+// the portable seqlock DWCAS emulation forced on, covering the non-amd64
+// code path end to end (concurrency, crashes, recovery).
+func TestListConformanceFallbackDWCAS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dwcas.SetFallback(true)
+	t.Cleanup(func() { dwcas.SetFallback(false) })
+	settest.Run(t, settest.Factory{
+		New: func(e engine.Engine, c *engine.Ctx) structures.Set {
+			return list.New(e, 0)
+		},
+	})
+}

@@ -1,0 +1,64 @@
+package list_test
+
+import (
+	"testing"
+
+	"mirror/internal/engine"
+	"mirror/internal/structures"
+	"mirror/internal/structures/list"
+	"mirror/internal/structures/settest"
+)
+
+func TestListConformance(t *testing.T) {
+	settest.Run(t, settest.Factory{
+		New: func(e engine.Engine, c *engine.Ctx) structures.Set {
+			return list.New(e, 0)
+		},
+	})
+}
+
+func TestListSortedKeys(t *testing.T) {
+	e := engine.New(engine.Config{Kind: engine.MirrorDRAM, Words: 1 << 18, Track: true})
+	c := e.NewCtx()
+	l := list.New(e, 0)
+	for _, k := range []uint64{5, 1, 9, 3, 7} {
+		l.Insert(c, k, k)
+	}
+	keys := l.Keys(c)
+	want := []uint64{1, 3, 5, 7, 9}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+	if l.Len(c) != 5 {
+		t.Errorf("Len = %d, want 5", l.Len(c))
+	}
+}
+
+func TestListKeyRangePanics(t *testing.T) {
+	e := engine.New(engine.Config{Kind: engine.OrigDRAM, Words: 1 << 16})
+	c := e.NewCtx()
+	l := list.New(e, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("key 0 insert should panic")
+		}
+	}()
+	l.Insert(c, 0, 1)
+}
+
+func TestTwoListsIndependentRootFields(t *testing.T) {
+	e := engine.New(engine.Config{Kind: engine.MirrorDRAM, Words: 1 << 18})
+	c := e.NewCtx()
+	a := list.New(e, 0)
+	b := list.New(e, 1)
+	a.Insert(c, 1, 10)
+	b.Insert(c, 2, 20)
+	if a.Contains(c, 2) || b.Contains(c, 1) {
+		t.Error("lists with different root fields share state")
+	}
+}

@@ -1,0 +1,133 @@
+package structures_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mirror/internal/engine"
+	"mirror/internal/pmem"
+	"mirror/internal/structures"
+	"mirror/internal/structures/bst"
+	"mirror/internal/structures/hashtable"
+	"mirror/internal/structures/list"
+	"mirror/internal/structures/skiplist"
+)
+
+// opScript is a quick-generated operation sequence: each element encodes
+// (kind, key) in one value.
+type opScript []uint16
+
+func builders() map[string]func(e engine.Engine, c *engine.Ctx) structures.Set {
+	return map[string]func(e engine.Engine, c *engine.Ctx) structures.Set{
+		"list":      func(e engine.Engine, c *engine.Ctx) structures.Set { return list.New(e, 0) },
+		"hashtable": func(e engine.Engine, c *engine.Ctx) structures.Set { return hashtable.New(e, c, 32) },
+		"bst":       func(e engine.Engine, c *engine.Ctx) structures.Set { return bst.New(e, c) },
+		"skiplist":  func(e engine.Engine, c *engine.Ctx) structures.Set { return skiplist.New(e, c) },
+	}
+}
+
+// TestQuickSequencesMatchModel drives quick-generated operation sequences
+// through every structure under the Mirror engine and checks each return
+// value against a map model — a property test of sequential set semantics.
+func TestQuickSequencesMatchModel(t *testing.T) {
+	for name, build := range builders() {
+		t.Run(name, func(t *testing.T) {
+			f := func(script opScript) bool {
+				e := engine.New(engine.Config{Kind: engine.MirrorDRAM, Words: 1 << 18})
+				c := e.NewCtx()
+				set := build(e, c)
+				model := make(map[uint64]uint64)
+				for _, enc := range script {
+					key := uint64(enc&0x3F) + 1 // 64-key space: collisions likely
+					val := uint64(enc) + 1
+					switch (enc >> 6) % 3 {
+					case 0:
+						_, present := model[key]
+						if set.Insert(c, key, val) == present {
+							return false
+						}
+						if !present {
+							model[key] = val
+						}
+					case 1:
+						_, present := model[key]
+						if set.Delete(c, key) != present {
+							return false
+						}
+						delete(model, key)
+					default:
+						want, present := model[key]
+						got, ok := set.Get(c, key)
+						if ok != present || (ok && got != want) {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestQuickCrashRecoveryPreservesModel extends the property across a
+// crash: after any quick-generated quiesced op sequence, crash + recovery
+// must reproduce the model state exactly.
+func TestQuickCrashRecoveryPreservesModel(t *testing.T) {
+	tracers := map[string]func(e engine.Engine) engine.Tracer{
+		"list":      func(e engine.Engine) engine.Tracer { return list.TracerAt(e, 0) },
+		"hashtable": func(e engine.Engine) engine.Tracer { return hashtable.TracerAt(e, 0) },
+		"bst":       func(e engine.Engine) engine.Tracer { return bst.TracerAt(e, 2) },
+		"skiplist":  func(e engine.Engine) engine.Tracer { return skiplist.TracerAt(e, 3) },
+	}
+	for name, build := range builders() {
+		t.Run(name, func(t *testing.T) {
+			seed := int64(0)
+			f := func(script opScript) bool {
+				seed++
+				e := engine.New(engine.Config{Kind: engine.MirrorDRAM, Words: 1 << 18, Track: true})
+				c := e.NewCtx()
+				set := build(e, c)
+				model := make(map[uint64]uint64)
+				for _, enc := range script {
+					key := uint64(enc&0x3F) + 1
+					val := uint64(enc) + 1
+					if (enc>>6)%2 == 0 {
+						if set.Insert(c, key, val) {
+							model[key] = val
+						}
+					} else {
+						set.Delete(c, key)
+						delete(model, key)
+					}
+				}
+				e.Crash(pmemPolicy(seed), nil)
+				e.Recover(tracers[name](e))
+				c = e.NewCtx()
+				set = build(e, c)
+				for key := uint64(1); key <= 64; key++ {
+					want, present := model[key]
+					got, ok := set.Get(c, key)
+					if ok != present || (ok && got != want) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// pmemPolicy alternates the deterministic adversaries (the random policy
+// needs an rng; quiesced crashes make DropAll/KeepAll the extremes).
+func pmemPolicy(seed int64) pmem.CrashPolicy {
+	if seed%2 == 0 {
+		return pmem.CrashDropAll
+	}
+	return pmem.CrashKeepAll
+}

@@ -1,0 +1,137 @@
+package structures_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mirror/internal/engine"
+	"mirror/internal/structures/bst"
+	"mirror/internal/structures/list"
+	"mirror/internal/structures/skiplist"
+)
+
+// ranger is the common Range surface of the sorted structures.
+type ranger interface {
+	Insert(c *engine.Ctx, key, val uint64) bool
+	Delete(c *engine.Ctx, key uint64) bool
+	Range(c *engine.Ctx, from, to uint64, fn func(key, val uint64) bool)
+}
+
+func rangers(e engine.Engine, c *engine.Ctx) map[string]ranger {
+	return map[string]ranger{
+		"list":     list.New(e, 0),
+		"skiplist": skiplist.NewAt(e, c, 1),
+		"bst":      bst.NewAt(e, c, 2),
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	for _, kind := range []engine.Kind{engine.MirrorDRAM, engine.OrigDRAM} {
+		e := engine.New(engine.Config{Kind: kind, Words: 1 << 20})
+		c := e.NewCtx()
+		for name, r := range rangers(e, c) {
+			t.Run(fmt.Sprintf("%s/%s", name, kind), func(t *testing.T) {
+				for k := uint64(1); k <= 100; k++ {
+					r.Insert(c, k*10, k)
+				}
+				r.Delete(c, 500) // hole in the middle
+
+				var got []uint64
+				r.Range(c, 250, 750, func(k, v uint64) bool {
+					if v != k/10 {
+						t.Errorf("key %d has value %d, want %d", k, v, k/10)
+					}
+					got = append(got, k)
+					return true
+				})
+				var want []uint64
+				for k := uint64(250); k <= 750; k++ {
+					if k%10 == 0 && k != 500 {
+						want = append(want, k)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("got %d keys %v, want %d", len(got), got, len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("position %d: got %d, want %d", i, got[i], want[i])
+					}
+				}
+
+				// Early stop.
+				count := 0
+				r.Range(c, 0, structures_KeyMax(), func(k, v uint64) bool {
+					count++
+					return count < 5
+				})
+				if count != 5 {
+					t.Errorf("early stop visited %d, want 5", count)
+				}
+
+				// Empty range.
+				r.Range(c, 501, 509, func(k, v uint64) bool {
+					t.Errorf("empty range visited key %d", k)
+					return true
+				})
+			})
+		}
+	}
+}
+
+func structures_KeyMax() uint64 { return uint64(1)<<62 - 1 }
+
+// TestRangeScanDuringConcurrentUpdates checks the weak-consistency
+// contract: every visited key was inserted at some point, values match
+// keys, and order is ascending.
+func TestRangeScanDuringConcurrentUpdates(t *testing.T) {
+	e := engine.New(engine.Config{Kind: engine.MirrorDRAM, Words: 1 << 21})
+	c0 := e.NewCtx()
+	sl := skiplist.New(e, c0)
+	for k := uint64(1); k <= 500; k++ {
+		sl.Insert(c0, k, k)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := e.NewCtx()
+			i := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := i%500 + 1
+				if i%2 == 0 {
+					sl.Delete(c, key)
+				} else {
+					sl.Insert(c, key, key)
+				}
+				i++
+			}
+		}(w)
+	}
+	c := e.NewCtx()
+	for round := 0; round < 200; round++ {
+		prev := uint64(0)
+		sl.Range(c, 1, 500, func(k, v uint64) bool {
+			if k <= prev {
+				t.Errorf("round %d: out-of-order key %d after %d", round, k, prev)
+				return false
+			}
+			if v != k {
+				t.Errorf("round %d: key %d with torn value %d", round, k, v)
+				return false
+			}
+			prev = k
+			return true
+		})
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,382 @@
+// Package skiplist implements a Fraser-style lock-free skip list [Fraser
+// 2003], the fourth structure evaluated in the paper (§6.1).
+//
+// Presence of a key is decided solely at level 0; the higher levels are
+// search accelerators. Deletion marks a node's next pointers from the top
+// level down — the level-0 mark is the linearization point — after which
+// searches compact marked runs out of each level with a single CAS.
+//
+// Reclamation note: as in the reference implementations (Fraser's and
+// ASCYLIB's, which the paper's artifact builds on), an insert that stalls
+// between validating and linking an upper level while the node is
+// concurrently deleted can momentarily relink a retired node; the insert
+// unlinks it again before returning. The inherited theoretical window is
+// documented in DESIGN.md.
+package skiplist
+
+import (
+	"sync/atomic"
+
+	"mirror/internal/engine"
+	"mirror/internal/structures"
+)
+
+// MaxLevel is the tower height cap; 2^16 expected elements per level-1
+// node keeps this ample for the simulated sizes.
+const MaxLevel = 16
+
+// Node field indexes. A node of height h has 3+h fields.
+const (
+	fKey  = 0
+	fVal  = 1
+	fTop  = 2
+	fNext = 3 // fNext+i is the level-i next reference
+)
+
+// rootHead is the default root field holding the head sentinel's reference.
+const rootHead = 3
+
+// SkipList is the lock-free skip list.
+type SkipList struct {
+	e     engine.Engine
+	head  engine.Ref
+	seed  atomic.Uint64
+	rootF int
+}
+
+// New creates the skip list (or adopts an existing one after recovery).
+// Its head reference lives in root field 3.
+func New(e engine.Engine, c *engine.Ctx) *SkipList {
+	return NewAt(e, c, rootHead)
+}
+
+// NewAt is New with an explicit root field.
+func NewAt(e engine.Engine, c *engine.Ctx, rootField int) *SkipList {
+	s := &SkipList{e: e, rootF: rootField}
+	s.seed.Store(0x9e3779b97f4a7c15)
+	e.OpBegin(c)
+	defer e.OpEnd(c)
+	if h := e.Load(c, e.RootRef(), rootField); h != 0 {
+		s.head = h
+		return s
+	}
+	s.head = e.Alloc(c, fNext+MaxLevel)
+	e.StoreInit(c, s.head, fKey, 0)
+	e.StoreInit(c, s.head, fVal, 0)
+	e.StoreInit(c, s.head, fTop, MaxLevel)
+	for i := 0; i < MaxLevel; i++ {
+		e.StoreInit(c, s.head, fNext+i, 0)
+	}
+	e.Publish(c, s.head)
+	e.Store(c, e.RootRef(), rootField, s.head)
+	return s
+}
+
+// Name implements structures.Set.
+func (s *SkipList) Name() string { return "skiplist" }
+
+// randomLevel draws a height with geometric distribution p=1/2.
+func (s *SkipList) randomLevel() int {
+	x := s.seed.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	level := 1
+	for x&1 == 1 && level < MaxLevel {
+		level++
+		x >>= 1
+	}
+	return level
+}
+
+// search locates key on every level, compacting marked runs out of the
+// lists as it goes (Fraser's search). On return preds[i] is the last node
+// with key' < key at level i and succs[i] the first with key' >= key (or 0).
+func (s *SkipList) search(c *engine.Ctx, key uint64, preds, succs *[MaxLevel]engine.Ref) {
+	e := s.e
+retry:
+	for {
+		left := s.head
+		for i := MaxLevel - 1; i >= 0; i-- {
+			leftNext := e.TraversalLoad(c, left, fNext+i)
+			if structures.Marked(leftNext) {
+				continue retry // left got deleted under us
+			}
+			right := leftNext
+			var rightNext uint64
+			for {
+				// Skip a marked run.
+				for right != 0 {
+					rightNext = e.TraversalLoad(c, right, fNext+i)
+					if !structures.Marked(rightNext) {
+						break
+					}
+					right = structures.Unmark(rightNext)
+				}
+				if right == 0 || e.TraversalLoad(c, right, fKey) >= key {
+					break
+				}
+				left = right
+				leftNext = rightNext
+				right = structures.Unmark(rightNext)
+			}
+			if leftNext != right {
+				// Snip the whole marked run with one CAS.
+				e.MakePersistent(c, left, fNext+i+1)
+				if !e.CAS(c, left, fNext+i, leftNext, right) {
+					continue retry
+				}
+			}
+			if preds != nil {
+				preds[i], succs[i] = left, right
+			}
+		}
+		return
+	}
+}
+
+// Insert implements structures.Set.
+func (s *SkipList) Insert(c *engine.Ctx, key, val uint64) bool {
+	if key == 0 || key > structures.KeyMax {
+		panic("skiplist: key outside usable range")
+	}
+	e := s.e
+	e.OpBegin(c)
+	defer e.OpEnd(c)
+	var preds, succs [MaxLevel]engine.Ref
+	level := s.randomLevel()
+	var node engine.Ref
+	for {
+		s.search(c, key, &preds, &succs)
+		if succs[0] != 0 && e.TraversalLoad(c, succs[0], fKey) == key {
+			if node != 0 {
+				e.FreeUnpublished(c, node, fNext+level)
+			}
+			e.MakePersistent(c, succs[0], fNext)
+			return false
+		}
+		if node == 0 {
+			node = e.Alloc(c, fNext+level)
+			e.StoreInit(c, node, fKey, key)
+			e.StoreInit(c, node, fVal, val)
+			e.StoreInit(c, node, fTop, uint64(level))
+		}
+		for i := 0; i < level; i++ {
+			e.StoreInit(c, node, fNext+i, succs[i])
+		}
+		e.Publish(c, node)
+		e.MakePersistent(c, preds[0], fNext+1)
+		if !e.CAS(c, preds[0], fNext, succs[0], node) {
+			continue // level-0 link lost the race; redo the search
+		}
+		// The node is logically inserted. Link the accelerator levels;
+		// abandon as soon as a concurrent delete marks the node.
+		for i := 1; i < level; i++ {
+			for {
+				cur := e.TraversalLoad(c, node, fNext+i)
+				if structures.Marked(cur) {
+					return true // concurrently deleted; searches clean up
+				}
+				if cur != succs[i] {
+					if !e.CAS(c, node, fNext+i, cur, succs[i]) {
+						// Lost to a mark; stop linking.
+						return true
+					}
+				}
+				if succs[i] == node {
+					break // already linked at this level by a re-search
+				}
+				e.MakePersistent(c, preds[i], fNext+i+1)
+				if e.CAS(c, preds[i], fNext+i, succs[i], node) {
+					break
+				}
+				s.search(c, key, &preds, &succs)
+				if succs[0] != node {
+					return true // deleted and excised meanwhile
+				}
+			}
+			// Validation: if the node was marked while we linked this
+			// level, make sure it is physically unlinked before
+			// returning (closes the reference-algorithm's window).
+			if structures.Marked(e.TraversalLoad(c, node, fNext+i)) {
+				s.search(c, key, nil, nil)
+				return true
+			}
+		}
+		return true
+	}
+}
+
+// Delete implements structures.Set. Its linearization point is the
+// successful mark of the level-0 next pointer.
+func (s *SkipList) Delete(c *engine.Ctx, key uint64) bool {
+	e := s.e
+	e.OpBegin(c)
+	defer e.OpEnd(c)
+	var preds, succs [MaxLevel]engine.Ref
+	s.search(c, key, &preds, &succs)
+	node := succs[0]
+	if node == 0 || e.TraversalLoad(c, node, fKey) != key {
+		return false
+	}
+	top := int(e.TraversalLoad(c, node, fTop))
+	e.MakePersistent(c, node, fNext+top)
+	// Mark the accelerator levels top-down.
+	for i := top - 1; i >= 1; i-- {
+		for {
+			next := e.TraversalLoad(c, node, fNext+i)
+			if structures.Marked(next) {
+				break
+			}
+			if e.CAS(c, node, fNext+i, next, structures.Mark(next)) {
+				break
+			}
+		}
+	}
+	// Level 0 decides ownership.
+	for {
+		next := e.TraversalLoad(c, node, fNext)
+		if structures.Marked(next) {
+			// A concurrent delete won; help excise and report absent.
+			s.search(c, key, nil, nil)
+			return false
+		}
+		if e.CAS(c, node, fNext, next, structures.Mark(next)) {
+			// Physically unlink everywhere, then reclaim.
+			s.search(c, key, nil, nil)
+			e.Retire(c, node, fNext+top)
+			return true
+		}
+	}
+}
+
+// Contains implements structures.Set.
+func (s *SkipList) Contains(c *engine.Ctx, key uint64) bool {
+	_, ok := s.Get(c, key)
+	return ok
+}
+
+// Get implements structures.Set with a read-only traversal (no snipping).
+func (s *SkipList) Get(c *engine.Ctx, key uint64) (uint64, bool) {
+	e := s.e
+	e.OpBegin(c)
+	defer e.OpEnd(c)
+	pred := s.head
+	var candidate engine.Ref
+	for i := MaxLevel - 1; i >= 0; i-- {
+		curr := structures.Unmark(e.TraversalLoad(c, pred, fNext+i))
+		for curr != 0 {
+			next := e.TraversalLoad(c, curr, fNext+i)
+			if structures.Marked(next) {
+				curr = structures.Unmark(next)
+				continue
+			}
+			k := e.TraversalLoad(c, curr, fKey)
+			if k < key {
+				pred = curr
+				curr = structures.Unmark(next)
+				continue
+			}
+			if i == 0 && k == key {
+				candidate = curr
+			}
+			break
+		}
+	}
+	if candidate == 0 {
+		return 0, false
+	}
+	v := e.TraversalLoad(c, candidate, fVal)
+	e.MakePersistent(c, candidate, fNext)
+	return v, true
+}
+
+// Len counts present keys (quiesced use only).
+func (s *SkipList) Len(c *engine.Ctx) int {
+	e := s.e
+	e.OpBegin(c)
+	defer e.OpEnd(c)
+	n := 0
+	curr := structures.Unmark(e.TraversalLoad(c, s.head, fNext))
+	for curr != 0 {
+		next := e.TraversalLoad(c, curr, fNext)
+		if !structures.Marked(next) {
+			n++
+		}
+		curr = structures.Unmark(next)
+	}
+	return n
+}
+
+// Tracer implements structures.Set. Marked and upper-level-only nodes are
+// still reachable, so every level is walked with deduplication.
+func (s *SkipList) Tracer() engine.Tracer {
+	return TracerAt(s.e, s.rootF)
+}
+
+// TracerAt returns the skip list's recovery tracer without attaching to
+// the (possibly not yet recovered) structure.
+func TracerAt(e engine.Engine, rootField int) engine.Tracer {
+	return func(read func(engine.Ref, int) uint64, visit func(engine.Ref, int)) {
+		head := read(e.RootRef(), rootField)
+		if head == 0 {
+			return
+		}
+		seen := map[engine.Ref]bool{head: true}
+		visit(head, fNext+MaxLevel)
+		for i := 0; i < MaxLevel; i++ {
+			curr := structures.Unmark(read(head, fNext+i))
+			for curr != 0 {
+				if !seen[curr] {
+					seen[curr] = true
+					visit(curr, fNext+int(read(curr, fTop)))
+				}
+				curr = structures.Unmark(read(curr, fNext+i))
+			}
+		}
+	}
+}
+
+var _ structures.Set = (*SkipList)(nil)
+
+// Range calls fn for each present key in [from, to] in ascending order,
+// stopping early if fn returns false. Weakly consistent (not a snapshot).
+func (s *SkipList) Range(c *engine.Ctx, from, to uint64, fn func(key, val uint64) bool) {
+	e := s.e
+	e.OpBegin(c)
+	defer e.OpEnd(c)
+	// Descend to the last node with key < from.
+	pred := s.head
+	for i := MaxLevel - 1; i >= 0; i-- {
+		curr := structures.Unmark(e.TraversalLoad(c, pred, fNext+i))
+		for curr != 0 {
+			next := e.TraversalLoad(c, curr, fNext+i)
+			if structures.Marked(next) {
+				curr = structures.Unmark(next)
+				continue
+			}
+			if e.TraversalLoad(c, curr, fKey) >= from {
+				break
+			}
+			pred = curr
+			curr = structures.Unmark(next)
+		}
+	}
+	// Walk level 0.
+	curr := structures.Unmark(e.TraversalLoad(c, pred, fNext))
+	for curr != 0 {
+		next := e.TraversalLoad(c, curr, fNext)
+		k := e.TraversalLoad(c, curr, fKey)
+		if k > to {
+			return
+		}
+		if k >= from && !structures.Marked(next) {
+			if !fn(k, e.TraversalLoad(c, curr, fVal)) {
+				return
+			}
+		}
+		curr = structures.Unmark(next)
+	}
+}

@@ -1,0 +1,70 @@
+package skiplist_test
+
+import (
+	"testing"
+
+	"mirror/internal/engine"
+	"mirror/internal/structures"
+	"mirror/internal/structures/settest"
+	"mirror/internal/structures/skiplist"
+)
+
+func TestSkipListConformance(t *testing.T) {
+	settest.Run(t, settest.Factory{
+		New: func(e engine.Engine, c *engine.Ctx) structures.Set {
+			return skiplist.New(e, c)
+		},
+		Words: 1 << 21,
+	})
+}
+
+func TestSkipListTowersAndOrder(t *testing.T) {
+	e := engine.New(engine.Config{Kind: engine.MirrorDRAM, Words: 1 << 20})
+	c := e.NewCtx()
+	s := skiplist.New(e, c)
+	// Enough inserts that multiple tower heights occur.
+	for k := uint64(1); k <= 2000; k++ {
+		if !s.Insert(c, k, k+7) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	if got := s.Len(c); got != 2000 {
+		t.Fatalf("Len = %d, want 2000", got)
+	}
+	for k := uint64(1); k <= 2000; k++ {
+		if v, ok := s.Get(c, k); !ok || v != k+7 {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	// Delete every third key.
+	for k := uint64(3); k <= 2000; k += 3 {
+		if !s.Delete(c, k) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	for k := uint64(1); k <= 2000; k++ {
+		want := k%3 != 0
+		if got := s.Contains(c, k); got != want {
+			t.Fatalf("Contains(%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestSkipListEmptyAfterDeletes(t *testing.T) {
+	e := engine.New(engine.Config{Kind: engine.Izraelevitz, Words: 1 << 19, Track: true})
+	c := e.NewCtx()
+	s := skiplist.New(e, c)
+	for round := 0; round < 3; round++ {
+		for k := uint64(1); k <= 100; k++ {
+			s.Insert(c, k, k)
+		}
+		for k := uint64(1); k <= 100; k++ {
+			if !s.Delete(c, k) {
+				t.Fatalf("round %d: delete %d failed", round, k)
+			}
+		}
+		if got := s.Len(c); got != 0 {
+			t.Fatalf("round %d: Len = %d", round, got)
+		}
+	}
+}

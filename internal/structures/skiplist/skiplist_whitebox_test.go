@@ -1,0 +1,113 @@
+package skiplist
+
+import (
+	"testing"
+
+	"mirror/internal/engine"
+	"mirror/internal/structures"
+)
+
+// These white-box tests stage a stalled delete (marked next pointers with
+// the node still physically linked) and verify the compaction and helping
+// behavior of the public operations.
+
+func newWB(t *testing.T) (engine.Engine, *engine.Ctx, *SkipList) {
+	t.Helper()
+	e := engine.New(engine.Config{Kind: engine.MirrorDRAM, Words: 1 << 18, Track: true})
+	c := e.NewCtx()
+	return e, c, New(e, c)
+}
+
+// plantMarks marks every level of key's node top-down, as a delete does,
+// but performs no unlinking — the state after a deleter stalls between its
+// linearization and its cleanup search.
+func plantMarks(e engine.Engine, c *engine.Ctx, s *SkipList, key uint64) {
+	var preds, succs [MaxLevel]engine.Ref
+	s.search(c, key, &preds, &succs)
+	node := succs[0]
+	if node == 0 || e.Load(c, node, fKey) != key {
+		panic("plantMarks: key not found")
+	}
+	top := int(e.Load(c, node, fTop))
+	for i := top - 1; i >= 0; i-- {
+		for {
+			next := e.Load(c, node, fNext+i)
+			if structures.Marked(next) {
+				break
+			}
+			if e.CAS(c, node, fNext+i, next, structures.Mark(next)) {
+				break
+			}
+		}
+	}
+}
+
+func TestMarkedNodeIsAbsent(t *testing.T) {
+	e, c, s := newWB(t)
+	for k := uint64(1); k <= 20; k++ {
+		s.Insert(c, k, k)
+	}
+	plantMarks(e, c, s, 10)
+	if s.Contains(c, 10) {
+		t.Fatal("marked node reported present")
+	}
+	for k := uint64(1); k <= 20; k++ {
+		if k != 10 && !s.Contains(c, k) {
+			t.Fatalf("unrelated key %d lost", k)
+		}
+	}
+}
+
+func TestSearchCompactsMarkedNode(t *testing.T) {
+	e, c, s := newWB(t)
+	for k := uint64(1); k <= 20; k++ {
+		s.Insert(c, k, k)
+	}
+	plantMarks(e, c, s, 10)
+	// A search through the region must physically excise the marked node.
+	var preds, succs [MaxLevel]engine.Ref
+	s.search(c, 10, &preds, &succs)
+	if succs[0] != 0 && e.Load(c, succs[0], fKey) == 10 {
+		t.Fatal("search did not compact the marked node at level 0")
+	}
+	// Re-insert must now succeed.
+	if !s.Insert(c, 10, 99) {
+		t.Fatal("re-insert after compaction failed")
+	}
+	if v, ok := s.Get(c, 10); !ok || v != 99 {
+		t.Fatalf("Get = (%d,%v), want (99,true)", v, ok)
+	}
+}
+
+func TestDeleteOfMarkedNodeReportsAbsent(t *testing.T) {
+	e, c, s := newWB(t)
+	s.Insert(c, 5, 5)
+	plantMarks(e, c, s, 5)
+	if s.Delete(c, 5) {
+		t.Fatal("delete of already-marked node should report absent")
+	}
+	if s.Len(c) != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len(c))
+	}
+}
+
+func TestRandomLevelDistribution(t *testing.T) {
+	s := &SkipList{}
+	s.seed.Store(12345)
+	counts := make([]int, MaxLevel+1)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		l := s.randomLevel()
+		if l < 1 || l > MaxLevel {
+			t.Fatalf("level %d out of range", l)
+		}
+		counts[l]++
+	}
+	// Geometric p=1/2: level 1 about half, each next roughly halving.
+	if counts[1] < n/3 || counts[1] > 2*n/3 {
+		t.Errorf("level-1 fraction %d/%d far from 1/2", counts[1], n)
+	}
+	if counts[2] > counts[1] || counts[3] > counts[2] {
+		t.Error("level frequencies not decreasing")
+	}
+}

@@ -1,0 +1,261 @@
+// Package workload generates and drives the benchmark workloads of §6.1:
+// uniform random keys over a range [1, r], structures prefilled with r/2
+// keys, and operation mixes covering YCSB-A/B/C plus the 80/10/10
+// lookup/insert/delete mix used in most figures.
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mix is an operation mix in per-mille (so 95.5% reads is representable).
+type Mix struct {
+	ReadPM   int
+	InsertPM int
+	DeletePM int
+}
+
+func (m Mix) validate() {
+	if m.ReadPM+m.InsertPM+m.DeletePM != 1000 {
+		panic(fmt.Sprintf("workload: mix %+v does not sum to 1000 per-mille", m))
+	}
+}
+
+// String renders the mix as the paper writes it.
+func (m Mix) String() string {
+	return fmt.Sprintf("%g%%r/%g%%i/%g%%d",
+		float64(m.ReadPM)/10, float64(m.InsertPM)/10, float64(m.DeletePM)/10)
+}
+
+// The standard mixes of §6.1.
+var (
+	// Mix801010 is 80% lookups, 10% inserts, 10% deletes.
+	Mix801010 = Mix{800, 100, 100}
+	// YCSBA is 50% reads, updates split between inserts and deletes.
+	YCSBA = Mix{500, 250, 250}
+	// YCSBB is 95% reads.
+	YCSBB = Mix{950, 25, 25}
+	// YCSBC is read-only.
+	YCSBC = Mix{1000, 0, 0}
+)
+
+// UpdateMix returns the mix with the given percentage of updates (split
+// evenly between inserts and deletes), as used in the update sweeps.
+func UpdateMix(updatePct int) Mix {
+	u := updatePct * 10
+	return Mix{1000 - u, u / 2, u - u/2}
+}
+
+// Worker is one thread's handle onto the structure under test. Adapters
+// wrap each structure+engine combination.
+type Worker interface {
+	Insert(key, val uint64) bool
+	Delete(key uint64) bool
+	Contains(key uint64) bool
+}
+
+// Target is a freshly built structure under test.
+type Target struct {
+	Name string
+	// NewWorker creates a per-thread handle; called once per thread.
+	NewWorker func() Worker
+	// SortedPrefill requests descending-key prefill order, which keeps
+	// sorted-list insertion O(1) per key. Leave it false for trees: a
+	// sorted prefill degenerates an unbalanced BST into a path.
+	SortedPrefill bool
+}
+
+// Spec describes one benchmark run.
+type Spec struct {
+	KeyRange uint64        // keys drawn uniformly from [1, KeyRange]
+	Mix      Mix           // operation mix
+	Threads  int           // concurrent workers
+	Duration time.Duration // measurement window
+	Seed     int64         // base PRNG seed
+	// SampleLatency, when nonzero, times every n-th operation so the
+	// Result carries latency percentiles (sampling keeps the timer
+	// overhead out of the measured throughput).
+	SampleLatency int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Ops     uint64 // total completed operations
+	Reads   uint64
+	Inserts uint64
+	Deletes uint64
+	Elapsed time.Duration
+
+	// Latencies holds the sampled per-operation latencies, sorted,
+	// when Spec.SampleLatency was set.
+	Latencies []time.Duration
+}
+
+// Percentile returns the p-th latency percentile (p in [0,100]) from the
+// sampled latencies, or 0 if sampling was off.
+func (r Result) Percentile(p float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(r.Latencies)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(r.Latencies) {
+		idx = len(r.Latencies) - 1
+	}
+	return r.Latencies[idx]
+}
+
+// MopsPerSec returns throughput in million operations per second, the unit
+// of every figure in the paper.
+func (r Result) MopsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+// splitmix64 advances and hashes a PRNG state.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// PrefillHalf inserts half of the key range (a deterministic pseudo-random
+// half, matching "initialized with r/2 keys"). It uses a single worker;
+// prefill correctness does not depend on concurrency.
+//
+// Key order: targets with SortedPrefill get descending keys (O(1) per
+// sorted-list insertion); everything else gets bit-reversed key order,
+// which spreads insertions uniformly across the key space so external BSTs
+// come out balanced and allocation patterns are realistic.
+func PrefillHalf(t Target, keyRange uint64, seed int64) int {
+	w := t.NewWorker()
+	n := 0
+	state := uint64(seed) ^ 0xabcdef12345
+	insert := func(key uint64) {
+		s := state ^ key*0x9e3779b97f4a7c15
+		if splitmix64(&s)&1 == 0 {
+			if w.Insert(key, key) {
+				n++
+			}
+		}
+	}
+	if t.SortedPrefill {
+		for key := keyRange; key >= 1; key-- {
+			insert(key)
+		}
+		return n
+	}
+	width := bits.Len64(keyRange)
+	for i := uint64(0); i < 1<<width; i++ {
+		key := bits.Reverse64(i) >> (64 - width)
+		if key >= 1 && key <= keyRange {
+			insert(key)
+		}
+	}
+	return n
+}
+
+// Run drives the workload and reports throughput. Every thread uses an
+// independent PRNG; operations are chosen per the mix and keys uniformly
+// from the range.
+func Run(t Target, spec Spec) Result {
+	spec.Mix.validate()
+	if spec.Threads <= 0 {
+		panic("workload: need at least one thread")
+	}
+	if spec.KeyRange == 0 {
+		panic("workload: empty key range")
+	}
+	var stop atomic.Bool
+	yield := spec.Threads > runtime.GOMAXPROCS(0)
+	counts := make([][4]uint64, spec.Threads) // ops, reads, inserts, deletes
+	samples := make([][]time.Duration, spec.Threads)
+	var wg sync.WaitGroup
+	var ready sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < spec.Threads; i++ {
+		wg.Add(1)
+		ready.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := t.NewWorker()
+			state := uint64(spec.Seed)*0x9e3779b97f4a7c15 + uint64(id+1)*0x123456789
+			ready.Done()
+			<-start
+			var ops, reads, inserts, deletes uint64
+			var lats []time.Duration
+			for !stop.Load() {
+				r := splitmix64(&state)
+				key := r%spec.KeyRange + 1
+				op := int((r >> 32) % 1000)
+				var t0 time.Time
+				timed := spec.SampleLatency > 0 && ops%uint64(spec.SampleLatency) == 0
+				if timed {
+					t0 = time.Now()
+				}
+				switch {
+				case op < spec.Mix.ReadPM:
+					w.Contains(key)
+					reads++
+				case op < spec.Mix.ReadPM+spec.Mix.InsertPM:
+					w.Insert(key, key)
+					inserts++
+				default:
+					w.Delete(key)
+					deletes++
+				}
+				if timed {
+					lats = append(lats, time.Since(t0))
+				}
+				ops++
+				if yield {
+					// With more workers than cores, a descheduled
+					// worker parks mid-operation for a whole scheduler
+					// quantum, pinning the reclamation epoch (classic
+					// EBR oversubscription starvation). Yielding at
+					// operation boundaries restores op-granular
+					// interleaving, as hardware threads would have.
+					runtime.Gosched()
+				}
+			}
+			counts[id] = [4]uint64{ops, reads, inserts, deletes}
+			samples[id] = lats
+		}(i)
+	}
+	ready.Wait()
+	begin := time.Now()
+	close(start)
+	time.Sleep(spec.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(begin)
+	var res Result
+	for _, c := range counts {
+		res.Ops += c[0]
+		res.Reads += c[1]
+		res.Inserts += c[2]
+		res.Deletes += c[3]
+	}
+	res.Elapsed = elapsed
+	if spec.SampleLatency > 0 {
+		for _, s := range samples {
+			res.Latencies = append(res.Latencies, s...)
+		}
+		sort.Slice(res.Latencies, func(i, j int) bool {
+			return res.Latencies[i] < res.Latencies[j]
+		})
+	}
+	return res
+}

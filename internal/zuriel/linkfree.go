@@ -1,0 +1,295 @@
+package zuriel
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"mirror/internal/palloc"
+	"mirror/internal/pmem"
+)
+
+// Link-Free node layout (4 words on NVMM).
+const (
+	lfKey  = 0
+	lfVal  = 1
+	lfMeta = 2
+	lfNext = 3
+	lfSize = 4
+)
+
+// lfHeadSlot is the device offset of the list head (single-list mode).
+const lfHeadSlot = 8
+
+// LinkFree is Zuriel et al.'s Link-Free durable set: one node per element
+// on NVMM, pointers never flushed, one flush+fence per update.
+type LinkFree struct {
+	dev     *pmem.Device
+	buckets int // 0 = single list
+
+	mu    sync.Mutex
+	alloc *palloc.Allocator
+	recl  *palloc.Reclaimer
+}
+
+// NewLinkFree creates a Link-Free set (a list, or a hash table when
+// cfg.Buckets is a power of two).
+func NewLinkFree(cfg Config) *LinkFree {
+	cfg.setDefaults()
+	if cfg.Buckets < 0 || (cfg.Buckets > 0 && cfg.Buckets&(cfg.Buckets-1) != 0) {
+		panic("zuriel: bucket count must be a power of two")
+	}
+	model := pmem.NoLatency()
+	if cfg.Latency {
+		model = pmem.NVMMModel()
+	}
+	s := &LinkFree{
+		dev: pmem.New(pmem.Config{
+			Name: "LinkFree", Words: cfg.Words,
+			Persistent: true, Track: cfg.Track, Model: model,
+		}),
+		buckets: cfg.Buckets,
+	}
+	s.initVolatile()
+	return s
+}
+
+// initVolatile (re)creates the allocator, reclaimer, and bucket slots; the
+// head slots themselves are volatile data (never flushed).
+func (s *LinkFree) initVolatile() {
+	base := uint64(lfHeadSlot + 8)
+	if s.buckets > 0 {
+		base = uint64(lfHeadSlot + s.buckets)
+		base = (base + palloc.AlignWords - 1) &^ (palloc.AlignWords - 1)
+	}
+	s.alloc = palloc.New(palloc.Config{Base: base, End: uint64(s.dev.Size())})
+	s.recl = palloc.NewReclaimer()
+	n := 1
+	if s.buckets > 0 {
+		n = s.buckets
+	}
+	for i := 0; i < n; i++ {
+		s.dev.WriteRaw(uint64(lfHeadSlot+i), 0)
+	}
+}
+
+// Name implements Set.
+func (s *LinkFree) Name() string {
+	if s.buckets > 0 {
+		return "LinkFree-hash"
+	}
+	return "LinkFree"
+}
+
+// NewCtx implements Set.
+func (s *LinkFree) NewCtx() *Ctx {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Ctx{p: palloc.NewCache(s.alloc, s.recl)}
+}
+
+func (s *LinkFree) headSlot(key uint64) uint64 {
+	if s.buckets == 0 {
+		return lfHeadSlot
+	}
+	idx := (key * 11400714819323198485) >> (64 - uint(bitsLen(s.buckets)))
+	return uint64(lfHeadSlot) + idx
+}
+
+func bitsLen(pow2 int) int {
+	n := 0
+	for v := pow2; v > 1; v >>= 1 {
+		n++
+	}
+	return n
+}
+
+// flushNode persists a node's content line(s) and fences.
+func (s *LinkFree) flushNode(c *Ctx, node uint64) {
+	s.dev.Flush(&c.fs, node)
+	s.dev.Fence(&c.fs)
+}
+
+// persistDelete moves a marked node's state to deleted and persists it;
+// idempotent, called by the deleter and by helpers that observe the mark.
+func (s *LinkFree) persistDelete(c *Ctx, node uint64) {
+	meta := s.dev.Load(node + lfMeta)
+	if meta&stateMask != stateDeleted {
+		s.dev.CAS(node+lfMeta, meta, meta&^stateMask|stateDeleted)
+	}
+	s.flushNode(c, node)
+}
+
+// find locates key in the bucket list: predSlot is the word holding the
+// reference to curr; curr is the first node with key' >= key, or 0. Marked
+// nodes are persisted (helping) and unlinked on the way.
+func (s *LinkFree) find(c *Ctx, key uint64) (predSlot, curr uint64) {
+retry:
+	for {
+		predSlot = s.headSlot(key)
+		curr = unmark(s.dev.Load(predSlot))
+		for curr != 0 {
+			next := s.dev.Load(curr + lfNext)
+			if marked(next) {
+				s.persistDelete(c, curr)
+				if !s.dev.CAS(predSlot, curr, unmark(next)) {
+					continue retry
+				}
+				c.p.Retire(curr, lfSize)
+				curr = unmark(next)
+				continue
+			}
+			if s.dev.Load(curr+lfKey) >= key {
+				return predSlot, curr
+			}
+			predSlot = curr + lfNext
+			curr = unmark(next)
+		}
+		return predSlot, 0
+	}
+}
+
+// rollback invalidates and frees a node whose insert lost its race, so a
+// later heap scan cannot resurrect it.
+func (s *LinkFree) rollback(c *Ctx, node uint64) {
+	s.dev.Store(node+lfMeta, stateInvalid)
+	s.flushNode(c, node)
+	c.p.Free(node, lfSize)
+}
+
+// Insert implements Set. The node is fully persisted *before* it is
+// linked, so a linked node never needs helping.
+func (s *LinkFree) Insert(c *Ctx, key, val uint64) bool {
+	c.p.Enter()
+	defer c.p.Exit()
+	var node uint64
+	for {
+		predSlot, curr := s.find(c, key)
+		if curr != 0 && s.dev.Load(curr+lfKey) == key {
+			if node != 0 {
+				s.rollback(c, node)
+			}
+			return false
+		}
+		if node == 0 {
+			node = c.p.Alloc(lfSize)
+			s.dev.Store(node+lfKey, key)
+			s.dev.Store(node+lfVal, val)
+			s.dev.Store(node+lfMeta, metaFor(stateInserted, key, val))
+			s.flushNode(c, node) // the one persistence barrier per insert
+		}
+		s.dev.Store(node+lfNext, curr) // pointer: never flushed
+		if s.dev.CAS(predSlot, curr, node) {
+			return true
+		}
+	}
+}
+
+// Delete implements Set. The mark CAS is the linearization point; the
+// deleted state is persisted before the operation returns.
+func (s *LinkFree) Delete(c *Ctx, key uint64) bool {
+	c.p.Enter()
+	defer c.p.Exit()
+	for {
+		predSlot, curr := s.find(c, key)
+		if curr == 0 || s.dev.Load(curr+lfKey) != key {
+			return false
+		}
+		next := s.dev.Load(curr + lfNext)
+		if marked(next) {
+			continue // a racing delete wins; find will help persist it
+		}
+		if !s.dev.CAS(curr+lfNext, next, next|markBit) {
+			continue
+		}
+		s.persistDelete(c, curr)
+		if s.dev.CAS(predSlot, curr, next) {
+			c.p.Retire(curr, lfSize)
+		}
+		return true
+	}
+}
+
+// Contains implements Set.
+func (s *LinkFree) Contains(c *Ctx, key uint64) bool {
+	_, ok := s.Get(c, key)
+	return ok
+}
+
+// Get implements Set: a no-flush traversal unless it must help persist an
+// in-flight deletion its answer depends on.
+func (s *LinkFree) Get(c *Ctx, key uint64) (uint64, bool) {
+	c.p.Enter()
+	defer c.p.Exit()
+	curr := unmark(s.dev.Load(s.headSlot(key)))
+	for curr != 0 {
+		k := s.dev.Load(curr + lfKey)
+		next := s.dev.Load(curr + lfNext)
+		if k >= key {
+			if k != key {
+				return 0, false
+			}
+			if marked(next) {
+				// Result depends on an unpersisted delete: help first.
+				s.persistDelete(c, curr)
+				return 0, false
+			}
+			return s.dev.Load(curr + lfVal), true
+		}
+		curr = unmark(next)
+	}
+	return 0, false
+}
+
+// Freeze implements Set.
+func (s *LinkFree) Freeze() { s.dev.Freeze() }
+
+// Crash implements Set.
+func (s *LinkFree) Crash(policy pmem.CrashPolicy, rng *rand.Rand) {
+	s.dev.Freeze()
+	s.dev.Crash(policy, rng)
+}
+
+// Recover implements Set: sweep the node heap for checksum-valid inserted
+// nodes, then rebuild the structure from scratch with fresh allocator
+// state — Zuriel's recovery, which is what makes not persisting pointers
+// sound. Idempotent: a crash during recovery re-scans both old and
+// re-inserted nodes and deduplicates by key.
+func (s *LinkFree) Recover() {
+	s.mu.Lock()
+	frontier := s.alloc.Frontier()
+	base := s.alloc.Base()
+	s.mu.Unlock()
+	type kv struct{ key, val uint64 }
+	var live []kv
+	seen := make(map[uint64]bool)
+	for off := base; off+lfSize <= frontier; off += lfSize {
+		key := s.dev.ReadRaw(off + lfKey)
+		val := s.dev.ReadRaw(off + lfVal)
+		meta := s.dev.ReadRaw(off + lfMeta)
+		if metaState(meta, key, val) == stateInserted && !seen[key] {
+			seen[key] = true
+			live = append(live, kv{key, val})
+		}
+	}
+	// Sanitize the old heap so stale valid-looking nodes beyond the fresh
+	// allocator's frontier can never be resurrected by a later scan.
+	for off := base; off < frontier; off++ {
+		s.dev.WriteRaw(off, 0)
+	}
+	s.dev.PersistRange(base, int(frontier-base))
+	s.mu.Lock()
+	s.initVolatile()
+	s.mu.Unlock()
+	c := s.NewCtx()
+	for _, e := range live {
+		if !s.Insert(c, e.key, e.val) {
+			panic(fmt.Sprintf("zuriel: duplicate key %d during recovery re-insert", e.key))
+		}
+	}
+}
+
+// Counters implements Set.
+func (s *LinkFree) Counters() (uint64, uint64) { return s.dev.Counters() }
+
+var _ Set = (*LinkFree)(nil)

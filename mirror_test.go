@@ -1,0 +1,191 @@
+package mirror
+
+import (
+	"sync"
+	"testing"
+
+	"mirror/internal/dwcas"
+)
+
+func TestRuntimeDefaults(t *testing.T) {
+	rt := New(Options{})
+	if rt.Kind() != MirrorDRAM {
+		t.Errorf("default kind = %v, want MirrorDRAM", rt.Kind())
+	}
+}
+
+func TestAllStructuresOneRuntime(t *testing.T) {
+	rt := New(Options{})
+	c := rt.NewCtx()
+	sets := []Set{
+		rt.NewList(c),
+		rt.NewHashTable(c, 64),
+		rt.NewBST(c),
+		rt.NewSkipList(c),
+	}
+	for i, s := range sets {
+		key := uint64(100 + i)
+		if !s.Insert(c, key, key*2) {
+			t.Fatalf("%s: insert failed", s.Name())
+		}
+		if v, ok := s.Get(c, key); !ok || v != key*2 {
+			t.Fatalf("%s: Get = (%d,%v)", s.Name(), v, ok)
+		}
+	}
+	// Structures are independent.
+	if sets[0].Contains(c, 101) {
+		t.Error("list sees the hash table's key")
+	}
+}
+
+func TestCrashRecoverAllStructures(t *testing.T) {
+	rt := New(Options{})
+	c := rt.NewCtx()
+	sets := []Set{
+		rt.NewList(c),
+		rt.NewHashTable(c, 64),
+		rt.NewBST(c),
+		rt.NewSkipList(c),
+	}
+	for i, s := range sets {
+		for k := uint64(1); k <= 50; k++ {
+			s.Insert(c, k*10+uint64(i), k)
+		}
+		for k := uint64(1); k <= 50; k += 2 {
+			s.Delete(c, k*10+uint64(i))
+		}
+	}
+	rt.Crash(CrashDropAll, 1)
+	rt.Recover()
+	c = rt.NewCtx()
+	for i, s := range sets {
+		for k := uint64(1); k <= 50; k++ {
+			want := k%2 == 0
+			if got := s.Contains(c, k*10+uint64(i)); got != want {
+				t.Fatalf("%s key %d: %v, want %v", s.Name(), k*10+uint64(i), got, want)
+			}
+		}
+		// Fully operational post-recovery.
+		if !s.Insert(c, 7777, 1) || !s.Delete(c, 7777) {
+			t.Fatalf("%s not operational after recovery", s.Name())
+		}
+	}
+}
+
+func TestBaselineEnginesThroughSameAPI(t *testing.T) {
+	for _, kind := range []Kind{OrigDRAM, OrigNVMM, Izraelevitz, NVTraverse, MirrorNVMM} {
+		rt := New(Options{Kind: kind})
+		c := rt.NewCtx()
+		s := rt.NewBST(c)
+		if !s.Insert(c, 5, 50) || !s.Contains(c, 5) {
+			t.Errorf("%v: basic ops failed", kind)
+		}
+	}
+}
+
+func TestConcurrentUseThroughFacade(t *testing.T) {
+	rt := New(Options{})
+	c0 := rt.NewCtx()
+	s := rt.NewHashTable(c0, 256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := rt.NewCtx()
+			base := uint64(w*100 + 1)
+			for i := uint64(0); i < 100; i++ {
+				s.Insert(c, base+i, base+i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k := uint64(1); k <= 800; k++ {
+		if !s.Contains(c0, k) {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+}
+
+func TestCountersExposed(t *testing.T) {
+	rt := New(Options{})
+	c := rt.NewCtx()
+	s := rt.NewList(c)
+	s.Insert(c, 1, 1)
+	if fl, fe := rt.Counters(); fl == 0 || fe == 0 {
+		t.Errorf("Counters = (%d,%d), want nonzero", fl, fe)
+	}
+}
+
+func TestQueueThroughFacade(t *testing.T) {
+	rt := New(Options{})
+	c := rt.NewCtx()
+	q := rt.NewQueue(c)
+	for v := uint64(1); v <= 20; v++ {
+		q.Enqueue(c, v)
+	}
+	for v := uint64(1); v <= 5; v++ {
+		q.Dequeue(c)
+	}
+	rt.Crash(CrashDropAll, 3)
+	rt.Recover()
+	c = rt.NewCtx()
+	for v := uint64(6); v <= 20; v++ {
+		got, ok := q.Dequeue(c)
+		if !ok || got != v {
+			t.Fatalf("after recovery Dequeue = (%d,%v), want (%d,true)", got, ok, v)
+		}
+	}
+	if _, ok := q.Dequeue(c); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestFallbackDWCASEndToEnd runs a full concurrent crash/recovery cycle
+// with the portable seqlock DWCAS emulation, covering non-amd64 platforms'
+// code path on this host.
+func TestFallbackDWCASEndToEnd(t *testing.T) {
+	dwcas.SetFallback(true)
+	defer dwcas.SetFallback(false)
+	rt := New(Options{})
+	c0 := rt.NewCtx()
+	s := rt.NewHashTable(c0, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := rt.NewCtx()
+			base := uint64(w*200 + 1)
+			for i := uint64(0); i < 200; i++ {
+				s.Insert(c, base+i, base+i)
+			}
+			for i := uint64(0); i < 200; i += 2 {
+				s.Delete(c, base+i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	rt.Crash(CrashRandom, 11)
+	rt.Recover()
+	c := rt.NewCtx()
+	for k := uint64(1); k <= 800; k++ {
+		want := (k-1)%2 == 1
+		if got := s.Contains(c, k); got != want {
+			t.Fatalf("fallback path: key %d = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestTooManyStructuresPanics(t *testing.T) {
+	rt := New(Options{})
+	c := rt.NewCtx()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic after exhausting root fields")
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		rt.NewList(c)
+	}
+}
