@@ -19,9 +19,83 @@ import (
 	"mirror/internal/dwcas"
 	"mirror/internal/engine"
 	"mirror/internal/harness"
+	"mirror/internal/pmem"
 	"mirror/internal/structures/queue"
 	"mirror/internal/workload"
 )
+
+// Substrate microbenchmarks: the simulated-device fast path must disappear
+// from profiles for the engine comparisons above to mean anything. Load is
+// the zero-read-overhead claim in miniature — one inlined gate compare and
+// the atomic word read; Store adds the sequentially-consistent store
+// (XCHG), which is the hardware floor. Run with:
+//
+//	go test -bench BenchmarkDevice -benchmem
+
+func newBenchDevice() *pmem.Device {
+	return pmem.New(pmem.Config{Name: "bench", Words: 1 << 16})
+}
+
+func BenchmarkDeviceFastPathLoad(b *testing.B) {
+	d := newBenchDevice()
+	d.Store(1, 42)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += d.Load(uint64(i&0xfff) + 1)
+	}
+	benchSink = sink
+}
+
+func BenchmarkDeviceFastPathStore(b *testing.B) {
+	d := newBenchDevice()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Store(uint64(i&0xfff)+1, uint64(i))
+	}
+}
+
+func BenchmarkDeviceFastPathLoadStore(b *testing.B) {
+	d := newBenchDevice()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := uint64(i&0xfff) + 1
+		d.Store(off, d.Load(off)+1)
+	}
+}
+
+func BenchmarkDeviceFastPathLoadParallel(b *testing.B) {
+	d := newBenchDevice()
+	for off := uint64(1); off <= 1<<12; off++ {
+		d.Store(off, off)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		var sink, i uint64
+		for pb.Next() {
+			sink += d.Load(i&0xfff + 1)
+			i++
+		}
+		benchSink = sink
+	})
+}
+
+func BenchmarkDeviceFlushFence(b *testing.B) {
+	d := pmem.New(pmem.Config{Name: "bench", Words: 1 << 16, Persistent: true, Track: true})
+	b.RunParallel(func(pb *testing.PB) {
+		var fs pmem.FlushSet
+		var i uint64
+		for pb.Next() {
+			off := i&0xfff + 1
+			d.Store(off, i)
+			d.Flush(&fs, off)
+			d.Fence(&fs)
+			i++
+		}
+	})
+}
+
+// benchSink defeats dead-code elimination of benchmark loads.
+var benchSink uint64
 
 // benchOptions keeps panel benchmarks quick while preserving competitor
 // ratios: a short window, one mid-size thread point, heavy size scaling.

@@ -8,6 +8,8 @@
 //	mirrorbench -panel fig6a          # run one panel
 //	mirrorbench -all                  # run everything (slow)
 //	mirrorbench -panel fig6d -duration 2s -scale 32 -threads 1,2,4,8,16
+//	mirrorbench -json BENCH_1.json    # machine-readable engine×structure matrix
+//	mirrorbench -checkjson BENCH_1.json  # re-parse and validate a report
 //
 // Absolute numbers depend on the host; the shape — who wins, by what
 // factor, where the crossovers fall — is what reproduces the paper.
@@ -21,8 +23,34 @@ import (
 	"strings"
 	"time"
 
+	"mirror/internal/engine"
 	"mirror/internal/harness"
 )
+
+// parseEngines maps comma-separated engine display names (as printed in the
+// paper's legends: OrigDRAM, OrigNVMM, Izraelevitz, NVTraverse, Mirror,
+// MirrorNVMM) to kinds; empty means all.
+func parseEngines(s string) ([]engine.Kind, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var kinds []engine.Kind
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		found := false
+		for _, k := range engine.Kinds() {
+			if strings.EqualFold(k.String(), name) {
+				kinds = append(kinds, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown engine %q", name)
+		}
+	}
+	return kinds, nil
+}
 
 func main() {
 	var (
@@ -33,12 +61,32 @@ func main() {
 		scale    = flag.Int("scale", 32, "divisor for the paper's 8M/32M structure sizes")
 		threads  = flag.String("threads", "1,2,4,8,16", "comma-separated thread sweep")
 		noLat    = flag.Bool("nolatency", false, "disable the DRAM/NVMM latency models")
+		fast     = flag.Bool("fast", false, "alias for -nolatency: measure raw substrate speed")
 		seed     = flag.Int64("seed", 1, "workload PRNG seed")
 		space    = flag.String("space", "", "print the per-engine memory footprint for a structure (list|hashtable|bst|skiplist)")
 		chart    = flag.Bool("chart", false, "render panels as ASCII charts as well")
 		recovery = flag.Bool("recovery", false, "measure crash-recovery time by engine and size")
+		jsonOut  = flag.String("json", "", "run the engine×structure benchmark matrix and write it to this file")
+		checkIn  = flag.String("checkjson", "", "parse and validate a BENCH_<n>.json report, then exit")
+		structsF = flag.String("structures", "", "comma-separated structure filter for -json (list,hashtable,bst,skiplist)")
+		enginesF = flag.String("engines", "", "comma-separated engine filter for -json (e.g. Mirror,NVTraverse)")
 	)
 	flag.Parse()
+
+	if *checkIn != "" {
+		data, err := os.ReadFile(*checkIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mirrorbench: %v\n", err)
+			os.Exit(1)
+		}
+		r, err := harness.ParseReport(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mirrorbench: %s: %v\n", *checkIn, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok (%d points, schema %s)\n", *checkIn, len(r.Points), r.Schema)
+		return
+	}
 
 	if *space != "" {
 		fmt.Print(harness.MeasureSpace(*space, 10000).Format())
@@ -59,7 +107,7 @@ func main() {
 	opts := harness.Options{
 		Duration: *duration,
 		Scale:    *scale,
-		Latency:  !*noLat,
+		Latency:  !*noLat && !*fast,
 		Seed:     *seed,
 	}
 	for _, part := range strings.Split(*threads, ",") {
@@ -69,6 +117,32 @@ func main() {
 			os.Exit(2)
 		}
 		opts.Threads = append(opts.Threads, n)
+	}
+
+	if *jsonOut != "" {
+		var structs []string
+		if *structsF != "" {
+			for _, part := range strings.Split(*structsF, ",") {
+				structs = append(structs, strings.TrimSpace(part))
+			}
+		}
+		kinds, err := parseEngines(*enginesF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mirrorbench: %v\n", err)
+			os.Exit(2)
+		}
+		report := harness.RunBenchMatrix(opts, structs, kinds, opts.Threads)
+		data, err := harness.MarshalReport(report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mirrorbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mirrorbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d points)\n", *jsonOut, len(report.Points))
+		return
 	}
 
 	fmt.Println(harness.EnvironmentNote())

@@ -1,0 +1,9 @@
+package crashtest
+
+import "mirror/internal/pmem"
+
+// The crash harness is the densest source of FlushSet recycling across
+// crash generations, so its tests run with the pmem misuse assertions on:
+// any context reused across a crash iteration without Reset, or shared
+// between goroutines, panics instead of silently corrupting a run.
+func init() { pmem.EnableDebugChecks() }

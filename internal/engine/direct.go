@@ -235,6 +235,9 @@ func (e *directEngine) Counters() (uint64, uint64) {
 	return e.dev.Counters()
 }
 
+// Stats reports zeros: the direct engines have no help protocol.
+func (e *directEngine) Stats() (uint64, uint64) { return 0, 0 }
+
 func (e *directEngine) Footprint() (uint64, int) {
 	return e.alloc.LiveWords(), 1
 }

@@ -166,6 +166,10 @@ type Engine interface {
 	// Counters reports cumulative flush and fence counts across all
 	// devices (for the ablation benchmarks).
 	Counters() (flushes, fences uint64)
+	// Stats reports the Mirror protocol's cumulative help completions and
+	// restarts (patomic.Mem.Stats); engines without a help protocol
+	// report zeros.
+	Stats() (helps, retries uint64)
 	// Footprint reports the live allocated words (in the engine's cell
 	// layout) and how many device replicas hold them, so total memory is
 	// words × replicas × 8 bytes — the space-overhead account of §6.2.5.

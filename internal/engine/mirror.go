@@ -169,6 +169,10 @@ func (e *mirrorEngine) RecoveryLoad(ref Ref, field int) uint64 {
 	return e.mem.P.ReadRaw(e.cellAddr(ref, field))
 }
 
+func (e *mirrorEngine) Stats() (uint64, uint64) {
+	return e.mem.Stats()
+}
+
 func (e *mirrorEngine) Counters() (uint64, uint64) {
 	f1, n1 := e.mem.P.Counters()
 	f2, n2 := e.mem.V.Counters()

@@ -82,43 +82,52 @@ func bucketsFor(keyRange int) int {
 	return b
 }
 
+// buildEngineTarget constructs one structure under one engine and returns
+// both the workload target and the engine itself, so callers that need the
+// engine's counters and protocol statistics (the JSON benchmark matrix) can
+// read them around a run.
+func buildEngineTarget(kind engine.Kind, structure string, o Options, keyRange int) (workload.Target, engine.Engine) {
+	e := engine.New(engine.Config{
+		Kind:    kind,
+		Words:   deviceWords(structure, kind, keyRange),
+		Latency: o.Latency,
+		Track:   false, // benchmarks never crash
+	})
+	setup := e.NewCtx()
+	var mk func(c *engine.Ctx) structures.Set
+	switch structure {
+	case StList:
+		l := list.New(e, 0)
+		mk = func(*engine.Ctx) structures.Set { return l }
+	case StHash:
+		h := hashtable.New(e, setup, bucketsFor(keyRange))
+		mk = func(*engine.Ctx) structures.Set { return h }
+	case StBST:
+		b := bst.New(e, setup)
+		mk = func(*engine.Ctx) structures.Set { return b }
+	case StSkipList:
+		s := skiplist.New(e, setup)
+		mk = func(*engine.Ctx) structures.Set { return s }
+	default:
+		panic("harness: unknown structure " + structure)
+	}
+	return workload.Target{
+		Name:          fmt.Sprintf("%s/%s", structure, kind),
+		SortedPrefill: structure == StList,
+		NewWorker: func() workload.Worker {
+			c := e.NewCtx()
+			return &engineWorker{set: mk(c), e: e, c: c}
+		},
+	}, e
+}
+
 // engineCompetitor builds one structure under one engine.
 func engineCompetitor(kind engine.Kind, structure string) Competitor {
 	return Competitor{
 		Label: kind.String(),
 		Make: func(o Options, keyRange int) workload.Target {
-			e := engine.New(engine.Config{
-				Kind:    kind,
-				Words:   deviceWords(structure, kind, keyRange),
-				Latency: o.Latency,
-				Track:   false, // benchmarks never crash
-			})
-			setup := e.NewCtx()
-			var mk func(c *engine.Ctx) structures.Set
-			switch structure {
-			case StList:
-				l := list.New(e, 0)
-				mk = func(*engine.Ctx) structures.Set { return l }
-			case StHash:
-				h := hashtable.New(e, setup, bucketsFor(keyRange))
-				mk = func(*engine.Ctx) structures.Set { return h }
-			case StBST:
-				b := bst.New(e, setup)
-				mk = func(*engine.Ctx) structures.Set { return b }
-			case StSkipList:
-				s := skiplist.New(e, setup)
-				mk = func(*engine.Ctx) structures.Set { return s }
-			default:
-				panic("harness: unknown structure " + structure)
-			}
-			return workload.Target{
-				Name:          fmt.Sprintf("%s/%s", structure, kind),
-				SortedPrefill: structure == StList,
-				NewWorker: func() workload.Worker {
-					c := e.NewCtx()
-					return &engineWorker{set: mk(c), e: e, c: c}
-				},
-			}
+			t, _ := buildEngineTarget(kind, structure, o, keyRange)
+			return t
 		},
 	}
 }

@@ -1,0 +1,186 @@
+package harness
+
+// This file produces the machine-readable benchmark trajectory of the
+// repository: a BenchReport is the full engine × structure × thread-count
+// throughput matrix together with the persistence-instruction counters and
+// the Mirror protocol's help/retry statistics for each point. cmd/mirrorbench
+// writes one as BENCH_<n>.json; CI re-parses the committed file so the
+// format cannot rot.
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+
+	"mirror/internal/engine"
+	"mirror/internal/workload"
+)
+
+// BenchSchema identifies the report format; bump it on breaking changes.
+const BenchSchema = "mirror-bench/1"
+
+// BenchPoint is one measured cell of the matrix.
+type BenchPoint struct {
+	Structure string  `json:"structure"`
+	Engine    string  `json:"engine"`
+	Threads   int     `json:"threads"`
+	KeyRange  int     `json:"key_range"`
+	Mops      float64 `json:"mops"`
+	Ops       uint64  `json:"ops"`
+
+	// Flushes/Fences are the device persistence-instruction counts this
+	// point added (pmem.Device.Counters deltas, exact under sharding).
+	Flushes uint64 `json:"flushes"`
+	Fences  uint64 `json:"fences"`
+	// Helps/Retries are the Mirror protocol statistics this point added
+	// (patomic.Mem.Stats deltas); zero for engines without a help path.
+	Helps   uint64 `json:"helps"`
+	Retries uint64 `json:"retries"`
+}
+
+// BenchHost records where the report was measured.
+type BenchHost struct {
+	GOOS    string `json:"goos"`
+	GOARCH  string `json:"goarch"`
+	CPUs    int    `json:"cpus"`
+	Version string `json:"go_version"`
+}
+
+// BenchOptions records how the report was measured.
+type BenchOptions struct {
+	DurationMS int64 `json:"duration_ms"`
+	Scale      int   `json:"scale"`
+	Latency    bool  `json:"latency"`
+	Seed       int64 `json:"seed"`
+}
+
+// BenchReport is the full matrix.
+type BenchReport struct {
+	Schema  string       `json:"schema"`
+	Host    BenchHost    `json:"host"`
+	Options BenchOptions `json:"options"`
+	Points  []BenchPoint `json:"points"`
+}
+
+// BenchStructures is the default structure axis of the matrix.
+func BenchStructures() []string {
+	return []string{StList, StHash, StBST, StSkipList}
+}
+
+// RunBenchMatrix measures every structure × engine × thread-count cell and
+// returns the report. Each structure/engine pair is built and prefilled
+// once and reused across the thread sweep, with counter deltas taken
+// around each point.
+func RunBenchMatrix(o Options, structs []string, kinds []engine.Kind, threads []int) *BenchReport {
+	o.setDefaults()
+	if len(structs) == 0 {
+		structs = BenchStructures()
+	}
+	if len(kinds) == 0 {
+		kinds = engine.Kinds()
+	}
+	if len(threads) == 0 {
+		threads = o.Threads
+	}
+	r := &BenchReport{
+		Schema: BenchSchema,
+		Host: BenchHost{
+			GOOS:    runtime.GOOS,
+			GOARCH:  runtime.GOARCH,
+			CPUs:    runtime.NumCPU(),
+			Version: runtime.Version(),
+		},
+		Options: BenchOptions{
+			DurationMS: o.Duration.Milliseconds(),
+			Scale:      o.Scale,
+			Latency:    o.Latency,
+			Seed:       o.Seed,
+		},
+	}
+	// One representative key range per structure: the paper's 8M sets
+	// divided by the scale (harness default keeps this well above cache
+	// sizes while fitting the simulated devices in host memory).
+	keyRange := (8 << 20) / o.Scale
+	if keyRange < 64 {
+		keyRange = 64
+	}
+	for _, st := range structs {
+		for _, kind := range kinds {
+			target, e := buildEngineTarget(kind, st, o, keyRange)
+			workload.PrefillHalf(target, uint64(keyRange), o.Seed)
+			for _, th := range threads {
+				fl0, fe0 := e.Counters()
+				h0, re0 := e.Stats()
+				res := workload.Run(target, workload.Spec{
+					KeyRange: uint64(keyRange),
+					Mix:      workload.Mix801010,
+					Threads:  th,
+					Duration: o.Duration,
+					Seed:     o.Seed,
+				})
+				fl1, fe1 := e.Counters()
+				h1, re1 := e.Stats()
+				r.Points = append(r.Points, BenchPoint{
+					Structure: st,
+					Engine:    kind.String(),
+					Threads:   th,
+					KeyRange:  keyRange,
+					Mops:      res.MopsPerSec(),
+					Ops:       res.Ops,
+					Flushes:   fl1 - fl0,
+					Fences:    fe1 - fe0,
+					Helps:     h1 - h0,
+					Retries:   re1 - re0,
+				})
+			}
+		}
+	}
+	return r
+}
+
+// Validate checks the report's internal consistency.
+func (r *BenchReport) Validate() error {
+	if r.Schema != BenchSchema {
+		return fmt.Errorf("schema %q, want %q", r.Schema, BenchSchema)
+	}
+	if len(r.Points) == 0 {
+		return fmt.Errorf("report has no points")
+	}
+	for i, p := range r.Points {
+		switch {
+		case p.Structure == "":
+			return fmt.Errorf("point %d: empty structure", i)
+		case p.Engine == "":
+			return fmt.Errorf("point %d: empty engine", i)
+		case p.Threads <= 0:
+			return fmt.Errorf("point %d: threads %d", i, p.Threads)
+		case p.KeyRange <= 0:
+			return fmt.Errorf("point %d: key range %d", i, p.KeyRange)
+		case p.Mops < 0:
+			return fmt.Errorf("point %d: negative throughput", i)
+		}
+	}
+	return nil
+}
+
+// MarshalReport renders the report as indented JSON with a trailing
+// newline, the exact bytes mirrorbench writes to BENCH_<n>.json.
+func MarshalReport(r *BenchReport) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseReport unmarshals and validates a BENCH_<n>.json payload.
+func ParseReport(data []byte) (*BenchReport, error) {
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parse bench report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid bench report: %w", err)
+	}
+	return &r, nil
+}

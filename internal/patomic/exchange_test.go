@@ -1,0 +1,110 @@
+package patomic
+
+// Contended Exchange test: after every round of concurrent exchanges the
+// replica invariants of §5 (Lemmas 5.3–5.5) must hold, every thread's
+// returned previous value must chain (exchange is an atomic swap, so the
+// set of returned values plus the final value is exactly the set of values
+// ever installed, each seen once), and the per-Ctx statistic shards must
+// sum consistently.
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestExchangeContendedInvariants(t *testing.T) {
+	const (
+		goroutines = 4
+		perRound   = 64
+		rounds     = 25
+	)
+	m := newMem(64)
+	initCell(m, 0)
+	ctxs := make([]*Ctx, goroutines)
+	for g := range ctxs {
+		ctxs[g] = &Ctx{}
+	}
+	next := uint64(1)
+	for round := 0; round < rounds; round++ {
+		// Each goroutine exchanges a disjoint set of distinct values into
+		// the one cell; prev[v] records the value each exchange displaced.
+		prev := make([][]uint64, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			base := next + uint64(g*perRound)
+			wg.Add(1)
+			go func(g int, base uint64) {
+				defer wg.Done()
+				for i := uint64(0); i < perRound; i++ {
+					prev[g] = append(prev[g], m.Exchange(ctxs[g], cell, base+i))
+				}
+			}(g, base)
+		}
+		wg.Wait()
+		next += uint64(goroutines * perRound)
+
+		if msg := m.CheckInvariants(cell); msg != "" {
+			t.Fatalf("round %d: %s", round, msg)
+		}
+		// Swap-chain check: every installed value is displaced exactly
+		// once, except the final value, which is still installed; plus
+		// one displacement of the round's starting value.
+		seen := make(map[uint64]int)
+		for g := range prev {
+			for _, v := range prev[g] {
+				seen[v]++
+			}
+		}
+		final := m.Load(cell)
+		displaced := 0
+		for v, n := range seen {
+			if n != 1 {
+				t.Fatalf("round %d: value %d displaced %d times", round, v, n)
+			}
+			if v != 0 && (v < next-uint64(goroutines*perRound) || v >= next) {
+				// Must be this round's starting value (the previous
+				// round's final), never a stale historical value.
+				if v != 0 && seen[v] == 1 && v == final {
+					t.Fatalf("round %d: final value %d also displaced", round, v)
+				}
+			}
+			displaced++
+		}
+		if displaced != goroutines*perRound {
+			t.Fatalf("round %d: %d displacements, want %d", round, displaced, goroutines*perRound)
+		}
+		if _, ok := seen[final]; ok {
+			t.Fatalf("round %d: final value %d was also returned as displaced", round, final)
+		}
+	}
+	// Stats must equal the sum of the worker shards exactly. Adoption is
+	// lazy — a context that never helped or retried carries no counts and
+	// may legitimately remain unregistered.
+	h, r := m.Stats()
+	t.Logf("helps=%d retries=%d", h, r)
+	var shardSum uint64
+	for _, c := range ctxs {
+		shardSum += c.helps.Load() + c.retries.Load()
+		if c.mem == nil && (c.helps.Load() != 0 || c.retries.Load() != 0) {
+			t.Error("Ctx holds counts but was never adopted as a shard")
+		}
+	}
+	if h+r != shardSum {
+		t.Errorf("Stats() = %d, want the exact worker shard sum %d", h+r, shardSum)
+	}
+}
+
+// TestCtxTwoMemsPanics checks the Ctx-to-Mem binding: using one context's
+// statistics shard with a second Mem must panic rather than corrupt counts.
+func TestCtxTwoMemsPanics(t *testing.T) {
+	m1 := newMem(64)
+	ctx := initCell(m1, 0)
+	m1.noteHelp(ctx) // bind to m1
+	m2 := newMem(64)
+	defer func() {
+		if recover() == nil {
+			t.Error("shard use with a second Mem should panic")
+		}
+	}()
+	m2.noteHelp(ctx)
+}

@@ -23,6 +23,7 @@
 package patomic
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"mirror/internal/pmem"
@@ -35,10 +36,16 @@ const InitSeq = 1
 // CellWords is the footprint of one cell in words (value + sequence).
 const CellWords = 2
 
-// Ctx carries the per-thread flush set for the persistent device. One Ctx
-// must not be shared between goroutines.
+// Ctx carries the per-thread flush set for the persistent device, and this
+// thread's shard of the contention statistics. One Ctx must not be shared
+// between goroutines, and — like its embedded FlushSet — it is bound to the
+// first Mem that uses it.
 type Ctx struct {
 	FS pmem.FlushSet
+
+	mem     *Mem          // Mem this context is registered with (first use wins)
+	helps   atomic.Uint64 // completions of another thread's write (lines 19–26)
+	retries atomic.Uint64 // protocol restarts of any kind
 }
 
 // Mem is a pair of replicas: cell offsets are valid on both devices.
@@ -46,15 +53,53 @@ type Mem struct {
 	P *pmem.Device // persistent replica rep_p
 	V *pmem.Device // volatile replica rep_v (possibly NVMM-backed, see §6.3)
 
-	// Contention statistics (atomic; zero cost when not read).
-	helps   atomic.Uint64 // completions of another thread's write (lines 19–26)
-	retries atomic.Uint64 // protocol restarts of any kind
+	// Contention statistics live in per-Ctx shards so the help/retry
+	// bookkeeping never contends on a shared cache line; Stats sums the
+	// shards. The registry only grows (one entry per thread context).
+	statsMu sync.Mutex
+	ctxs    []*Ctx
+}
+
+// adopt registers ctx as a statistics shard of m on first use. A Ctx is
+// bound to the first Mem that uses it for its lifetime, matching the
+// embedded FlushSet's binding to rep_p.
+func (m *Mem) adopt(ctx *Ctx) {
+	if ctx.mem != nil {
+		panic("patomic: Ctx bound to one Mem used with another")
+	}
+	m.statsMu.Lock()
+	ctx.mem = m
+	m.ctxs = append(m.ctxs, ctx)
+	m.statsMu.Unlock()
+}
+
+// noteHelp counts a completion of another thread's write on ctx's shard.
+func (m *Mem) noteHelp(ctx *Ctx) {
+	if ctx.mem != m {
+		m.adopt(ctx)
+	}
+	ctx.helps.Add(1)
+}
+
+// noteRetry counts a protocol restart on ctx's shard.
+func (m *Mem) noteRetry(ctx *Ctx) {
+	if ctx.mem != m {
+		m.adopt(ctx)
+	}
+	ctx.retries.Add(1)
 }
 
 // Stats returns the cumulative help completions and protocol retries —
-// how often the Figure 4 help path and restart paths actually run.
+// how often the Figure 4 help path and restart paths actually run — summed
+// exactly across the per-thread shards.
 func (m *Mem) Stats() (helps, retries uint64) {
-	return m.helps.Load(), m.retries.Load()
+	m.statsMu.Lock()
+	for _, c := range m.ctxs {
+		helps += c.helps.Load()
+		retries += c.retries.Load()
+	}
+	m.statsMu.Unlock()
+	return helps, retries
 }
 
 // Load returns the cell's current value. It is wait-free and touches only
@@ -87,12 +132,12 @@ func (m *Mem) CompareAndSwap(ctx *Ctx, off uint64, expected, newVal uint64) (boo
 			m.P.Flush(&ctx.FS, off)
 			m.P.Fence(&ctx.FS)
 			m.V.DWCAS(off, vv, vs, pv, ps)
-			m.helps.Add(1)
+			m.noteHelp(ctx)
 			continue
 		}
 		if ps != vs {
 			// Torn view across the two pair reads; retry (line 29).
-			m.retries.Add(1)
+			m.noteRetry(ctx)
 			continue
 		}
 		if pv != expected {
@@ -117,7 +162,7 @@ func (m *Mem) CompareAndSwap(ctx *Ctx, off uint64, expected, newVal uint64) (boo
 			// The value still matches but the sequence number moved
 			// (same-value overwrite by a concurrent thread). A regular
 			// CAS must succeed in this situation, so retry (line 46).
-			m.retries.Add(1)
+			m.noteRetry(ctx)
 			continue
 		}
 		// Help the winner's value into rep_v from the state we saw

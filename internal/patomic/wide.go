@@ -47,11 +47,11 @@ func (m *Mem) WideCAS(ctx *Ctx, off uint64, expVal, expVer, newVal, newVer uint6
 			m.P.Flush(&ctx.FS, off)
 			m.P.Fence(&ctx.FS)
 			m.V.DWCAS(off, vv, vs, pv, ps)
-			m.helps.Add(1)
+			m.noteHelp(ctx)
 			continue
 		}
 		if ps != vs {
-			m.retries.Add(1)
+			m.noteRetry(ctx)
 			continue
 		}
 		if pv != expVal || ps != expVer {

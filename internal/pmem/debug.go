@@ -1,0 +1,36 @@
+package pmem
+
+// debugChecks gates the FlushSet contract assertions. It is a plain bool
+// read on the flush/fence path, so the disabled cost is one predictable
+// branch; tests enable it from an init function (or with all goroutines
+// quiesced) so the write is ordered before every read.
+var debugChecks bool
+
+// EnableDebugChecks turns on the FlushSet misuse assertions: concurrent use
+// of one FlushSet from two goroutines, and recycling a FlushSet across a
+// crash while it still holds pre-crash pending flushes (a context must be
+// Reset — or discarded — when the device it used crashes). Call it from an
+// init function in tests; it is not meant for production paths.
+func EnableDebugChecks() { debugChecks = true }
+
+// DisableDebugChecks turns the assertions back off.
+func DisableDebugChecks() { debugChecks = false }
+
+// DebugChecksEnabled reports whether the assertions are active.
+func DebugChecksEnabled() bool { return debugChecks }
+
+// enter asserts single-owner use at the top of a Flush/Fence and that the
+// set is not carrying pending lines across a crash generation.
+func (s *FlushSet) enter(d *Device) {
+	if !s.busy.CompareAndSwap(0, 1) {
+		panic("pmem: FlushSet used concurrently from two goroutines")
+	}
+	g := d.gen.Load()
+	if len(s.lines) > 0 && s.gen != g {
+		panic("pmem: FlushSet recycled across a crash without Reset (stale pending flushes)")
+	}
+	s.gen = g
+}
+
+// exit releases the single-owner claim taken by enter.
+func (s *FlushSet) exit() { s.busy.Store(0) }

@@ -18,6 +18,12 @@
 // can serve as a null pointer. A LatencyModel injects calibrated spin
 // delays so benchmark results keep the DRAM/NVMM cost ratios of the real
 // platform.
+//
+// The device fast path is built to disappear from profiles (DESIGN.md
+// "Substrate hot path"): one packed atomic state word gates the
+// freeze/countdown machinery, flush/fence counters live in per-FlushSet
+// shards summed on demand, and the latency model costs nothing when
+// disabled.
 package pmem
 
 import (
@@ -67,6 +73,15 @@ type Config struct {
 	Model      LatencyModel // injected access costs
 }
 
+// Packed state-word bits. state == 0 is the latency-free running steady
+// state, so the per-operation gate is a single atomic load and one
+// predictable branch; any set bit diverts to the out-of-line slow path.
+const (
+	stateFrozen uint64 = 1 << 0 // device frozen: every op panics ErrFrozen
+	stateArmed  uint64 = 1 << 1 // FreezeAfter countdown armed
+	stateSlow   uint64 = 1 << 2 // latency model active: ops must inject spins
+)
+
 // Device is one simulated memory device. All word accesses are atomic; the
 // two-word operations are atomic via internal/dwcas. A Device is safe for
 // concurrent use.
@@ -74,23 +89,53 @@ type Device struct {
 	name       string
 	persistent bool
 	track      bool
-	model      LatencyModel
-	fast       bool // model.Zero(): skip latency calls
+	fast       bool // Model.Zero(): skip latency injection entirely
+
+	// Spin-loop iteration counts per operation kind, precomputed at
+	// construction from the calibrated rate so the hot path performs no
+	// per-access rate lookup or fixed-point arithmetic.
+	loadSpins  int64
+	storeSpins int64
+	flushSpins int64
+	fenceSpins int64
 
 	words []uint64 // current (cache) view; 16-byte aligned base
 	media []uint64 // persisted image, nil unless track && persistent
 
-	frozen    atomic.Bool
-	countOn   atomic.Bool
+	// base and limit cache &words[0] and len(words)-1 so the fast-path
+	// methods fit the compiler's inline budget: the backing array is
+	// allocated once in New and never moves, so indexing through base is
+	// equivalent to &d.words[off] minus the per-access slice-header loads.
+	base  unsafe.Pointer
+	limit uint64
+
+	// gate fuses the state test and the bounds test into one word: it
+	// holds limit while state == 0 and 0 while any state bit is set, so
+	// the steady-state per-access check is a single atomic load and one
+	// fused compare (off-1 underflows for the reserved offset 0). Every
+	// state transition republishes the gate; an access racing with a
+	// transition may pass the old gate, which linearizes it before the
+	// transition — the same window the state word itself would allow.
+	// Accessed only via atomic.LoadUint64/StoreUint64; a plain uint64
+	// (rather than atomic.Uint64) keeps Load/Store at the compiler's
+	// inline budget of 80, which they meet exactly.
+	gate uint64
+
+	// state packs the frozen flag, the countdown-armed flag, and the
+	// latency-model flag into one word; the countdown itself is touched
+	// only on the armed slow path. baseState is the value state returns to
+	// after a crash (stateSlow for latency devices, 0 otherwise).
+	state     atomic.Uint64
+	baseState uint64
 	countdown atomic.Int64
+	gen       atomic.Uint64 // crash generation, for FlushSet recycle checks
 
-	flushes atomic.Uint64
-	fences  atomic.Uint64
-
-	fenceLocks []sync.Mutex // striped per line group, serializes media copies
+	// Flush/fence counters are sharded across the FlushSets that have used
+	// this device; Counters sums the shards. The registry only grows (one
+	// entry per thread context), so summation stays cheap and exact.
+	shardMu sync.Mutex
+	shards  []*FlushSet
 }
-
-const fenceStripes = 256
 
 // New creates a Device. Words is rounded up to a whole number of cache
 // lines and must be at least one line.
@@ -103,11 +148,20 @@ func New(cfg Config) *Device {
 		name:       cfg.Name,
 		persistent: cfg.Persistent,
 		track:      cfg.Track && cfg.Persistent,
-		model:      cfg.Model,
 		fast:       cfg.Model.Zero(),
 		words:      alignedWords(words),
-		fenceLocks: make([]sync.Mutex, fenceStripes),
 	}
+	d.base = unsafe.Pointer(&d.words[0])
+	d.limit = uint64(len(d.words)) - 1
+	if !d.fast {
+		d.loadSpins = spinIters(cfg.Model.LoadNS)
+		d.storeSpins = spinIters(cfg.Model.StoreNS)
+		d.flushSpins = spinIters(cfg.Model.FlushNS)
+		d.fenceSpins = spinIters(cfg.Model.FenceNS)
+		d.baseState = stateSlow
+		d.state.Store(stateSlow)
+	}
+	d.syncGate()
 	if d.track {
 		d.media = alignedWords(words)
 	}
@@ -133,67 +187,149 @@ func (d *Device) Size() int { return len(d.words) }
 // Persistent reports whether the device keeps its media across Crash.
 func (d *Device) Persistent() bool { return d.persistent }
 
-func (d *Device) check(off uint64) {
-	if d.frozen.Load() {
+// fastOK is the per-operation gate: one atomic load of the fused gate word
+// and one compare. Any set state bit (gate = 0) or bad offset fails over to
+// checkSlow. Load and Store repeat this expression inline rather than
+// calling fastOK — the call-shaped form costs a few extra inline-budget
+// points that push them past the limit.
+func (d *Device) fastOK(off uint64) bool {
+	return off-1 < atomic.LoadUint64(&d.gate)
+}
+
+// syncGate republishes the fused gate word after a state transition; the
+// caller must have already updated d.state.
+func (d *Device) syncGate() {
+	if d.state.Load() == 0 {
+		atomic.StoreUint64(&d.gate, d.limit)
+	} else {
+		atomic.StoreUint64(&d.gate, 0)
+	}
+}
+
+// wordAt returns the address of the word at off without the slice-header
+// loads of &d.words[off]; callers must have bounds-checked off (fastOK or
+// checkSlow). The backing array never moves, so d.base stays valid.
+func (d *Device) wordAt(off uint64) *uint64 {
+	return (*uint64)(unsafe.Add(d.base, off*8))
+}
+
+// checkSlow handles everything fastOK rejects: a frozen device panics, an
+// armed countdown is decremented — the operation that reaches zero freezes
+// the device before executing, placing the crash exactly on that operation
+// — and out-of-range offsets panic. A device running with a latency model
+// (stateSlow) passes through here on every access by design; the injected
+// spin dwarfs the extra checks.
+func (d *Device) checkSlow(off uint64) {
+	s := d.state.Load()
+	if s&stateFrozen != 0 {
 		panic(ErrFrozen)
 	}
-	if d.countOn.Load() && d.countdown.Add(-1) == 0 {
-		d.frozen.Store(true)
+	if s&stateArmed != 0 && d.countdown.Add(-1) == 0 {
+		d.setState(stateFrozen)
 		panic(ErrFrozen)
 	}
 	if off == 0 || off >= uint64(len(d.words)) {
-		panic(fmt.Sprintf("pmem: %s: offset %d out of range [1,%d)", d.name, off, len(d.words)))
+		d.badOffset(off)
 	}
 }
 
-// Load atomically reads the word at off.
-func (d *Device) Load(off uint64) uint64 {
-	d.check(off)
-	if !d.fast {
-		spin(d.model.LoadNS)
+//go:noinline
+func (d *Device) badOffset(off uint64) {
+	panic(fmt.Sprintf("pmem: %s: offset %d out of range [1,%d)", d.name, off, len(d.words)))
+}
+
+// setState atomically sets bits in the state word and republishes the gate.
+func (d *Device) setState(bits uint64) {
+	for {
+		s := d.state.Load()
+		if d.state.CompareAndSwap(s, s|bits) {
+			d.syncGate()
+			return
+		}
 	}
+}
+
+// clearState atomically clears bits in the state word and republishes the
+// gate.
+func (d *Device) clearState(bits uint64) {
+	for {
+		s := d.state.Load()
+		if d.state.CompareAndSwap(s, s&^bits) {
+			d.syncGate()
+			return
+		}
+	}
+}
+
+// Load atomically reads the word at off. The body is written to sit
+// exactly at the compiler's inline budget (verify with -gcflags='-m'): the
+// steady state inlines to one atomic gate load, one fused compare, and the
+// word read itself — the substrate's zero-read-overhead claim in code.
+func (d *Device) Load(off uint64) uint64 {
+	if off-1 < atomic.LoadUint64(&d.gate) {
+		return atomic.LoadUint64((*uint64)(unsafe.Add(d.base, off*8)))
+	}
+	return d.loadSlow(off)
+}
+
+func (d *Device) loadSlow(off uint64) uint64 {
+	d.checkSlow(off)
+	spinN(d.loadSpins)
 	return atomic.LoadUint64(&d.words[off])
 }
 
-// Store atomically writes the word at off.
+// Store atomically writes the word at off. Like Load, the body sits
+// exactly at the inline budget; the if/else shape (rather than an early
+// return) is what keeps it there.
 func (d *Device) Store(off uint64, v uint64) {
-	d.check(off)
-	if !d.fast {
-		spin(d.model.StoreNS)
+	if off-1 < atomic.LoadUint64(&d.gate) {
+		atomic.StoreUint64((*uint64)(unsafe.Add(d.base, off*8)), v)
+	} else {
+		d.storeSlow(off, v)
 	}
+}
+
+func (d *Device) storeSlow(off uint64, v uint64) {
+	d.checkSlow(off)
+	spinN(d.storeSpins)
 	atomic.StoreUint64(&d.words[off], v)
 }
 
 // CAS atomically compares-and-swaps the word at off.
 func (d *Device) CAS(off uint64, old, new uint64) bool {
-	d.check(off)
-	if !d.fast {
-		spin(d.model.StoreNS)
+	if !d.fastOK(off) {
+		d.checkSlow(off)
+		spinN(d.storeSpins)
 	}
 	return atomic.CompareAndSwapUint64(&d.words[off], old, new)
 }
 
 // Add atomically adds delta to the word at off and returns the new value.
 func (d *Device) Add(off uint64, delta uint64) uint64 {
-	d.check(off)
-	if !d.fast {
-		spin(d.model.StoreNS)
+	if !d.fastOK(off) {
+		d.checkSlow(off)
+		spinN(d.storeSpins)
 	}
 	return atomic.AddUint64(&d.words[off], delta)
 }
 
 func (d *Device) pairAt(off uint64) *[2]uint64 {
 	if off&1 != 0 {
-		panic(fmt.Sprintf("pmem: %s: DWCAS offset %d not 16-byte aligned", d.name, off))
+		d.badPair(off)
 	}
 	return (*[2]uint64)(unsafe.Pointer(&d.words[off]))
 }
 
+//go:noinline
+func (d *Device) badPair(off uint64) {
+	panic(fmt.Sprintf("pmem: %s: DWCAS offset %d not 16-byte aligned", d.name, off))
+}
+
 // LoadPair atomically reads the two words at even offset off.
 func (d *Device) LoadPair(off uint64) (v0, v1 uint64) {
-	d.check(off)
-	if !d.fast {
-		spin(d.model.LoadNS)
+	if !d.fastOK(off) {
+		d.checkSlow(off)
+		spinN(d.loadSpins)
 	}
 	return dwcas.Load(d.pairAt(off))
 }
@@ -202,101 +338,214 @@ func (d *Device) LoadPair(off uint64) (v0, v1 uint64) {
 // (old0, old1) and swaps in (new0, new1) on match. It returns whether the
 // swap happened and the observed pair (the "before" value of Figure 4).
 func (d *Device) DWCAS(off uint64, old0, old1, new0, new1 uint64) (swapped bool, cur0, cur1 uint64) {
-	d.check(off)
-	if !d.fast {
-		spin(d.model.StoreNS)
+	if !d.fastOK(off) {
+		d.checkSlow(off)
+		spinN(d.storeSpins)
 	}
 	return dwcas.CompareAndSwap(d.pairAt(off), old0, old1, new0, new1)
 }
 
+// spillLines is the FlushSet size at which line dedup switches from the
+// linear scan over the inline slice to the epoch-tagged table. Mirror-style
+// engines fence after one or two flushes and never spill; flush-heavy
+// transformations (Izraelevitz) cross it and get O(1) dedup.
+const spillLines = 16
+
 // FlushSet accumulates the cache lines a thread has flushed but not yet
 // fenced. Each simulated thread owns one FlushSet per persistent device; it
 // corresponds to the set of in-flight clwb instructions between two sfences.
+//
+// A FlushSet is single-owner state: it must not be used concurrently from
+// two goroutines, must only ever be used with one Device, and must be Reset
+// before being recycled across a crash. EnableDebugChecks turns these
+// contracts into panics.
+//
+// The set doubles as this thread's shard of the device's flush/fence
+// counters: increments land on thread-private cache lines and Counters sums
+// the shards, so the counts stay exact without a globally contended word.
 type FlushSet struct {
-	lines []uint64
+	dev  *Device      // device this set is registered with (first use wins)
+	gen  uint64       // device crash generation at last use (debug checks)
+	busy atomic.Int32 // debug: concurrent-use detector
+
+	flushes atomic.Uint64 // this thread's flush count on dev
+	fences  atomic.Uint64 // this thread's fence count on dev
+
+	lines []uint64          // pending lines, unique, in first-flush order
+	table map[uint64]uint64 // line -> epoch; dedup once the set spills
+	epoch uint64            // current epoch; table entries from older epochs are stale
 }
 
 // Reset discards any pending flushes (used when a context is recycled).
-func (s *FlushSet) Reset() { s.lines = s.lines[:0] }
+// Counter shards are preserved: Reset forgets in-flight clwbs, not history.
+func (s *FlushSet) Reset() { s.clearLines() }
 
+// clearLines empties the pending-line set in O(1): the slice is truncated
+// and the epoch advances, invalidating every table entry at once.
+func (s *FlushSet) clearLines() {
+	s.lines = s.lines[:0]
+	s.epoch++
+}
+
+// add records a line once. Small sets use a linear scan over the slice
+// (cache-friendly, and the common case is one or two lines); a set that
+// grows past spillLines builds the epoch-tagged table and dedups in O(1).
 func (s *FlushSet) add(line uint64) {
+	if s.table != nil {
+		if s.table[line] == s.epoch {
+			return
+		}
+		s.table[line] = s.epoch
+		s.lines = append(s.lines, line)
+		return
+	}
 	for _, l := range s.lines {
 		if l == line {
 			return
 		}
 	}
 	s.lines = append(s.lines, line)
+	if len(s.lines) >= spillLines {
+		if s.epoch == 0 {
+			s.epoch = 1 // 0 must stay invalid: missing table entries read as 0
+		}
+		s.table = make(map[uint64]uint64, 2*spillLines)
+		for _, l := range s.lines {
+			s.table[l] = s.epoch
+		}
+	}
+}
+
+// adopt registers fs as a counter shard of d on first use. A FlushSet is
+// bound to the first device that uses it for its lifetime.
+func (d *Device) adopt(fs *FlushSet) {
+	if fs.dev != nil {
+		panic(fmt.Sprintf("pmem: FlushSet bound to device %q used with device %q",
+			fs.dev.name, d.name))
+	}
+	d.shardMu.Lock()
+	fs.dev = d
+	fs.gen = d.gen.Load()
+	d.shards = append(d.shards, fs)
+	d.shardMu.Unlock()
 }
 
 // Flush records a write-back request (clwb) for the line containing off.
 // The line's durability is only guaranteed after a subsequent Fence on the
 // same FlushSet; until then the eviction adversary decides its fate.
 func (d *Device) Flush(fs *FlushSet, off uint64) {
-	d.check(off)
-	if !d.fast {
-		spin(d.model.FlushNS)
+	if !d.fastOK(off) {
+		d.checkSlow(off)
+		spinN(d.flushSpins)
 	}
-	d.flushes.Add(1)
+	if fs.dev != d {
+		d.adopt(fs)
+	}
+	if debugChecks {
+		fs.enter(d)
+	}
+	fs.flushes.Add(1)
 	if d.track {
 		fs.add(off >> lineShift)
 	}
+	if debugChecks {
+		fs.exit()
+	}
 }
 
-// Counters returns the cumulative number of Flush and Fence calls; the
-// ablation benchmarks report persistence-instruction counts with these.
+// Counters returns the cumulative number of Flush and Fence calls, summed
+// exactly across the per-thread shards; the ablation benchmarks report
+// persistence-instruction counts with these.
 func (d *Device) Counters() (flushes, fences uint64) {
-	return d.flushes.Load(), d.fences.Load()
+	d.shardMu.Lock()
+	for _, s := range d.shards {
+		flushes += s.flushes.Load()
+		fences += s.fences.Load()
+	}
+	d.shardMu.Unlock()
+	return flushes, fences
 }
 
 // Fence (sfence) commits every line flushed on fs since the previous Fence
 // to the media image. The content committed is the line's content at
-// commit time, matching the write-back window of real hardware.
+// commit time, matching the write-back window of real hardware. A fence is
+// a device operation like any other: it checks the freeze state and the
+// FreezeAfter countdown, so deterministic crashes can land exactly on a
+// fence boundary — before any of its lines commit.
 func (d *Device) Fence(fs *FlushSet) {
-	if d.frozen.Load() {
-		panic(ErrFrozen)
+	if d.state.Load() != 0 {
+		d.fenceSlow()
 	}
-	if !d.fast {
-		spin(d.model.FenceNS)
+	if fs.dev != d {
+		d.adopt(fs)
 	}
-	d.fences.Add(1)
-	if !d.track {
-		return
+	if debugChecks {
+		fs.enter(d)
 	}
-	for _, line := range fs.lines {
-		d.commitLine(line)
+	fs.fences.Add(1)
+	if d.track && len(fs.lines) > 0 {
+		d.commitLines(fs.lines)
+		fs.clearLines()
 	}
-	fs.lines = fs.lines[:0]
+	if debugChecks {
+		fs.exit()
+	}
 }
 
-// commitLine copies one line's current content to the media under a striped
-// lock, so two concurrent fences cannot interleave stale and fresh words.
-func (d *Device) commitLine(line uint64) {
-	mu := &d.fenceLocks[line%fenceStripes]
-	mu.Lock()
-	base := line << lineShift
-	for i := uint64(0); i < WordsPerLine; i++ {
-		off := base + i
-		if off >= uint64(len(d.words)) {
-			break
-		}
-		atomic.StoreUint64(&d.media[off], atomic.LoadUint64(&d.words[off]))
+// fenceSlow is the offset-less slow gate for Fence: it applies the freeze
+// state and the FreezeAfter countdown — a fence is a countable device
+// operation, so a deterministic crash can land exactly on a fence boundary,
+// before any line commits — and injects the fence latency.
+func (d *Device) fenceSlow() {
+	s := d.state.Load()
+	if s&stateFrozen != 0 {
+		panic(ErrFrozen)
 	}
-	mu.Unlock()
+	if s&stateArmed != 0 && d.countdown.Add(-1) == 0 {
+		d.setState(stateFrozen)
+		panic(ErrFrozen)
+	}
+	spinN(d.fenceSpins)
+}
+
+// commitLines copies each dirty line's current content to the media, one
+// pass per line, with no per-line locking. Words are copied with individual
+// atomic load/store pairs, so concurrent fences of the same line interleave
+// at 8-byte granularity — exactly the persistence atomicity the crash model
+// grants (per-word), and the same tearing window a concurrent DWCAS already
+// has against any line copy.
+func (d *Device) commitLines(lines []uint64) {
+	limit := uint64(len(d.words))
+	for _, line := range lines {
+		base := line << lineShift
+		end := base + WordsPerLine
+		if end > limit {
+			end = limit
+		}
+		for off := base; off < end; off++ {
+			atomic.StoreUint64(&d.media[off], atomic.LoadUint64(&d.words[off]))
+		}
+	}
 }
 
 // Freeze makes every subsequent device operation panic with ErrFrozen,
 // unwinding in-flight operations so a crash can be taken at an arbitrary
 // point. Freeze does not itself alter memory.
-func (d *Device) Freeze() { d.frozen.Store(true) }
+func (d *Device) Freeze() { d.setState(stateFrozen) }
 
 // Frozen reports whether the device is frozen.
-func (d *Device) Frozen() bool { return d.frozen.Load() }
+func (d *Device) Frozen() bool { return d.state.Load()&stateFrozen != 0 }
 
 // FreezeAfter arms a countdown: the n-th subsequent device operation
-// freezes the device (and panics). Used to place crashes deterministically.
+// (fences included) freezes the device (and panics). Used to place crashes
+// deterministically.
 func (d *Device) FreezeAfter(n int64) {
 	d.countdown.Store(n)
-	d.countOn.Store(n > 0)
+	if n > 0 {
+		d.setState(stateArmed)
+	} else {
+		d.clearState(stateArmed)
+	}
 }
 
 // Crash simulates a power failure. All goroutines using the device must
@@ -332,8 +581,10 @@ func (d *Device) Crash(policy CrashPolicy, rng *rand.Rand) {
 			d.words[i] = 0
 		}
 	}
-	d.countOn.Store(false)
-	d.frozen.Store(false)
+	d.countdown.Store(0)
+	d.gen.Add(1)
+	d.state.Store(d.baseState)
+	d.syncGate()
 }
 
 // ReadRaw reads a word without latency, freeze checks, or bounds reservation

@@ -1,0 +1,219 @@
+package pmem
+
+// Tests for the hot-path rebuild: the packed state word and its fused
+// gate, fence crash-point coverage, sharded counter exactness, the
+// epoch-tagged dedup spill, and the FlushSet misuse assertions.
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFreezeAfterLandsOnFence arms the countdown so that it expires exactly
+// on a Fence: the fence must panic ErrFrozen before committing any line, so
+// the flushed-but-unfenced write is at the adversary's mercy.
+func TestFreezeAfterLandsOnFence(t *testing.T) {
+	d := newTestDevice(64)
+	var fs FlushSet
+	d.Store(9, 41) // establish a persisted baseline
+	d.Flush(&fs, 9)
+	d.Fence(&fs)
+
+	d.Store(9, 42) // the update whose fence the crash lands on
+	d.FreezeAfter(2)
+	d.Flush(&fs, 9) // op 1: the clwb
+	func() {
+		defer func() {
+			if r := recover(); r != ErrFrozen {
+				t.Fatalf("fence recover = %v, want ErrFrozen", r)
+			}
+		}()
+		d.Fence(&fs) // op 2: the sfence — must freeze before committing
+	}()
+	if !d.Frozen() {
+		t.Fatal("device should be frozen on the fence boundary")
+	}
+	fs.Reset()
+	d.Crash(CrashDropAll, nil)
+	if got := d.Load(9); got != 41 {
+		t.Errorf("after crash on fence: word = %d, want 41 (the fence must not have committed)", got)
+	}
+}
+
+// TestCountersExactUnderConcurrency asserts Counters sums the per-FlushSet
+// shards to the exact totals, not an approximation.
+func TestCountersExactUnderConcurrency(t *testing.T) {
+	d := newTestDevice(1 << 12)
+	const (
+		goroutines = 8
+		rounds     = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var fs FlushSet
+			for i := 0; i < rounds; i++ {
+				off := uint64(g*8+1) + uint64(i%4)
+				d.Store(off, uint64(i))
+				d.Flush(&fs, off)
+				if i%2 == 0 {
+					d.Fence(&fs)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	fl, fe := d.Counters()
+	if want := uint64(goroutines * rounds); fl != want {
+		t.Errorf("flushes = %d, want exactly %d", fl, want)
+	}
+	if want := uint64(goroutines * rounds / 2); fe != want {
+		t.Errorf("fences = %d, want exactly %d", fe, want)
+	}
+}
+
+// TestFlushSetDedupSpill pushes a FlushSet past the spill threshold and
+// checks both dedup (flush the same lines twice) and that every line still
+// commits on the fence.
+func TestFlushSetDedupSpill(t *testing.T) {
+	const lines = 4 * spillLines
+	d := newTestDevice(lines * WordsPerLine * 2)
+	var fs FlushSet
+	for pass := 0; pass < 2; pass++ {
+		for l := 0; l < lines; l++ {
+			off := uint64(l*WordsPerLine + 1)
+			d.Store(off, uint64(l+100))
+			d.Flush(&fs, off)
+		}
+	}
+	if got := len(fs.lines); got != lines {
+		t.Fatalf("pending lines = %d, want %d (dedup across the spill)", got, lines)
+	}
+	if fs.table == nil {
+		t.Fatal("set should have spilled to the epoch table")
+	}
+	d.Fence(&fs)
+	for l := 0; l < lines; l++ {
+		off := uint64(l*WordsPerLine + 1)
+		if got := d.PersistedWord(off); got != uint64(l+100) {
+			t.Fatalf("line %d not committed: media = %d", l, got)
+		}
+	}
+	// The epoch advance must invalidate stale table entries, not leak them
+	// into the next fence window.
+	d.Store(1, 7)
+	d.Flush(&fs, 1)
+	if got := len(fs.lines); got != 1 {
+		t.Errorf("pending lines after fence = %d, want 1 (epoch should reset dedup)", got)
+	}
+}
+
+// TestFlushSetTwoDevicesPanics checks the first-use device binding.
+func TestFlushSetTwoDevicesPanics(t *testing.T) {
+	d1 := newTestDevice(64)
+	d2 := newTestDevice(64)
+	var fs FlushSet
+	d1.Flush(&fs, 9)
+	defer func() {
+		if recover() == nil {
+			t.Error("Flush on a second device should panic")
+		}
+	}()
+	d2.Flush(&fs, 9)
+}
+
+// TestFlushSetConcurrentUseDetected checks the debug assertion that a
+// FlushSet is single-owner: with the set marked busy (as a concurrent
+// Flush would), another Flush must panic.
+func TestFlushSetConcurrentUseDetected(t *testing.T) {
+	EnableDebugChecks()
+	defer DisableDebugChecks()
+	d := newTestDevice(64)
+	var fs FlushSet
+	d.Flush(&fs, 9) // bind and exercise the normal path
+	fs.busy.Store(1)
+	defer func() {
+		fs.busy.Store(0)
+		if recover() == nil {
+			t.Error("concurrent FlushSet use should panic under debug checks")
+		}
+	}()
+	d.Flush(&fs, 9)
+}
+
+// TestFlushSetRecycleWithoutResetDetected checks the debug assertion that a
+// context carrying pre-crash pending flushes is not recycled across a crash
+// without Reset.
+func TestFlushSetRecycleWithoutResetDetected(t *testing.T) {
+	EnableDebugChecks()
+	defer DisableDebugChecks()
+	d := newTestDevice(64)
+	var fs FlushSet
+	d.Store(9, 1)
+	d.Flush(&fs, 9) // pending line from before the crash
+	d.Crash(CrashDropAll, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("recycling a FlushSet across a crash without Reset should panic")
+		}
+	}()
+	d.Flush(&fs, 9)
+}
+
+// TestFlushSetResetAllowsRecycle is the positive counterpart: Reset makes
+// recycling across a crash legal.
+func TestFlushSetResetAllowsRecycle(t *testing.T) {
+	EnableDebugChecks()
+	defer DisableDebugChecks()
+	d := newTestDevice(64)
+	var fs FlushSet
+	d.Store(9, 1)
+	d.Flush(&fs, 9)
+	d.Crash(CrashDropAll, nil)
+	fs.Reset()
+	d.Store(9, 2)
+	d.Flush(&fs, 9) // must not panic
+	d.Fence(&fs)
+	if got := d.PersistedWord(9); got != 2 {
+		t.Errorf("media = %d, want 2", got)
+	}
+}
+
+// TestGateTracksState checks the fused gate word against every state
+// transition: set bits close it, returning to state 0 reopens it.
+func TestGateTracksState(t *testing.T) {
+	d := newTestDevice(64)
+	if !d.fastOK(1) {
+		t.Fatal("fresh device should be on the fast path")
+	}
+	if d.fastOK(0) {
+		t.Fatal("offset 0 must never pass the gate")
+	}
+	if d.fastOK(uint64(d.Size())) {
+		t.Fatal("out-of-range offset must never pass the gate")
+	}
+	d.FreezeAfter(5)
+	if d.fastOK(1) {
+		t.Fatal("armed countdown must close the gate")
+	}
+	d.FreezeAfter(0)
+	if !d.fastOK(1) {
+		t.Fatal("disarming must reopen the gate")
+	}
+	d.Freeze()
+	if d.fastOK(1) {
+		t.Fatal("frozen device must close the gate")
+	}
+	d.Crash(CrashDropAll, nil)
+	if !d.fastOK(1) {
+		t.Fatal("crash must reopen the gate")
+	}
+	// A latency-model device never opens the gate: every access must pass
+	// through the slow path to inject its spin.
+	slow := New(Config{Words: 64, Model: LatencyModel{LoadNS: 1}})
+	if slow.fastOK(1) {
+		t.Fatal("latency-model device must keep the gate closed")
+	}
+}

@@ -1,6 +1,7 @@
 package pmem
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -40,9 +41,14 @@ func NVMMModel() LatencyModel {
 // correctness runs are fast.
 func NoLatency() LatencyModel { return LatencyModel{} }
 
-// spinsPerNS is the calibrated number of spin-loop iterations per
-// nanosecond, fixed-point scaled by 1024. Calibrated lazily on first use.
-var spinsPerNS atomic.Int64
+// The spin rate (loop iterations per nanosecond, fixed-point scaled by
+// 1024) is calibrated exactly once per process and cached; devices convert
+// their model's nanosecond costs to iteration counts at construction, so
+// the per-access path does no rate lookup and no fixed-point arithmetic.
+var (
+	calOnce sync.Once
+	calRate int64
+)
 
 // spinSink defeats dead-code elimination of the calibration and delay loops.
 var spinSink atomic.Uint64
@@ -66,21 +72,37 @@ func calibrate() int64 {
 	return rate
 }
 
-// spin busy-waits for approximately ns nanoseconds. It never sleeps: the
-// delays being modeled are far below scheduler granularity.
-func spin(ns int) {
+// spinRate returns the cached calibration, calibrating on first use.
+func spinRate() int64 {
+	calOnce.Do(func() { calRate = calibrate() })
+	return calRate
+}
+
+// spinIters converts a model cost in nanoseconds to spin-loop iterations.
+func spinIters(ns int) int64 {
 	if ns <= 0 {
+		return 0
+	}
+	n := int64(ns) * spinRate() / 1024
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// spinN busy-waits for n precomputed loop iterations. It never sleeps: the
+// delays being modeled are far below scheduler granularity.
+func spinN(n int64) {
+	if n <= 0 {
 		return
 	}
-	rate := spinsPerNS.Load()
-	if rate == 0 {
-		rate = calibrate()
-		spinsPerNS.Store(rate)
-	}
-	n := int64(ns) * rate / 1024
 	var acc uint64
 	for i := int64(0); i < n; i++ {
 		acc += uint64(i) ^ (acc >> 3)
 	}
 	spinSink.Store(acc)
 }
+
+// spin busy-waits for approximately ns nanoseconds (tests and one-off
+// callers; devices precompute iteration counts instead).
+func spin(ns int) { spinN(spinIters(ns)) }
