@@ -8,7 +8,9 @@
 //	mirrorbench -panel fig6a          # run one panel
 //	mirrorbench -all                  # run everything (slow)
 //	mirrorbench -panel fig6d -duration 2s -scale 32 -threads 1,2,4,8,16
+//	mirrorbench -recovery -sizes 1000,10000 -par 1,4   # recovery-pipeline sweep
 //	mirrorbench -json BENCH_1.json    # machine-readable engine×structure matrix
+//	mirrorbench -json BENCH_2.json -recovery   # matrix plus recovery section
 //	mirrorbench -checkjson BENCH_1.json  # re-parse and validate a report
 //
 // Absolute numbers depend on the host; the shape — who wins, by what
@@ -65,7 +67,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload PRNG seed")
 		space    = flag.String("space", "", "print the per-engine memory footprint for a structure (list|hashtable|bst|skiplist)")
 		chart    = flag.Bool("chart", false, "render panels as ASCII charts as well")
-		recovery = flag.Bool("recovery", false, "measure crash-recovery time by engine and size")
+		recovery = flag.Bool("recovery", false, "measure crash-recovery time by engine, size, and parallelism")
+		sizesF   = flag.String("sizes", "1000,10000,100000", "comma-separated structure sizes for -recovery")
+		parsF    = flag.String("par", "1", "comma-separated recovery-pipeline parallelism sweep for -recovery")
 		jsonOut  = flag.String("json", "", "run the engine×structure benchmark matrix and write it to this file")
 		checkIn  = flag.String("checkjson", "", "parse and validate a BENCH_<n>.json report, then exit")
 		structsF = flag.String("structures", "", "comma-separated structure filter for -json (list,hashtable,bst,skiplist)")
@@ -92,8 +96,20 @@ func main() {
 		fmt.Print(harness.MeasureSpace(*space, 10000).Format())
 		return
 	}
-	if *recovery {
-		fmt.Print(harness.MeasureRecovery([]int{1000, 10000, 100000}).Format())
+	parseInts := func(flagName, s string) []int {
+		var out []int
+		for _, part := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "mirrorbench: bad -%s entry %q\n", flagName, part)
+				os.Exit(2)
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+	if *recovery && *jsonOut == "" {
+		fmt.Print(harness.MeasureRecovery(parseInts("sizes", *sizesF), parseInts("par", *parsF)).Format())
 		return
 	}
 
@@ -132,6 +148,10 @@ func main() {
 			os.Exit(2)
 		}
 		report := harness.RunBenchMatrix(opts, structs, kinds, opts.Threads)
+		if *recovery {
+			report.Recovery = harness.RecoveryPoints(
+				harness.MeasureRecovery(parseInts("sizes", *sizesF), parseInts("par", *parsF)))
+		}
 		data, err := harness.MarshalReport(report)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mirrorbench: %v\n", err)

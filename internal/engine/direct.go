@@ -209,7 +209,13 @@ func (e *directEngine) Crash(policy pmem.CrashPolicy, rng *rand.Rand) {
 	e.dev.Crash(policy, rng)
 }
 
-func (e *directEngine) Recover(tr Tracer) {
+func (e *directEngine) Recover(tr Tracer) { e.RecoverWith(tr, RecoverOptions{}) }
+
+// RecoverWith runs the recovery pipeline on a single-replica engine. The
+// durable engines have no replica to copy, so the pipeline degenerates to
+// the trace phase plus the allocator rebuild — both still partitioned
+// across the configured workers.
+func (e *directEngine) RecoverWith(tr Tracer, opts RecoverOptions) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.recl = palloc.NewReclaimer()
@@ -218,13 +224,8 @@ func (e *directEngine) Recover(tr Tracer) {
 		e.alloc.Rebuild(nil)
 		return
 	}
-	var extents []palloc.Extent
-	if tr != nil {
-		tr(e.RecoveryLoad, func(ref Ref, fields int) {
-			extents = append(extents, palloc.Extent{Off: ref, Words: fields})
-		})
-	}
-	e.alloc.Rebuild(extents)
+	shards := traceSpans(e.RecoveryLoad, tr, opts)
+	e.alloc.RebuildSharded(spanExtents(shards, 1), opts.workers())
 }
 
 func (e *directEngine) RecoveryLoad(ref Ref, field int) uint64 {

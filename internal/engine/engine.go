@@ -29,6 +29,7 @@ import (
 	"mirror/internal/palloc"
 	"mirror/internal/patomic"
 	"mirror/internal/pmem"
+	"mirror/internal/recovery"
 )
 
 // Ref is a logical object handle: the word offset of the object on the
@@ -100,6 +101,33 @@ type Ctx struct {
 // count.
 type Tracer func(read func(ref Ref, field int) uint64, visit func(ref Ref, fields int))
 
+// ShardedTracer is the parallel form of Tracer: a factory returning the
+// tracer for one shard of a partitioned trace. The shards' visit sets must
+// together equal the sequential tracer's visit set, with each reachable
+// object visited by exactly one shard. Shard tracers run concurrently, so
+// they must not share mutable state across shards.
+type ShardedTracer func(shard, shards int) Tracer
+
+// RecoverOptions tunes the recovery pipeline of §4.3.3. The zero value is
+// the degenerate sequential recovery — identical in behavior to Recover.
+type RecoverOptions struct {
+	// Parallelism is the number of recovery workers for the trace and
+	// rebuild phases. Values below 2 mean sequential recovery.
+	Parallelism int
+	// Sharded, when non-nil and Parallelism > 1, partitions the trace
+	// phase; without it only the rebuild phase parallelizes (the trace
+	// runs once, sequentially, through the plain tracer).
+	Sharded ShardedTracer
+}
+
+// workers returns the number of pipeline workers implied by the options.
+func (o RecoverOptions) workers() int {
+	if o.Parallelism < 2 {
+		return 1
+	}
+	return o.Parallelism
+}
+
 // Engine is the persistence interface data structures are written against.
 type Engine interface {
 	// Kind identifies the implementation.
@@ -157,8 +185,15 @@ type Engine interface {
 	// Crash simulates a power failure (devices must be quiesced).
 	Crash(policy pmem.CrashPolicy, rng *rand.Rand)
 	// Recover rebuilds volatile state after Crash using the structure's
-	// tracer; for non-durable engines it reinitializes empty state.
+	// tracer; for non-durable engines it reinitializes empty state. It is
+	// RecoverWith with zero options (sequential).
 	Recover(tr Tracer)
+	// RecoverWith is Recover with an explicit pipeline configuration:
+	// the trace and rebuild phases run with opts.Parallelism workers,
+	// using opts.Sharded (when provided) to partition the trace. tr is
+	// the sequential fallback tracer, used when opts does not ask for a
+	// parallel trace.
+	RecoverWith(tr Tracer, opts RecoverOptions)
 	// RecoveryLoad reads a field from the persistent post-crash image;
 	// only valid between Crash and the end of Recover.
 	RecoveryLoad(ref Ref, field int) uint64
@@ -211,6 +246,46 @@ func New(cfg Config) Engine {
 	default:
 		panic(fmt.Sprintf("engine: unknown kind %v", cfg.Kind))
 	}
+}
+
+// traceSpans runs the trace phase of the recovery pipeline: it applies the
+// tracer(s) to the persistent post-crash image via read and returns the
+// reachable-object spans, one slice per shard. With sequential options (or
+// no sharded tracer) there is exactly one shard, produced by the plain
+// tracer — byte-for-byte the old trace. Shard tracers run concurrently but
+// each appends only to its own slice, so no locking is needed.
+func traceSpans(read func(ref Ref, field int) uint64, tr Tracer, opts RecoverOptions) [][]recovery.Span {
+	workers := opts.workers()
+	if workers == 1 || opts.Sharded == nil {
+		var spans []recovery.Span
+		if tr != nil {
+			tr(read, func(ref Ref, fields int) {
+				spans = append(spans, recovery.Span{Ref: ref, Fields: fields})
+			})
+		}
+		return [][]recovery.Span{spans}
+	}
+	shards := make([][]recovery.Span, workers)
+	recovery.Run(workers, workers, func(i int) {
+		opts.Sharded(i, workers)(read, func(ref Ref, fields int) {
+			shards[i] = append(shards[i], recovery.Span{Ref: ref, Fields: fields})
+		})
+	})
+	return shards
+}
+
+// spanExtents converts traced spans to allocator extents, scaling field
+// counts to words by the engine's cell width.
+func spanExtents(shards [][]recovery.Span, cellW int) [][]palloc.Extent {
+	out := make([][]palloc.Extent, len(shards))
+	for i, spans := range shards {
+		ext := make([]palloc.Extent, len(spans))
+		for j, sp := range spans {
+			ext[j] = palloc.Extent{Off: sp.Ref, Words: sp.Fields * cellW}
+		}
+		out[i] = ext
+	}
+	return out
 }
 
 // rootBase is the device offset of the persistent root object. It leaves

@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 
 	"mirror/internal/palloc"
 	"mirror/internal/patomic"
 	"mirror/internal/pmem"
+	"mirror/internal/recovery"
 )
 
 // mirrorEngine implements the paper's transformation. Every logical field
@@ -145,28 +147,60 @@ func (e *mirrorEngine) Crash(policy pmem.CrashPolicy, rng *rand.Rand) {
 	e.mem.V.Crash(policy, rng) // volatile: wiped
 }
 
-// Recover implements §4.3.3: resurrect the roots, trace all reachable
-// objects on persistent space, copy them to the volatile replica at the
-// same offsets, and rebuild the allocator from the reachable extents
-// (everything unreachable is reclaimed — the offline GC).
-func (e *mirrorEngine) Recover(tr Tracer) {
+// Recover implements §4.3.3 sequentially; it is RecoverWith with zero
+// options.
+func (e *mirrorEngine) Recover(tr Tracer) { e.RecoverWith(tr, RecoverOptions{}) }
+
+// RecoverWith implements §4.3.3 as an explicit two-phase pipeline:
+//
+//   - Trace: resurrect the roots, then walk the persistent post-crash
+//     image collecting the spans of all reachable objects (partitioned
+//     across workers when the options carry a sharded tracer).
+//   - Rebuild: copy every reachable span from rep_p to rep_v at the same
+//     offsets (bulk range copies, batched for the workers), and rebuild
+//     the allocator from the same spans — everything unreachable is
+//     reclaimed, the offline GC.
+//
+// Both phases are idempotent: they only write the volatile replica and
+// volatile allocator metadata, so a crash during recovery simply means
+// recovery runs again from the unchanged persistent image.
+func (e *mirrorEngine) RecoverWith(tr Tracer, opts RecoverOptions) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.recl = palloc.NewReclaimer()
+	workers := opts.workers()
+
 	e.mem.RecoverRange(rootBase, e.rootFields*patomic.CellWords)
-	var extents []palloc.Extent
-	if tr != nil {
-		tr(e.RecoveryLoad, func(ref Ref, fields int) {
-			words := fields * patomic.CellWords
-			e.mem.RecoverRange(ref, words)
-			extents = append(extents, palloc.Extent{Off: ref, Words: words})
-		})
-	}
-	e.alloc.Rebuild(extents)
+	shards := traceSpans(e.RecoveryLoad, tr, opts)
+
+	batches := recovery.Batches(shards)
+	recovery.Run(workers, len(batches), func(i int) {
+		for _, sp := range batches[i] {
+			e.mem.RecoverRange(sp.Ref, sp.Fields*patomic.CellWords)
+		}
+	})
+	e.alloc.RebuildSharded(spanExtents(shards, patomic.CellWords), workers)
 }
 
 func (e *mirrorEngine) RecoveryLoad(ref Ref, field int) uint64 {
 	return e.mem.P.ReadRaw(e.cellAddr(ref, field))
+}
+
+// CheckMirrorInvariants verifies the per-cell replica invariants (Lemmas
+// 5.3–5.5) for every field of an object, on a quiesced Mirror engine. It
+// returns a description of the first violation, or "". Non-Mirror engines
+// have no replica pair to check, so it vacuously returns "".
+func CheckMirrorInvariants(e Engine, ref Ref, fields int) string {
+	me, ok := e.(*mirrorEngine)
+	if !ok {
+		return ""
+	}
+	for f := 0; f < fields; f++ {
+		if msg := me.mem.CheckInvariants(me.cellAddr(ref, f)); msg != "" {
+			return fmt.Sprintf("ref %d field %d: %s", ref, f, msg)
+		}
+	}
+	return ""
 }
 
 func (e *mirrorEngine) Stats() (uint64, uint64) {

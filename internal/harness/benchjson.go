@@ -54,12 +54,26 @@ type BenchOptions struct {
 	Seed       int64 `json:"seed"`
 }
 
+// RecoveryPoint is one recovery-pipeline measurement: how fast one engine
+// rebuilds a hash table of Keys elements at the given pipeline parallelism
+// (harness.MeasureRecovery row, serialized).
+type RecoveryPoint struct {
+	Engine      string  `json:"engine"`
+	Keys        int     `json:"keys"`
+	Parallelism int     `json:"parallelism"`
+	ElapsedNS   int64   `json:"elapsed_ns"`
+	KeysPerMS   float64 `json:"keys_per_ms"`
+}
+
 // BenchReport is the full matrix.
 type BenchReport struct {
 	Schema  string       `json:"schema"`
 	Host    BenchHost    `json:"host"`
 	Options BenchOptions `json:"options"`
 	Points  []BenchPoint `json:"points"`
+	// Recovery holds the recovery-throughput sweep (engine × size ×
+	// parallelism); present when mirrorbench ran with -recovery.
+	Recovery []RecoveryPoint `json:"recovery,omitempty"`
 }
 
 // BenchStructures is the default structure axis of the matrix.
@@ -143,7 +157,7 @@ func (r *BenchReport) Validate() error {
 	if r.Schema != BenchSchema {
 		return fmt.Errorf("schema %q, want %q", r.Schema, BenchSchema)
 	}
-	if len(r.Points) == 0 {
+	if len(r.Points) == 0 && len(r.Recovery) == 0 {
 		return fmt.Errorf("report has no points")
 	}
 	for i, p := range r.Points {
@@ -160,7 +174,37 @@ func (r *BenchReport) Validate() error {
 			return fmt.Errorf("point %d: negative throughput", i)
 		}
 	}
+	for i, p := range r.Recovery {
+		switch {
+		case p.Engine == "":
+			return fmt.Errorf("recovery point %d: empty engine", i)
+		case p.Keys <= 0:
+			return fmt.Errorf("recovery point %d: keys %d", i, p.Keys)
+		case p.Parallelism <= 0:
+			return fmt.Errorf("recovery point %d: parallelism %d", i, p.Parallelism)
+		case p.ElapsedNS <= 0:
+			return fmt.Errorf("recovery point %d: elapsed %d ns", i, p.ElapsedNS)
+		case p.KeysPerMS <= 0:
+			return fmt.Errorf("recovery point %d: keys/ms %g", i, p.KeysPerMS)
+		}
+	}
 	return nil
+}
+
+// RecoveryPoints serializes a RecoveryReport into the report's recovery
+// section.
+func RecoveryPoints(rep *RecoveryReport) []RecoveryPoint {
+	out := make([]RecoveryPoint, 0, len(rep.Rows))
+	for _, row := range rep.Rows {
+		out = append(out, RecoveryPoint{
+			Engine:      row.Engine,
+			Keys:        row.Keys,
+			Parallelism: row.Parallelism,
+			ElapsedNS:   row.Elapsed.Nanoseconds(),
+			KeysPerMS:   row.KeysPerMS(),
+		})
+	}
+	return out
 }
 
 // MarshalReport renders the report as indented JSON with a trailing

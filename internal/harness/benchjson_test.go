@@ -63,4 +63,37 @@ func TestParseReportRejectsGarbage(t *testing.T) {
 	if _, err := ParseReport([]byte(`{"schema":"mirror-bench/1","points":[]}`)); err == nil {
 		t.Error("empty points should fail")
 	}
+	bad := `{"schema":"mirror-bench/1","points":[],"recovery":[{"engine":"Mirror","keys":10,"parallelism":0,"elapsed_ns":5,"keys_per_ms":1}]}`
+	if _, err := ParseReport([]byte(bad)); err == nil {
+		t.Error("zero recovery parallelism should fail")
+	}
+}
+
+// TestRecoveryJSONRoundTrip serializes a recovery sweep into the report's
+// recovery section and round-trips it through the validator.
+func TestRecoveryJSONRoundTrip(t *testing.T) {
+	rep := MeasureRecovery([]int{500}, []int{1, 2})
+	r := &BenchReport{
+		Schema:   BenchSchema,
+		Recovery: RecoveryPoints(rep),
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if want := len(rep.Rows); len(r.Recovery) != want {
+		t.Fatalf("recovery points = %d, want %d", len(r.Recovery), want)
+	}
+	data, err := MarshalReport(r)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := ParseReport(data)
+	if err != nil {
+		t.Fatalf("ParseReport: %v", err)
+	}
+	for i, p := range back.Recovery {
+		if p != r.Recovery[i] {
+			t.Fatalf("recovery point %d changed in round trip: %+v != %+v", i, p, r.Recovery[i])
+		}
+	}
 }

@@ -213,16 +213,24 @@ func TestChart(t *testing.T) {
 }
 
 func TestMeasureRecovery(t *testing.T) {
-	rep := MeasureRecovery([]int{2000})
-	if len(rep.Rows) != 5 {
-		t.Fatalf("rows = %d, want 5 engines", len(rep.Rows))
+	rep := MeasureRecovery([]int{2000}, []int{1, 4})
+	if len(rep.Rows) != 10 {
+		t.Fatalf("rows = %d, want 5 engines x 2 parallelisms", len(rep.Rows))
 	}
+	perPar := map[int]int{}
 	for _, r := range rep.Rows {
 		if r.Elapsed <= 0 {
 			t.Errorf("%s: zero recovery time", r.Engine)
 		}
+		if r.KeysPerMS() <= 0 {
+			t.Errorf("%s par=%d: zero recovery throughput", r.Engine, r.Parallelism)
+		}
+		perPar[r.Parallelism]++
 	}
-	if !strings.Contains(rep.Format(), "keys/ms") {
+	if perPar[1] != 5 || perPar[4] != 5 {
+		t.Fatalf("parallelism coverage: %v", perPar)
+	}
+	if !strings.Contains(rep.Format(), "keys/ms") || !strings.Contains(rep.Format(), "par") {
 		t.Error("Format missing header")
 	}
 }

@@ -17,6 +17,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"mirror/internal/recovery"
 )
 
 const (
@@ -251,6 +253,71 @@ func (a *Allocator) release(cls int, objs []uint64) {
 // Rebuild, exactly the traced objects are allocated; all other space is
 // free. Extents must not overlap.
 func (a *Allocator) Rebuild(extents []Extent) {
+	a.RebuildSharded([][]Extent{extents}, 1)
+}
+
+// occWords is the per-chunk occupancy bitset length: one bit per
+// AlignWords-aligned slot start (every class size is a multiple of
+// AlignWords, so slot starts land on these positions).
+const occWords = ChunkWords / AlignWords / 64
+
+// chunkOcc accumulates the occupancy of one chunk during a rebuild scan.
+type chunkOcc struct {
+	cls  int32 // class index serving this chunk
+	high int32 // highest used slot end (sets the bump pointer)
+	bits [occWords]uint64
+}
+
+// rebuildAcc is one scan worker's private accumulation: per-chunk
+// occupancy and the large runs it saw. Workers never touch shared
+// allocator state, so the scan needs no locking.
+type rebuildAcc struct {
+	occ   map[int]*chunkOcc
+	large []Extent
+}
+
+// scanExtents folds one shard's extents into acc. It performs all
+// per-extent validation; only cross-shard class conflicts are left to the
+// merge.
+func (a *Allocator) scanExtents(extents []Extent, acc *rebuildAcc) {
+	acc.occ = make(map[int]*chunkOcc)
+	for _, e := range extents {
+		if e.Off < a.base || e.Off >= a.end {
+			panic(fmt.Sprintf("palloc: rebuild extent %d outside region", e.Off))
+		}
+		cls := classOf(e.Words)
+		if cls < 0 {
+			acc.large = append(acc.large, e)
+			continue
+		}
+		size := classSizes[cls]
+		idx := a.chunkOf(e.Off)
+		co := acc.occ[idx]
+		if co == nil {
+			co = &chunkOcc{cls: int32(cls)}
+			acc.occ[idx] = co
+		} else if co.cls != int32(cls) {
+			panic(fmt.Sprintf("palloc: rebuild: chunk %d has extents of classes %d and %d", idx, co.cls, cls))
+		}
+		slot := int(e.Off - a.chunkBase(idx))
+		if slot%size != 0 {
+			panic(fmt.Sprintf("palloc: rebuild: extent at %d misaligned for class size %d", e.Off, size))
+		}
+		pos := slot / AlignWords
+		co.bits[pos/64] |= 1 << (pos % 64)
+		if int32(slot+size) > co.high {
+			co.high = int32(slot + size)
+		}
+	}
+}
+
+// RebuildSharded is Rebuild over per-shard extent lists, scanning the
+// shards with up to workers concurrent goroutines — the allocator's leg of
+// the parallel recovery pipeline. Shards are typically the per-worker span
+// lists of a sharded trace; their union must satisfy Rebuild's contract
+// (non-overlapping extents covering exactly the reachable objects). With
+// one shard and one worker it is exactly the sequential Rebuild.
+func (a *Allocator) RebuildSharded(shards [][]Extent, workers int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	for i := range a.chunkClass {
@@ -265,22 +332,39 @@ func (a *Allocator) Rebuild(extents []Extent) {
 	a.largeRuns = make(map[uint64]int)
 	a.allocated.Store(0)
 
-	// Occupied word-slot map per chunk, only for chunks that have
-	// reachable objects.
-	type chunkOcc struct {
-		cls  int
-		used map[int]bool // slot start word within chunk
-		high int          // highest used slot end (sets bump)
-	}
+	// Scan phase: each worker folds its shards into private occupancy
+	// bitsets; panics (bad extents) propagate to the caller.
+	accs := make([]rebuildAcc, len(shards))
+	recovery.Run(workers, len(shards), func(i int) {
+		a.scanExtents(shards[i], &accs[i])
+	})
+
+	// Merge phase: fold the per-worker occupancies together. Bitset OR
+	// per chunk, so merging costs words, not extents.
 	occ := make(map[int]*chunkOcc)
 	maxChunk := -1
-
-	for _, e := range extents {
-		if e.Off < a.base || e.Off >= a.end {
-			panic(fmt.Sprintf("palloc: rebuild extent %d outside region", e.Off))
+	for i := range accs {
+		acc := &accs[i]
+		for idx, co := range acc.occ {
+			dst := occ[idx]
+			if dst == nil {
+				occ[idx] = co
+			} else {
+				if dst.cls != co.cls {
+					panic(fmt.Sprintf("palloc: rebuild: chunk %d has extents of classes %d and %d", idx, dst.cls, co.cls))
+				}
+				for w := range dst.bits {
+					dst.bits[w] |= co.bits[w]
+				}
+				if co.high > dst.high {
+					dst.high = co.high
+				}
+			}
+			if idx > maxChunk {
+				maxChunk = idx
+			}
 		}
-		cls := classOf(e.Words)
-		if cls < 0 {
+		for _, e := range acc.large {
 			chunks := (e.Words + ChunkWords - 1) / ChunkWords
 			idx := a.chunkOf(e.Off)
 			for i := 0; i < chunks; i++ {
@@ -291,29 +375,7 @@ func (a *Allocator) Rebuild(extents []Extent) {
 			if idx+chunks-1 > maxChunk {
 				maxChunk = idx + chunks - 1
 			}
-			continue
 		}
-		size := classSizes[cls]
-		idx := a.chunkOf(e.Off)
-		if idx > maxChunk {
-			maxChunk = idx
-		}
-		co := occ[idx]
-		if co == nil {
-			co = &chunkOcc{cls: cls, used: make(map[int]bool)}
-			occ[idx] = co
-		} else if co.cls != cls {
-			panic(fmt.Sprintf("palloc: rebuild: chunk %d has extents of classes %d and %d", idx, co.cls, cls))
-		}
-		slot := int(e.Off - a.chunkBase(idx))
-		if slot%size != 0 {
-			panic(fmt.Sprintf("palloc: rebuild: extent at %d misaligned for class size %d", e.Off, size))
-		}
-		co.used[slot] = true
-		if slot+size > co.high {
-			co.high = slot + size
-		}
-		a.allocated.Add(uint64(size))
 	}
 
 	// Assign classes and free lists for chunks with survivors.
@@ -324,18 +386,25 @@ func (a *Allocator) Rebuild(extents []Extent) {
 	sort.Ints(chunkIdxs)
 	for _, idx := range chunkIdxs {
 		co := occ[idx]
-		size := classSizes[co.cls]
-		a.chunkClass[idx] = int8(co.cls)
+		cls := int(co.cls)
+		size := classSizes[cls]
+		high := int(co.high)
+		a.chunkClass[idx] = int8(cls)
 		// Free the holes below the high-water mark; the rest of the
 		// chunk stays bump-allocatable.
-		for slot := 0; slot+size <= co.high; slot += size {
-			if !co.used[slot] {
-				a.free[co.cls] = append(a.free[co.cls], a.chunkBase(idx)+uint64(slot))
+		used := 0
+		for slot := 0; slot+size <= high; slot += size {
+			pos := slot / AlignWords
+			if co.bits[pos/64]&(1<<(pos%64)) != 0 {
+				used++
+			} else {
+				a.free[cls] = append(a.free[cls], a.chunkBase(idx)+uint64(slot))
 			}
 		}
-		a.chunkBump[idx] = int32(co.high)
-		if co.high+size <= ChunkWords {
-			a.partial[co.cls] = append(a.partial[co.cls], idx)
+		a.allocated.Add(uint64(used * size))
+		a.chunkBump[idx] = int32(high)
+		if high+size <= ChunkWords {
+			a.partial[cls] = append(a.partial[cls], idx)
 		}
 	}
 

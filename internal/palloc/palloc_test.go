@@ -2,6 +2,7 @@ package palloc
 
 import (
 	"math/rand"
+	"reflect"
 	"runtime"
 	"sort"
 	"sync"
@@ -300,6 +301,93 @@ func TestRebuildEmpty(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		c2.Alloc(8)
 	}
+}
+
+// allocSnapshot captures every piece of rebuilt metadata in a canonical
+// (order-independent) form so two rebuilds can be compared exactly.
+type allocSnapshot struct {
+	chunkClass []int8
+	chunkBump  []int32
+	free       [][]uint64
+	partial    [][]int
+	freeChunks []int
+	largeRuns  map[uint64]int
+	allocated  uint64
+	nextChunk  int
+}
+
+func snapshotAlloc(a *Allocator) allocSnapshot {
+	s := allocSnapshot{
+		chunkClass: append([]int8(nil), a.chunkClass...),
+		chunkBump:  append([]int32(nil), a.chunkBump...),
+		freeChunks: append([]int(nil), a.freeChunks...),
+		largeRuns:  make(map[uint64]int),
+		allocated:  a.allocated.Load(),
+		nextChunk:  a.nextChunk,
+	}
+	for off, n := range a.largeRuns {
+		s.largeRuns[off] = n
+	}
+	for i := range a.free {
+		f := append([]uint64(nil), a.free[i]...)
+		sort.Slice(f, func(x, y int) bool { return f[x] < f[y] })
+		s.free = append(s.free, f)
+		p := append([]int(nil), a.partial[i]...)
+		sort.Ints(p)
+		s.partial = append(s.partial, p)
+	}
+	sort.Ints(s.freeChunks)
+	return s
+}
+
+func TestRebuildShardedMatchesSequential(t *testing.T) {
+	a := newTestAlloc()
+	c := NewCache(a, NewReclaimer())
+	rng := rand.New(rand.NewSource(11))
+	sizes := []int{4, 8, 12, 24, 100}
+	var extents []Extent
+	for i := 0; i < 3000; i++ {
+		n := sizes[rng.Intn(len(sizes))]
+		off := c.Alloc(n)
+		if rng.Intn(3) != 0 {
+			extents = append(extents, Extent{Off: off, Words: n})
+		}
+	}
+	extents = append(extents, Extent{Off: c.Alloc(3 * ChunkWords), Words: 3 * ChunkWords})
+
+	a.Rebuild(extents)
+	want := snapshotAlloc(a)
+
+	for _, shards := range []int{2, 4, 7} {
+		// Deal extents round-robin so shards interleave within chunks —
+		// the hardest case for the merge.
+		parts := make([][]Extent, shards)
+		for i, e := range extents {
+			parts[i%shards] = append(parts[i%shards], e)
+		}
+		a.RebuildSharded(parts, shards)
+		got := snapshotAlloc(a)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: sharded rebuild metadata differs from sequential", shards)
+		}
+	}
+}
+
+func TestRebuildShardedClassConflictPanics(t *testing.T) {
+	a := newTestAlloc()
+	c := NewCache(a, NewReclaimer())
+	cb := a.chunkBase(a.chunkOf(c.Alloc(4)))
+	// Same chunk, two different classes split across shards: the merge
+	// must detect it even though each shard is internally consistent.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-shard class conflict did not panic")
+		}
+	}()
+	a.RebuildSharded([][]Extent{
+		{{Off: cb, Words: 4}},
+		{{Off: cb + 8, Words: 8}},
+	}, 2)
 }
 
 func TestQuickClassSizeInvariants(t *testing.T) {

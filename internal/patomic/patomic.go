@@ -233,12 +233,12 @@ func (m *Mem) PublishFence(ctx *Ctx) {
 
 // RecoverRange rebuilds the volatile replica of every cell in
 // [off, off+words) from the persistent replica's current (post-crash)
-// content. Only whole cells are copied; words must be even.
+// content. It is a thin wrapper over the device's bulk range copy, so a
+// rebuild moves whole spans, not words; odd trailing words are trimmed
+// (only whole cells are copied). Like every pmem operation it honors the
+// persistent device's freeze gate, so a crash can land mid-rebuild.
 func (m *Mem) RecoverRange(off uint64, words int) {
-	for i := 0; i+1 < words; i += CellWords {
-		m.V.WriteRaw(off+uint64(i), m.P.ReadRaw(off+uint64(i)))
-		m.V.WriteRaw(off+uint64(i)+1, m.P.ReadRaw(off+uint64(i)+1))
-	}
+	m.P.CopyRange(m.V, off, words&^1)
 }
 
 // CheckInvariants verifies Lemmas 5.3–5.5 for one cell. It requires a

@@ -617,10 +617,31 @@ func (d *Device) PersistRange(off uint64, n int) {
 	}
 }
 
-// CopyTo copies n words starting at off from this device's current view
-// into dst at the same offsets, bypassing latency and freeze checks.
-func (d *Device) CopyTo(dst *Device, off uint64, n int) {
-	for i := uint64(0); i < uint64(n); i++ {
-		dst.WriteRaw(off+i, d.ReadRaw(off+i))
+// CopyRange bulk-copies [off, off+n) from this device's current view into
+// dst at the same offsets with a single memmove — the rebuild primitive of
+// the recovery pipeline: spans move as cache lines, not words. It is a
+// countable device operation on the *source*: the freeze gate and the
+// FreezeAfter countdown apply once per call, so a deterministic crash can
+// land exactly on a rebuild copy (the crash-during-recovery tests rely on
+// this). Latency models are bypassed; recovery runs before normal
+// operation resumes. Concurrent calls must target disjoint ranges, and the
+// destination must be quiesced — both hold for recovery workers, which
+// partition the reachable spans.
+func (d *Device) CopyRange(dst *Device, off uint64, n int) {
+	if n <= 0 {
+		return
 	}
+	if s := d.state.Load(); s != 0 {
+		if s&stateFrozen != 0 {
+			panic(ErrFrozen)
+		}
+		if s&stateArmed != 0 && d.countdown.Add(-1) == 0 {
+			d.setState(stateFrozen)
+			panic(ErrFrozen)
+		}
+	}
+	if off == 0 || off+uint64(n) > uint64(len(d.words)) || off+uint64(n) > uint64(len(dst.words)) {
+		panic(fmt.Sprintf("pmem: %s: CopyRange [%d,%d) out of range", d.name, off, off+uint64(n)))
+	}
+	copy(dst.words[off:off+uint64(n)], d.words[off:off+uint64(n)])
 }

@@ -251,17 +251,59 @@ func TestRawAccessBypassesFreeze(t *testing.T) {
 	}
 }
 
-func TestCopyTo(t *testing.T) {
+func TestCopyRange(t *testing.T) {
 	src := newTestDevice(64)
 	dst := New(Config{Name: "dram", Words: 64})
 	for off := uint64(8); off < 16; off++ {
 		src.Store(off, off*10)
 	}
-	src.CopyTo(dst, 8, 8)
+	src.CopyRange(dst, 8, 8)
 	for off := uint64(8); off < 16; off++ {
 		if got := dst.Load(off); got != off*10 {
 			t.Errorf("dst[%d] = %d, want %d", off, got, off*10)
 		}
+	}
+	src.CopyRange(dst, 8, 0) // empty range is a no-op, not a panic
+}
+
+func TestCopyRangeFrozen(t *testing.T) {
+	src := newTestDevice(64)
+	dst := New(Config{Name: "dram", Words: 64})
+	src.Freeze()
+	defer func() {
+		if r := recover(); r != ErrFrozen {
+			t.Fatalf("recovered %v, want ErrFrozen", r)
+		}
+	}()
+	src.CopyRange(dst, 8, 8)
+	t.Fatal("CopyRange on a frozen device did not panic")
+}
+
+// TestCopyRangeCountdown verifies CopyRange is a countable device
+// operation: the n-th recovery copy freezes the device, so deterministic
+// crashes can land inside a rebuild.
+func TestCopyRangeCountdown(t *testing.T) {
+	src := newTestDevice(256)
+	dst := New(Config{Name: "dram", Words: 256})
+	src.FreezeAfter(3)
+	src.CopyRange(dst, 8, 8)
+	src.CopyRange(dst, 16, 8)
+	froze := false
+	func() {
+		defer func() {
+			if r := recover(); r == ErrFrozen {
+				froze = true
+			} else if r != nil {
+				panic(r)
+			}
+		}()
+		src.CopyRange(dst, 24, 8)
+	}()
+	if !froze {
+		t.Fatal("third CopyRange did not trip the countdown")
+	}
+	if !src.Frozen() {
+		t.Fatal("device not frozen after countdown")
 	}
 }
 

@@ -45,6 +45,7 @@ func Run(t *testing.T, f Factory) {
 			t.Run("ConcurrentMixed", func(t *testing.T) { testConcurrentMixed(t, f, k) })
 			if k.Durable() {
 				t.Run("QuiescedCrashRecovery", func(t *testing.T) { testQuiescedCrash(t, f, k) })
+				t.Run("ParallelRecoveryEquivalence", func(t *testing.T) { testParallelRecovery(t, f, k) })
 			}
 		})
 	}
@@ -287,6 +288,110 @@ func testConcurrentMixed(t *testing.T, f Factory, k engine.Kind) {
 				t.Fatalf("key %d: contains = %v, want %v (single-writer model)", key, got, present)
 			}
 		}
+	}
+}
+
+// collectVisits runs a tracer against the post-crash image and returns its
+// visit set, failing the test if any object is visited more than once.
+func collectVisits(t *testing.T, e engine.Engine, tr engine.Tracer, label string) map[engine.Ref]int {
+	t.Helper()
+	visits := make(map[engine.Ref]int)
+	tr(e.RecoveryLoad, func(ref engine.Ref, fields int) {
+		if _, dup := visits[ref]; dup {
+			t.Fatalf("%s: object %d visited twice", label, ref)
+		}
+		visits[ref] = fields
+	})
+	return visits
+}
+
+// testParallelRecovery checks the sharded tracer against the sequential one
+// on the same crash image — first by visit-set equality (each reachable
+// object visited exactly once by exactly one shard), then end to end: the
+// contents recovered at Parallelism 1 and Parallelism N must be identical.
+func testParallelRecovery(t *testing.T, f Factory, k engine.Kind) {
+	e := f.engine(k)
+	c := e.NewCtx()
+	s := f.New(e, c)
+	ss, ok := s.(structures.ShardableSet)
+	if !ok {
+		t.Skipf("%s has no sharded tracer", s.Name())
+	}
+	rng := rand.New(rand.NewSource(9))
+	model := make(map[uint64]uint64)
+	for i := 0; i < 1500; i++ {
+		key := uint64(rng.Intn(400) + 1)
+		if rng.Intn(3) > 0 {
+			val := uint64(rng.Intn(1 << 30))
+			if s.Insert(c, key, val) {
+				model[key] = val
+			}
+		} else {
+			s.Delete(c, key)
+			delete(model, key)
+		}
+	}
+	tracer, sharded := s.Tracer(), ss.ShardedTracer()
+	e.Crash(pmem.CrashDropAll, rng)
+
+	// Visit-set equivalence on the frozen image, for several shard counts.
+	want := collectVisits(t, e, tracer, "sequential")
+	for _, shards := range []int{2, 3, 8} {
+		got := make(map[engine.Ref]int)
+		for sh := 0; sh < shards; sh++ {
+			for ref, fields := range collectVisits(t, e, sharded(sh, shards), "shard") {
+				if _, dup := got[ref]; dup {
+					t.Fatalf("shards=%d: object %d visited by two shards", shards, ref)
+				}
+				got[ref] = fields
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d objects visited, sequential visited %d", shards, len(got), len(want))
+		}
+		for ref, fields := range want {
+			if got[ref] != fields {
+				t.Fatalf("shards=%d: object %d fields = %d, want %d", shards, ref, got[ref], fields)
+			}
+		}
+	}
+
+	// End to end: sequential recovery, then re-crash and parallel
+	// recovery of the same image must yield identical contents.
+	readAll := func() map[uint64]uint64 {
+		c := e.NewCtx()
+		s := f.New(e, c)
+		out := make(map[uint64]uint64)
+		for key := uint64(1); key <= 400; key++ {
+			if v, ok := s.Get(c, key); ok {
+				out[key] = v
+			}
+		}
+		return out
+	}
+	e.RecoverWith(tracer, engine.RecoverOptions{Parallelism: 1})
+	seq := readAll()
+	for _, par := range []int{2, 4} {
+		e.Crash(pmem.CrashDropAll, rng)
+		e.RecoverWith(tracer, engine.RecoverOptions{Parallelism: par, Sharded: sharded})
+		got := readAll()
+		if len(got) != len(seq) {
+			t.Fatalf("par=%d: recovered %d keys, sequential recovered %d", par, len(got), len(seq))
+		}
+		for key, v := range seq {
+			if got[key] != v {
+				t.Fatalf("par=%d: key %d = %d, want %d", par, key, got[key], v)
+			}
+		}
+	}
+	// Both recoveries must also match the pre-crash model.
+	for key, v := range model {
+		if seq[key] != v {
+			t.Fatalf("recovered key %d = %d, want %d", key, seq[key], v)
+		}
+	}
+	if len(seq) != len(model) {
+		t.Fatalf("recovered %d keys, want %d", len(seq), len(model))
 	}
 }
 

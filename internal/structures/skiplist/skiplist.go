@@ -339,7 +339,101 @@ func TracerAt(e engine.Engine, rootField int) engine.Tracer {
 	}
 }
 
+// ShardedTracer implements structures.ShardableSet.
+func (s *SkipList) ShardedTracer() engine.ShardedTracer {
+	return ShardedTracerAt(s.e, s.rootF)
+}
+
+// shardBounds derives the key boundaries that partition the post-crash
+// image into shards: bounds[s] .. bounds[s+1] delimit shard s's half-open
+// key range. The quantiles are taken over an accelerator level with enough
+// nodes (falling back toward level 0), so every shard walks the same
+// immutable image and computes identical boundaries without coordination.
+func shardBounds(read func(engine.Ref, int) uint64, head engine.Ref, shards int) []uint64 {
+	level := 0
+	for i := MaxLevel - 1; i >= 1; i-- {
+		n := 0
+		for curr := structures.Unmark(read(head, fNext+i)); curr != 0 && n < 4*shards; curr = structures.Unmark(read(curr, fNext+i)) {
+			n++
+		}
+		if n >= 4*shards {
+			level = i
+			break
+		}
+	}
+	var keys []uint64
+	for curr := structures.Unmark(read(head, fNext+level)); curr != 0; curr = structures.Unmark(read(curr, fNext+level)) {
+		keys = append(keys, read(curr, fKey))
+	}
+	bounds := make([]uint64, shards+1)
+	bounds[shards] = ^uint64(0)
+	for j := 1; j < shards; j++ {
+		if len(keys) == 0 {
+			bounds[j] = ^uint64(0)
+		} else {
+			bounds[j] = keys[len(keys)*j/shards]
+		}
+	}
+	return bounds
+}
+
+// ShardedTracerAt partitions TracerAt by key range. Each shard owns the
+// nodes whose keys fall in its boundary range (shard 0 additionally owns
+// the head sentinel); because every level's chain is key-sorted, a shard
+// descends to its range start and walks each level only within its range,
+// deduplicating across levels with a shard-local seen set. Levels are
+// key-sorted even around marked nodes, so each node — including marked and
+// upper-level-only stragglers the sequential tracer visits — is keyed into
+// exactly one shard.
+func ShardedTracerAt(e engine.Engine, rootField int) engine.ShardedTracer {
+	return func(shard, shards int) engine.Tracer {
+		return func(read func(engine.Ref, int) uint64, visit func(engine.Ref, int)) {
+			head := read(e.RootRef(), rootField)
+			if head == 0 {
+				return
+			}
+			if shard == 0 {
+				visit(head, fNext+MaxLevel)
+			}
+			bounds := shardBounds(read, head, shards)
+			lo, hi := bounds[shard], bounds[shard+1]
+			if lo >= hi {
+				return
+			}
+			// Descend to the last node with key < lo on every level.
+			var preds [MaxLevel]engine.Ref
+			node := head
+			for i := MaxLevel - 1; i >= 0; i-- {
+				for {
+					next := structures.Unmark(read(node, fNext+i))
+					if next == 0 || read(next, fKey) >= lo {
+						break
+					}
+					node = next
+				}
+				preds[i] = node
+			}
+			seen := make(map[engine.Ref]bool)
+			for i := 0; i < MaxLevel; i++ {
+				curr := structures.Unmark(read(preds[i], fNext+i))
+				for curr != 0 {
+					k := read(curr, fKey)
+					if k >= hi {
+						break
+					}
+					if k >= lo && !seen[curr] {
+						seen[curr] = true
+						visit(curr, fNext+int(read(curr, fTop)))
+					}
+					curr = structures.Unmark(read(curr, fNext+i))
+				}
+			}
+		}
+	}
+}
+
 var _ structures.Set = (*SkipList)(nil)
+var _ structures.ShardableSet = (*SkipList)(nil)
 
 // Range calls fn for each present key in [from, to] in ascending order,
 // stopping early if fn returns false. Weakly consistent (not a snapshot).

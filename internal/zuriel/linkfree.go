@@ -1,7 +1,6 @@
 package zuriel
 
 import (
-	"fmt"
 	"math/rand"
 	"sync"
 
@@ -255,38 +254,25 @@ func (s *LinkFree) Crash(policy pmem.CrashPolicy, rng *rand.Rand) {
 // state — Zuriel's recovery, which is what makes not persisting pointers
 // sound. Idempotent: a crash during recovery re-scans both old and
 // re-inserted nodes and deduplicates by key.
-func (s *LinkFree) Recover() {
+func (s *LinkFree) Recover() { s.RecoverParallel(1) }
+
+// RecoverParallel implements Set: the heap scan, the sanitize wipe, and the
+// re-insert replay each partition across the workers; the scan's offset-
+// order merge keeps the surviving set identical to sequential recovery.
+func (s *LinkFree) RecoverParallel(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
 	s.mu.Lock()
 	frontier := s.alloc.Frontier()
 	base := s.alloc.Base()
 	s.mu.Unlock()
-	type kv struct{ key, val uint64 }
-	var live []kv
-	seen := make(map[uint64]bool)
-	for off := base; off+lfSize <= frontier; off += lfSize {
-		key := s.dev.ReadRaw(off + lfKey)
-		val := s.dev.ReadRaw(off + lfVal)
-		meta := s.dev.ReadRaw(off + lfMeta)
-		if metaState(meta, key, val) == stateInserted && !seen[key] {
-			seen[key] = true
-			live = append(live, kv{key, val})
-		}
-	}
-	// Sanitize the old heap so stale valid-looking nodes beyond the fresh
-	// allocator's frontier can never be resurrected by a later scan.
-	for off := base; off < frontier; off++ {
-		s.dev.WriteRaw(off, 0)
-	}
-	s.dev.PersistRange(base, int(frontier-base))
+	live := scanLive(s.dev, base, frontier, lfSize, lfKey, lfVal, lfMeta, workers)
+	sanitizeHeap(s.dev, base, frontier, workers)
 	s.mu.Lock()
 	s.initVolatile()
 	s.mu.Unlock()
-	c := s.NewCtx()
-	for _, e := range live {
-		if !s.Insert(c, e.key, e.val) {
-			panic(fmt.Sprintf("zuriel: duplicate key %d during recovery re-insert", e.key))
-		}
-	}
+	reinsert(live, workers, s.NewCtx, s.Insert)
 }
 
 // Counters implements Set.

@@ -1,7 +1,6 @@
 package zuriel
 
 import (
-	"fmt"
 	"math/rand"
 	"sync"
 
@@ -267,38 +266,25 @@ func (s *Soft) Crash(policy pmem.CrashPolicy, rng *rand.Rand) {
 }
 
 // Recover implements Set: sweep the PNode heap and rebuild both halves.
-func (s *Soft) Recover() {
+func (s *Soft) Recover() { s.RecoverParallel(1) }
+
+// RecoverParallel implements Set: partitioned PNode-heap scan, sanitize,
+// and re-insert, exactly as for Link-Free (only the persistent half is
+// scanned — the volatile half is rebuilt by the replay).
+func (s *Soft) RecoverParallel(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
 	s.mu.Lock()
 	frontier := s.palloc.Frontier()
 	base := s.palloc.Base()
 	s.mu.Unlock()
-	type kv struct{ key, val uint64 }
-	var live []kv
-	seen := make(map[uint64]bool)
-	for off := base; off+pnSize <= frontier; off += pnSize {
-		key := s.pdev.ReadRaw(off + pnKey)
-		val := s.pdev.ReadRaw(off + pnVal)
-		meta := s.pdev.ReadRaw(off + pnMeta)
-		if metaState(meta, key, val) == stateInserted && !seen[key] {
-			seen[key] = true
-			live = append(live, kv{key, val})
-		}
-	}
-	// Sanitize the old PNode heap so stale valid-looking nodes cannot be
-	// resurrected by a later scan.
-	for off := base; off < frontier; off++ {
-		s.pdev.WriteRaw(off, 0)
-	}
-	s.pdev.PersistRange(base, int(frontier-base))
+	live := scanLive(s.pdev, base, frontier, pnSize, pnKey, pnVal, pnMeta, workers)
+	sanitizeHeap(s.pdev, base, frontier, workers)
 	s.mu.Lock()
 	s.initVolatile()
 	s.mu.Unlock()
-	c := s.NewCtx()
-	for _, e := range live {
-		if !s.Insert(c, e.key, e.val) {
-			panic(fmt.Sprintf("zuriel: duplicate key %d during SOFT recovery", e.key))
-		}
-	}
+	reinsert(live, workers, s.NewCtx, s.Insert)
 }
 
 // Counters implements Set.

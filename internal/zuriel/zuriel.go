@@ -25,10 +25,12 @@
 package zuriel
 
 import (
+	"fmt"
 	"math/rand"
 
 	"mirror/internal/palloc"
 	"mirror/internal/pmem"
+	"mirror/internal/recovery"
 )
 
 // Node states stored in the low bits of the meta word.
@@ -89,6 +91,10 @@ type Set interface {
 	Freeze()
 	Crash(policy pmem.CrashPolicy, rng *rand.Rand)
 	Recover()
+	// RecoverParallel is Recover with the heap scan, sanitize, and
+	// re-insert phases partitioned across the given number of workers;
+	// RecoverParallel(1) is exactly Recover.
+	RecoverParallel(workers int)
 	// Counters reports cumulative flushes and fences.
 	Counters() (flushes, fences uint64)
 }
@@ -105,4 +111,75 @@ func (c *Config) setDefaults() {
 	if c.Words == 0 {
 		c.Words = 1 << 20
 	}
+}
+
+// kv is one surviving element found by the recovery heap scan.
+type kv struct{ key, val uint64 }
+
+// scanLive sweeps the node heap [base, frontier) for checksum-valid
+// inserted nodes, with the slot range partitioned across workers. The
+// per-segment results are merged in ascending offset order through one
+// seen-set, so the surviving (key, value) list — first valid node per key
+// wins — is identical to the sequential scan's regardless of worker count.
+func scanLive(dev *pmem.Device, base, frontier uint64, size, keyF, valF, metaF, workers int) []kv {
+	slots := 0
+	if frontier > base {
+		slots = int(frontier-base) / size
+	}
+	segs := recovery.Chunks(slots, workers)
+	found := make([][]kv, len(segs))
+	recovery.Run(workers, len(segs), func(i int) {
+		for slot := segs[i][0]; slot < segs[i][1]; slot++ {
+			off := base + uint64(slot*size)
+			key := dev.ReadRaw(off + uint64(keyF))
+			val := dev.ReadRaw(off + uint64(valF))
+			meta := dev.ReadRaw(off + uint64(metaF))
+			if metaState(meta, key, val) == stateInserted {
+				found[i] = append(found[i], kv{key, val})
+			}
+		}
+	})
+	var live []kv
+	seen := make(map[uint64]bool)
+	for _, part := range found {
+		for _, e := range part {
+			if !seen[e.key] {
+				seen[e.key] = true
+				live = append(live, e)
+			}
+		}
+	}
+	return live
+}
+
+// sanitizeHeap zeroes the old node heap (workers splitting the range) and
+// persists the wipe, so stale valid-looking nodes beyond the fresh
+// allocator's frontier can never be resurrected by a later scan.
+func sanitizeHeap(dev *pmem.Device, base, frontier uint64, workers int) {
+	if frontier <= base {
+		return
+	}
+	n := int(frontier - base)
+	segs := recovery.Chunks(n, workers)
+	recovery.Run(workers, len(segs), func(i int) {
+		for off := base + uint64(segs[i][0]); off < base+uint64(segs[i][1]); off++ {
+			dev.WriteRaw(off, 0)
+		}
+	})
+	dev.PersistRange(base, n)
+}
+
+// reinsert replays the surviving elements through insert, partitioned
+// across workers (each with its own context); the elements are already
+// deduplicated, so a duplicate report means the scan is broken.
+func reinsert(live []kv, workers int, newCtx func() *Ctx, insert func(*Ctx, uint64, uint64) bool) {
+	chunks := recovery.Chunks(len(live), workers)
+	recovery.Run(workers, len(chunks), func(i int) {
+		c := newCtx()
+		for _, e := range live[chunks[i][0]:chunks[i][1]] {
+			if !insert(c, e.key, e.val) {
+				panic(fmt.Sprintf("zuriel: duplicate key %d during recovery re-insert", e.key))
+			}
+		}
+	})
 }

@@ -296,3 +296,41 @@ func TestCrashMidWorkloadSingleWriterPerKey(t *testing.T) {
 		}
 	})
 }
+
+func TestParallelRecoveryMatchesSequential(t *testing.T) {
+	forEach(t, func(t *testing.T, s Set) {
+		c := s.NewCtx()
+		rng := rand.New(rand.NewSource(41))
+		model := make(map[uint64]uint64)
+		for i := 0; i < 2000; i++ {
+			key := uint64(rng.Intn(250) + 1)
+			if rng.Intn(3) > 0 {
+				val := uint64(rng.Intn(1 << 30))
+				if s.Insert(c, key, val) {
+					model[key] = val
+				}
+			} else {
+				s.Delete(c, key)
+				delete(model, key)
+			}
+		}
+		// Alternate sequential and parallel recoveries over repeated
+		// crashes of the evolving image; each must reproduce the model.
+		for round, workers := range []int{1, 4, 2, 8} {
+			s.Crash(pmem.CrashKeepAll, rng)
+			s.RecoverParallel(workers)
+			c = s.NewCtx()
+			for key := uint64(1); key <= 250; key++ {
+				want, present := model[key]
+				got, ok := s.Get(c, key)
+				if ok != present || (ok && got != want) {
+					t.Fatalf("round %d workers %d: key %d = (%d,%v), want (%d,%v)",
+						round, workers, key, got, ok, want, present)
+				}
+			}
+			if !s.Insert(c, 9999, 1) || !s.Delete(c, 9999) {
+				t.Fatalf("round %d: set not operational after parallel recovery", round)
+			}
+		}
+	})
+}

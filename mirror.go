@@ -235,6 +235,30 @@ func (r *Runtime) Recover() {
 	})
 }
 
+// RecoverParallel is Recover with a bounded worker pool: the registered
+// tracers are dealt round-robin across parallelism shards, and the trace,
+// volatile-replica rebuild, and allocator reconstruction all run on that
+// many goroutines (see internal/recovery). parallelism <= 1 is exactly
+// Recover. Structures within one shard are traced sequentially; a runtime
+// holding a single large structure gains nothing here — trace it through
+// engine.RecoverWith with its ShardedTracer instead.
+func (r *Runtime) RecoverParallel(parallelism int) {
+	r.mu.Lock()
+	tracers := append([]engine.Tracer(nil), r.tracers...)
+	r.mu.Unlock()
+	sharded := func(shard, shards int) engine.Tracer {
+		return func(read func(engine.Ref, int) uint64, visit func(engine.Ref, int)) {
+			for i := shard; i < len(tracers); i += shards {
+				tracers[i](read, visit)
+			}
+		}
+	}
+	r.eng.RecoverWith(sharded(0, 1), engine.RecoverOptions{
+		Parallelism: parallelism,
+		Sharded:     sharded,
+	})
+}
+
 // Counters reports the cumulative number of flush and fence instructions
 // issued by the runtime's devices.
 func (r *Runtime) Counters() (flushes, fences uint64) { return r.eng.Counters() }

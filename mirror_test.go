@@ -72,6 +72,43 @@ func TestCrashRecoverAllStructures(t *testing.T) {
 	}
 }
 
+// TestRecoverParallelThroughFacade recovers a multi-structure runtime with
+// the worker-pool pipeline and checks it agrees with sequential recovery.
+func TestRecoverParallelThroughFacade(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		rt := New(Options{})
+		c := rt.NewCtx()
+		sets := []Set{
+			rt.NewList(c),
+			rt.NewHashTable(c, 64),
+			rt.NewBST(c),
+			rt.NewSkipList(c),
+		}
+		for i, s := range sets {
+			for k := uint64(1); k <= 60; k++ {
+				s.Insert(c, k*10+uint64(i), k)
+			}
+			for k := uint64(1); k <= 60; k += 3 {
+				s.Delete(c, k*10+uint64(i))
+			}
+		}
+		rt.Crash(CrashDropAll, 5)
+		rt.RecoverParallel(par)
+		c = rt.NewCtx()
+		for i, s := range sets {
+			for k := uint64(1); k <= 60; k++ {
+				want := k%3 != 1
+				if got := s.Contains(c, k*10+uint64(i)); got != want {
+					t.Fatalf("par=%d %s key %d: %v, want %v", par, s.Name(), k*10+uint64(i), got, want)
+				}
+			}
+			if !s.Insert(c, 8888, 1) || !s.Delete(c, 8888) {
+				t.Fatalf("par=%d %s not operational after parallel recovery", par, s.Name())
+			}
+		}
+	}
+}
+
 func TestBaselineEnginesThroughSameAPI(t *testing.T) {
 	for _, kind := range []Kind{OrigDRAM, OrigNVMM, Izraelevitz, NVTraverse, MirrorNVMM} {
 		rt := New(Options{Kind: kind})
