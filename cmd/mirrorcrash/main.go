@@ -3,10 +3,18 @@
 // random moments under randomized eviction adversaries, recovers, and
 // verifies durable linearizability against per-key single-writer histories.
 //
+// With -fuzz it instead drives the adversarial persistence fault model
+// (internal/faultfuzz): seeded crashes at arbitrary device operations,
+// torn/evicted/dropped cache lines, full-history durable-linearizability
+// checking, and automatic shrinking of failures to a re-runnable
+// (-seed, -schedule) reproducer. -schedule replays one such reproducer.
+//
 // Usage:
 //
 //	mirrorcrash -structure hashtable -engine Mirror -rounds 100
 //	mirrorcrash -structure all -engine all -rounds 10
+//	mirrorcrash -fuzz 50 -structure all -engine all -faults torn,evict,drop
+//	mirrorcrash -structure list -engine Mirror -faults torn,drop -seed 7 -schedule w1o5k1c13
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 
 	"mirror/internal/crashtest"
 	"mirror/internal/engine"
+	"mirror/internal/faultfuzz"
 	"mirror/internal/pmem"
 	"mirror/internal/structures"
 	"mirror/internal/structures/bst"
@@ -54,8 +63,21 @@ func main() {
 		engName   = flag.String("engine", "Mirror", "Mirror|MirrorNVMM|Izraelevitz|NVTraverse|all")
 		rounds    = flag.Int("rounds", 20, "crash rounds per combination")
 		seed      = flag.Int64("seed", time.Now().UnixNano(), "base seed")
+		fuzzN     = flag.Int("fuzz", 0, "fault-fuzz iterations per combination (0 = classic crash rounds)")
+		faultsStr = flag.String("faults", "torn,evict,drop", "fault behaviors for -fuzz/-schedule: torn,evict,drop or none")
+		schedule  = flag.String("schedule", "", "replay one reproducer schedule (e.g. w1o5k1c13) with -seed")
+		reproOut  = flag.String("repro-out", "", "write the minimized reproducer to this file on fuzz failure")
 	)
 	flag.Parse()
+
+	faults, err := pmem.ParseFaultSpec(*faultsStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mirrorcrash: %v\n", err)
+		os.Exit(2)
+	}
+	if *schedule != "" {
+		os.Exit(replay(*structure, *engName, faults, *seed, *schedule))
+	}
 
 	var structNames, engNames []string
 	if *structure == "all" {
@@ -77,6 +99,10 @@ func main() {
 	} else {
 		fmt.Fprintf(os.Stderr, "mirrorcrash: unknown engine %q\n", *engName)
 		os.Exit(2)
+	}
+
+	if *fuzzN > 0 {
+		os.Exit(fuzz(structNames, engNames, faults, *seed, *fuzzN, *reproOut))
 	}
 
 	policies := []pmem.CrashPolicy{pmem.CrashDropAll, pmem.CrashKeepAll, pmem.CrashRandom}
@@ -108,4 +134,90 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("OK: durable linearizability held in every round")
+}
+
+// crashAtFor derives a deterministic crash placement in [1, total] from a
+// run seed.
+func crashAtFor(seed, total int64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	return int64(uint64(seed)*0x9E3779B97F4A7C15%uint64(total)) + 1
+}
+
+// fuzz drives the fault-model fuzzer: per combination, fuzzN seeded runs,
+// each with a calibrated mid-flight crash placement. The first failure is
+// shrunk, printed as a re-runnable reproducer, optionally written to
+// reproOut, and fails the process.
+func fuzz(structNames, engNames []string, faults pmem.FaultSpec, baseSeed int64, fuzzN int, reproOut string) int {
+	fmt.Printf("fault-fuzz: faults=%s base seed %d, %d runs per combination\n", faults, baseSeed, fuzzN)
+	for _, sn := range structNames {
+		for _, en := range engNames {
+			start := time.Now()
+			crashed := 0
+			for i := 0; i < fuzzN; i++ {
+				spec := faultfuzz.Spec{
+					Structure: sn,
+					Kind:      engines[en],
+					Faults:    faults,
+					Seed:      baseSeed + int64(i),
+					Schedule:  faultfuzz.Schedule{Workers: 2, OpsPer: 8, Keys: 6},
+				}
+				spec.Schedule.CrashAt = crashAtFor(spec.Seed, faultfuzz.Calibrate(spec))
+				res := faultfuzz.Run(spec)
+				if res.CrashedAt != 0 {
+					crashed++
+				}
+				if !res.Failed() {
+					continue
+				}
+				small, minRes := faultfuzz.Shrink(spec)
+				repro := fmt.Sprintf("mirrorcrash %v", small)
+				fmt.Printf("FAILED %s/%s run %d: %s\n", sn, en, i, minRes.Violations[0])
+				fmt.Printf("reproduce with: %s\n", repro)
+				if reproOut != "" {
+					body := repro + "\n"
+					for _, v := range minRes.Violations {
+						body += "# " + v + "\n"
+					}
+					body += fmt.Sprintf("# media hash %#x, crashed at op %d\n", minRes.MediaHash, minRes.CrashedAt)
+					if err := os.WriteFile(reproOut, []byte(body), 0o644); err != nil {
+						fmt.Fprintf(os.Stderr, "mirrorcrash: writing %s: %v\n", reproOut, err)
+					}
+				}
+				return 1
+			}
+			fmt.Printf("%-10s %-12s %3d fuzz runs (%d mid-flight crashes), clean, %v\n",
+				sn, en, fuzzN, crashed, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	fmt.Println("OK: fault fuzzing found no violations")
+	return 0
+}
+
+// replay re-runs one (seed, schedule) reproducer and reports the media
+// fingerprint, so a failure can be confirmed bit for bit.
+func replay(structure, engName string, faults pmem.FaultSpec, seed int64, scheduleStr string) int {
+	kind, ok := engines[engName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mirrorcrash: -schedule needs a single engine, got %q\n", engName)
+		return 2
+	}
+	sched, err := faultfuzz.ParseSchedule(scheduleStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mirrorcrash: %v\n", err)
+		return 2
+	}
+	spec := faultfuzz.Spec{Structure: structure, Kind: kind, Faults: faults, Seed: seed, Schedule: sched}
+	res := faultfuzz.Run(spec)
+	fmt.Printf("replay %v\n  crashed at op %d of %d, media hash %#x\n",
+		spec, res.CrashedAt, res.OpsTotal, res.MediaHash)
+	if res.Failed() {
+		for _, v := range res.Violations {
+			fmt.Printf("VIOLATION: %s\n", v)
+		}
+		return 1
+	}
+	fmt.Println("OK: no violations")
+	return 0
 }

@@ -1,0 +1,47 @@
+package cmapkv_test
+
+import (
+	"testing"
+
+	"mirror/internal/cmapkv"
+	"mirror/internal/structures/settest"
+)
+
+// TestConformance runs the shared settest KV battery — the same
+// sequential/concurrent/crash+recover cycle the engine-backed sets get —
+// against the lock-based Cmap adapter.
+func TestConformance(t *testing.T) {
+	settest.RunKV(t, func() settest.KVTarget {
+		m := cmapkv.New(cmapkv.Config{Words: 1 << 21, Buckets: 64, Track: true})
+		return settest.KVTarget{
+			NewWorker: func() (func(k, v uint64) bool, func(k uint64) bool, func(k uint64) (uint64, bool)) {
+				c := m.NewCtx()
+				return func(k, v uint64) bool { return m.Put(c, k, v) },
+					func(k uint64) bool { return m.Delete(c, k) },
+					func(k uint64) (uint64, bool) { return m.Get(c, k) }
+			},
+			Len:     m.Len,
+			Crash:   m.Crash,
+			Recover: m.Recover,
+		}
+	})
+}
+
+// TestConformanceSingleBucket forces every key into one chain, which
+// maximizes link traffic through the persist-before-link ordering.
+func TestConformanceSingleBucket(t *testing.T) {
+	settest.RunKV(t, func() settest.KVTarget {
+		m := cmapkv.New(cmapkv.Config{Words: 1 << 21, Buckets: 1, Track: true})
+		return settest.KVTarget{
+			NewWorker: func() (func(k, v uint64) bool, func(k uint64) bool, func(k uint64) (uint64, bool)) {
+				c := m.NewCtx()
+				return func(k, v uint64) bool { return m.Put(c, k, v) },
+					func(k uint64) bool { return m.Delete(c, k) },
+					func(k uint64) (uint64, bool) { return m.Get(c, k) }
+			},
+			Len:     m.Len,
+			Crash:   m.Crash,
+			Recover: m.Recover,
+		}
+	})
+}

@@ -1,0 +1,28 @@
+package durablequeue_test
+
+import (
+	"testing"
+
+	"mirror/internal/durablequeue"
+	"mirror/internal/structures/settest"
+)
+
+// TestConformance runs the shared settest queue battery — FIFO semantics
+// against a model, per-producer order under concurrency, and the quiesced
+// crash+recover cycle over every crash policy — against the hand-made
+// durable queue.
+func TestConformance(t *testing.T) {
+	settest.RunQueue(t, func() settest.QueueTarget {
+		q := durablequeue.New(durablequeue.Config{Words: 1 << 21, Track: true})
+		return settest.QueueTarget{
+			NewWorker: func() (func(v uint64), func() (uint64, bool)) {
+				c := q.NewCtx()
+				return func(v uint64) { q.Enqueue(c, v) },
+					func() (uint64, bool) { return q.Dequeue(c) }
+			},
+			Len:     q.Len,
+			Crash:   q.Crash,
+			Recover: q.Recover,
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package engine
+
+import "mirror/internal/patomic"
+
+// brokenMirror is a Mirror engine whose write operations run through
+// patomic.BrokenMem — the copy of the write path with the own-install
+// flush+fence removed. It exists so the fault fuzzer can prove it detects
+// a real durability bug; see NewBrokenMirror.
+type brokenMirror struct {
+	*mirrorEngine
+	bm patomic.BrokenMem
+}
+
+// NewBrokenMirror returns a Mirror engine with a deliberately seeded
+// durability bug: Store/CAS/FetchAdd install values that are visible (and
+// so can complete operations) before they are durable. Reads, allocation,
+// initialization, crash, and recovery are the unmodified Mirror paths.
+// Test-only: the fault fuzzer's self-test must catch this engine, and the
+// acceptance bar for any fuzzer change is that it still does.
+func NewBrokenMirror(cfg Config) Engine {
+	cfg.Kind = MirrorDRAM
+	cfg.setDefaults()
+	me := newMirror(cfg)
+	return &brokenMirror{mirrorEngine: me, bm: patomic.BrokenMem{Mem: &me.mem}}
+}
+
+func (e *brokenMirror) Store(c *Ctx, ref Ref, field int, v uint64) {
+	e.bm.Store(&c.pa, e.cellAddr(ref, field), v)
+}
+
+func (e *brokenMirror) CAS(c *Ctx, ref Ref, field int, old, new uint64) bool {
+	ok, _ := e.bm.CompareAndSwap(&c.pa, e.cellAddr(ref, field), old, new)
+	return ok
+}
+
+func (e *brokenMirror) FetchAdd(c *Ctx, ref Ref, field int, delta uint64) uint64 {
+	return e.bm.FetchAdd(&c.pa, e.cellAddr(ref, field), delta)
+}

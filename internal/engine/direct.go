@@ -232,6 +232,15 @@ func (e *directEngine) RecoveryLoad(ref Ref, field int) uint64 {
 	return e.dev.ReadRaw(e.addr(ref, field))
 }
 
+// PersistentDevices returns the single device for the durable direct
+// engines; the non-durable originals have no crash-surviving device.
+func (e *directEngine) PersistentDevices() []*pmem.Device {
+	if !e.durable() {
+		return nil
+	}
+	return []*pmem.Device{e.dev}
+}
+
 func (e *directEngine) Counters() (uint64, uint64) {
 	return e.dev.Counters()
 }

@@ -198,6 +198,12 @@ type Engine interface {
 	// only valid between Crash and the end of Recover.
 	RecoveryLoad(ref Ref, field int) uint64
 
+	// PersistentDevices returns the devices whose contents survive a
+	// crash (one for the direct durable engines, rep_p for Mirror, none
+	// for the non-durable originals). Fault injectors install adversaries
+	// and fingerprint post-crash media images through it.
+	PersistentDevices() []*pmem.Device
+
 	// Counters reports cumulative flush and fence counts across all
 	// devices (for the ablation benchmarks).
 	Counters() (flushes, fences uint64)

@@ -203,6 +203,12 @@ func CheckMirrorInvariants(e Engine, ref Ref, fields int) string {
 	return ""
 }
 
+// PersistentDevices returns rep_p: only the persistent replica survives a
+// crash, so it is the only device faults are injected into.
+func (e *mirrorEngine) PersistentDevices() []*pmem.Device {
+	return []*pmem.Device{e.mem.P}
+}
+
 func (e *mirrorEngine) Stats() (uint64, uint64) {
 	return e.mem.Stats()
 }

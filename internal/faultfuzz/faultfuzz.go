@@ -1,0 +1,362 @@
+// Package faultfuzz is the seeded crash fuzzer over the adversarial
+// persistence fault model of internal/pmem: it runs randomized concurrent
+// workloads against the durable engines, fires a seeded crash trigger at an
+// arbitrary device operation mid-flight, lets the fault adversary decide the
+// fate of every dirty cache line (persist / drop / tear), recovers, and
+// cross-checks the survivor:
+//
+//   - structural fsck (internal/verify) plus the Lemma 5.3–5.5 replica
+//     invariants on every reachable object (Mirror engines);
+//   - durable linearizability of the recorded operation history against the
+//     recovered state (internal/linearize.CheckDurable);
+//   - torn-value detection (every stored value must equal its key);
+//   - an operational probe (the structure still works).
+//
+// Every run is parameterized by (seed, schedule); a single-threaded
+// schedule replays to the bit-identical post-crash media image, which is
+// what Result.MediaHash fingerprints. Shrink reduces a failing spec to a
+// minimal reproducer.
+package faultfuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"mirror/internal/engine"
+	"mirror/internal/linearize"
+	"mirror/internal/pmem"
+	"mirror/internal/structures"
+	"mirror/internal/structures/bst"
+	"mirror/internal/structures/hashtable"
+	"mirror/internal/structures/list"
+	"mirror/internal/structures/skiplist"
+	"mirror/internal/verify"
+)
+
+// Schedule is the shape of one fuzz workload. It is one half of the
+// reproducer pair: (seed, schedule) fully determines a Workers=1 run.
+type Schedule struct {
+	Workers int   // concurrent worker goroutines
+	OpsPer  int   // recorded operations per worker
+	Keys    int   // keyspace [1, Keys]
+	CrashAt int64 // device-op index where the crash fires; 0 = at workload end
+}
+
+// String renders the canonical re-runnable form, e.g. "w2o8k6c137".
+func (s Schedule) String() string {
+	return fmt.Sprintf("w%do%dk%dc%d", s.Workers, s.OpsPer, s.Keys, s.CrashAt)
+}
+
+// ParseSchedule parses the String form.
+func ParseSchedule(str string) (Schedule, error) {
+	var s Schedule
+	if _, err := fmt.Sscanf(str, "w%do%dk%dc%d", &s.Workers, &s.OpsPer, &s.Keys, &s.CrashAt); err != nil {
+		return s, fmt.Errorf("faultfuzz: bad schedule %q (want wWoOkKcC): %v", str, err)
+	}
+	return s, nil
+}
+
+func (s *Schedule) setDefaults() {
+	if s.Workers <= 0 {
+		s.Workers = 2
+	}
+	if s.OpsPer <= 0 {
+		s.OpsPer = 8
+	}
+	if s.Keys <= 0 {
+		s.Keys = 6
+	}
+	// The durable-linearizability search is bounded to 64 ops total.
+	for s.Workers*s.OpsPer > 48 {
+		s.OpsPer--
+	}
+}
+
+// Spec is one complete fuzz-run configuration.
+type Spec struct {
+	Structure string      // list | hashtable | bst | skiplist
+	Kind      engine.Kind // a durable engine kind
+	Faults    pmem.FaultSpec
+	Seed      int64
+	Schedule  Schedule
+	Words     int
+	// NewEngine overrides engine construction (test hook for deliberately
+	// broken engines). nil means engine.New.
+	NewEngine func(engine.Config) engine.Engine
+}
+
+// String renders the reproducer line a failing run prints.
+func (s Spec) String() string {
+	return fmt.Sprintf("-structure=%s -engine=%s -faults=%s -seed=%d -schedule=%s",
+		s.Structure, s.Kind, s.Faults, s.Seed, s.Schedule)
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Violations []string
+	// MediaHash fingerprints the persistent media image between crash and
+	// recovery; Workers=1 replays of the same spec must reproduce it.
+	MediaHash uint64
+	// OpsTotal is the model's device-op clock after the run; fuzzers
+	// calibrate CrashAt by sampling [1, OpsTotal] of a c0 dry run.
+	OpsTotal int64
+	// CrashedAt is the op index where the trigger fired (0 = it did not;
+	// the crash was taken at workload end instead).
+	CrashedAt int64
+}
+
+// Failed reports whether the run found any violation.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+func (r *Result) addf(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// target bundles the per-structure hooks.
+type target struct {
+	rootField int
+	build     func(e engine.Engine, c *engine.Ctx) structures.Set
+	tracer    func(e engine.Engine) engine.Tracer
+	fsck      func(e engine.Engine, c *engine.Ctx) *verify.Report
+}
+
+func targets() map[string]target {
+	return map[string]target{
+		"list": {
+			rootField: 0,
+			build:     func(e engine.Engine, c *engine.Ctx) structures.Set { return list.New(e, 0) },
+			tracer:    func(e engine.Engine) engine.Tracer { return list.TracerAt(e, 0) },
+			fsck:      func(e engine.Engine, c *engine.Ctx) *verify.Report { return verify.List(e, c, 0) },
+		},
+		"hashtable": {
+			rootField: 0,
+			build:     func(e engine.Engine, c *engine.Ctx) structures.Set { return hashtable.New(e, c, 16) },
+			tracer:    func(e engine.Engine) engine.Tracer { return hashtable.TracerAt(e, 0) },
+			fsck:      func(e engine.Engine, c *engine.Ctx) *verify.Report { return verify.HashTable(e, c, 0) },
+		},
+		"bst": {
+			rootField: 2,
+			build:     func(e engine.Engine, c *engine.Ctx) structures.Set { return bst.New(e, c) },
+			tracer:    func(e engine.Engine) engine.Tracer { return bst.TracerAt(e, 2) },
+			fsck:      func(e engine.Engine, c *engine.Ctx) *verify.Report { return verify.BST(e, c, 2) },
+		},
+		"skiplist": {
+			rootField: 3,
+			build:     func(e engine.Engine, c *engine.Ctx) structures.Set { return skiplist.New(e, c) },
+			tracer:    func(e engine.Engine) engine.Tracer { return skiplist.TracerAt(e, 3) },
+			fsck: func(e engine.Engine, c *engine.Ctx) *verify.Report {
+				return verify.SkipList(e, c, 3, skiplist.MaxLevel)
+			},
+		},
+	}
+}
+
+// Structures lists the fuzzable structure names, sorted.
+func Structures() []string {
+	var names []string
+	for name := range targets() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// guard runs f, converting an ErrFrozen panic (the simulated power cut)
+// into a false return. Any other panic propagates.
+func guard(f func()) (completed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r != pmem.ErrFrozen {
+				panic(r)
+			}
+		}
+	}()
+	f()
+	return true
+}
+
+// Run executes one fuzz run and returns its result.
+func Run(spec Spec) *Result {
+	spec.Schedule.setDefaults()
+	if !spec.Kind.Durable() {
+		panic("faultfuzz: engine kind is not durable")
+	}
+	tgt, ok := targets()[spec.Structure]
+	if !ok {
+		panic(fmt.Sprintf("faultfuzz: unknown structure %q", spec.Structure))
+	}
+	newEngine := spec.NewEngine
+	if newEngine == nil {
+		newEngine = engine.New
+	}
+	words := spec.Words
+	if words == 0 {
+		words = 1 << 17
+	}
+	res := &Result{}
+
+	e := newEngine(engine.Config{Kind: spec.Kind, Words: words, Track: true})
+	fm := pmem.NewFaultModel(spec.Seed, spec.Faults)
+	devs := e.PersistentDevices()
+	for _, d := range devs {
+		d.InjectFaults(fm)
+	}
+	if spec.Schedule.CrashAt > 0 {
+		fm.CrashAfter(spec.Schedule.CrashAt)
+	}
+
+	// Construction is inside the crash window: the trigger may cut it.
+	var set structures.Set
+	built := guard(func() {
+		set = tgt.build(e, e.NewCtx())
+	})
+
+	hist := linearize.NewHistory()
+	if built {
+		var wg sync.WaitGroup
+		for w := 0; w < spec.Schedule.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				guard(func() {
+					c := e.NewCtx()
+					rec := hist.Record(set, w)
+					rng := rand.New(rand.NewSource(spec.Seed*1000 + int64(w)))
+					for i := 0; i < spec.Schedule.OpsPer; i++ {
+						key := uint64(1 + rng.Intn(spec.Schedule.Keys))
+						switch rng.Intn(4) {
+						case 0, 1: // insert-heavy so state accumulates
+							rec.Insert(c, key, key)
+						case 2:
+							rec.Delete(c, key)
+						default:
+							rec.Contains(c, key)
+						}
+					}
+				})
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Take the crash: quiesce, then let the fault adversary decide every
+	// dirty line's fate (the policy argument is superseded by the model).
+	e.Freeze()
+	e.Crash(pmem.CrashDropAll, nil)
+	res.CrashedAt = fm.CrashedAt()
+	res.OpsTotal = fm.Ops()
+	// The crash has been taken (or its moment passed un-hit): disarm the
+	// trigger so recovery and verification run under eviction stress only.
+	fm.CrashAfter(0)
+	for _, d := range devs {
+		res.MediaHash = res.MediaHash*fnvPrime ^ d.MediaHash()
+	}
+
+	// Recovery must neither panic nor leave a broken structure behind.
+	if !guard(func() { e.Recover(tgt.tracer(e)) }) {
+		res.addf("recovery crashed (froze) — recovery must not touch the crash trigger")
+		return res
+	}
+	c := e.NewCtx()
+	if !guard(func() { set = tgt.build(e, c) }) {
+		res.addf("re-attach after recovery froze the device")
+		return res
+	}
+
+	// Structural fsck.
+	if rep := tgt.fsck(e, c); !rep.Ok() {
+		for _, p := range rep.Problems {
+			res.addf("fsck: %s", p)
+		}
+	}
+	// Lemma 5.3–5.5 replica invariants on every reachable object.
+	tgt.tracer(e)(
+		func(ref engine.Ref, field int) uint64 { return e.TraversalLoad(c, ref, field) },
+		func(ref engine.Ref, fields int) {
+			if msg := engine.CheckMirrorInvariants(e, ref, fields); msg != "" {
+				res.addf("replica invariant: %s", msg)
+			}
+		})
+
+	// Observed final state + torn-value check (every value equals its key).
+	final := make(map[uint64]bool)
+	for key := uint64(1); key <= uint64(spec.Schedule.Keys); key++ {
+		if set.Contains(c, key) {
+			final[key] = true
+			if v, ok := set.Get(c, key); !ok || v != key {
+				res.addf("torn value: key %d has value %d after recovery", key, v)
+			}
+		}
+	}
+	// Durable linearizability of the recorded history against that state.
+	if err := linearize.CheckDurable(hist, nil, final); err != nil {
+		res.addf("%v (completed=%d pending=%d state=%v)", err, len(hist.Ops), len(hist.Pending), final)
+	}
+	// Operational probe.
+	probe := uint64(spec.Schedule.Keys + 100)
+	if !set.Insert(c, probe, 1) || !set.Contains(c, probe) || !set.Delete(c, probe) {
+		res.addf("post-recovery operations failed on probe key %d", probe)
+	}
+	return res
+}
+
+const fnvPrime = 1099511628211
+
+// Calibrate measures the device-op clock of a full (crash-free) run of the
+// spec so a fuzzer can sample CrashAt uniformly from [1, OpsTotal].
+func Calibrate(spec Spec) int64 {
+	spec.Schedule.CrashAt = 0
+	return Run(spec).OpsTotal
+}
+
+// Shrink greedily reduces a failing spec while it keeps failing: fewer
+// workers first (a Workers=1 reproducer is exactly replayable), then fewer
+// ops, fewer keys, and earlier crash points. It returns the minimal spec
+// and its failing result; if the input spec does not fail, it is returned
+// unchanged with its (passing) result.
+func Shrink(spec Spec) (Spec, *Result) {
+	spec.Schedule.setDefaults()
+	best := Run(spec)
+	if !best.Failed() {
+		return spec, best
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, cand := range reductions(spec) {
+			if r := Run(cand); r.Failed() {
+				spec, best = cand, r
+				changed = true
+				break
+			}
+		}
+	}
+	return spec, best
+}
+
+// reductions proposes strictly smaller candidate specs.
+func reductions(s Spec) []Spec {
+	var out []Spec
+	add := func(mutate func(*Schedule)) {
+		c := s
+		mutate(&c.Schedule)
+		out = append(out, c)
+	}
+	if s.Schedule.Workers > 1 {
+		add(func(sc *Schedule) { sc.Workers = 1 })
+	}
+	if s.Schedule.OpsPer > 1 {
+		add(func(sc *Schedule) { sc.OpsPer /= 2 })
+		add(func(sc *Schedule) { sc.OpsPer-- })
+	}
+	if s.Schedule.Keys > 1 {
+		add(func(sc *Schedule) { sc.Keys /= 2 })
+		add(func(sc *Schedule) { sc.Keys-- })
+	}
+	if s.Schedule.CrashAt > 1 {
+		add(func(sc *Schedule) { sc.CrashAt /= 2 })
+		add(func(sc *Schedule) { sc.CrashAt-- })
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package faultfuzz
+
+import (
+	"fmt"
+	"testing"
+
+	"mirror/internal/crashtest"
+	"mirror/internal/engine"
+	"mirror/internal/pmem"
+	"mirror/internal/zuriel"
+)
+
+func durableKinds() []engine.Kind {
+	return []engine.Kind{engine.Izraelevitz, engine.NVTraverse, engine.MirrorDRAM, engine.MirrorNVMM}
+}
+
+// fuzzRounds runs the spec at several seeded crash placements (calibrated
+// against a dry run) and reports every failure to t.
+func fuzzRounds(t *testing.T, spec Spec, seeds []int64) {
+	t.Helper()
+	fired := 0
+	for _, seed := range seeds {
+		spec.Seed = seed
+		total := Calibrate(spec)
+		if total <= 0 {
+			t.Fatalf("%v: calibration returned %d device ops", spec, total)
+		}
+		for _, frac := range []int64{4, 2, 3} {
+			spec.Schedule.CrashAt = 1 + (seed*2654435761+total/frac)%total
+			if spec.Schedule.CrashAt < 1 {
+				spec.Schedule.CrashAt = 1
+			}
+			res := Run(spec)
+			for _, v := range res.Violations {
+				t.Errorf("%v: %s", spec, v)
+			}
+			if t.Failed() {
+				return
+			}
+			if res.CrashedAt != 0 {
+				fired++
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatalf("%v: the crash trigger never fired mid-flight in %d rounds", spec, 3*len(seeds))
+	}
+}
+
+// TestAllEnginesAllFaults exercises torn+evict+drop against every durable
+// engine and every structure: the unmodified engines must survive any
+// crash placement with verify + linearize clean.
+func TestAllEnginesAllFaults(t *testing.T) {
+	all := pmem.FaultSpec{Torn: true, Evict: true, Drop: true}
+	for _, structure := range Structures() {
+		for _, kind := range durableKinds() {
+			structure, kind := structure, kind
+			t.Run(fmt.Sprintf("%s/%s", structure, kind), func(t *testing.T) {
+				t.Parallel()
+				fuzzRounds(t, Spec{
+					Structure: structure,
+					Kind:      kind,
+					Faults:    all,
+					Schedule:  Schedule{Workers: 2, OpsPer: 8, Keys: 6},
+				}, []int64{1, 2, 3})
+			})
+		}
+	}
+}
+
+// TestIndividualFaults exercises each fault behavior in isolation (plus
+// concurrent workers) on one structure per behavior.
+func TestIndividualFaults(t *testing.T) {
+	cases := []struct {
+		structure string
+		faults    pmem.FaultSpec
+	}{
+		{"list", pmem.FaultSpec{Torn: true}},
+		{"hashtable", pmem.FaultSpec{Evict: true}},
+		{"skiplist", pmem.FaultSpec{Drop: true}},
+		{"bst", pmem.FaultSpec{Torn: true, Drop: true}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/%s", tc.structure, tc.faults), func(t *testing.T) {
+			t.Parallel()
+			fuzzRounds(t, Spec{
+				Structure: tc.structure,
+				Kind:      engine.MirrorDRAM,
+				Faults:    tc.faults,
+				Schedule:  Schedule{Workers: 3, OpsPer: 8, Keys: 8},
+			}, []int64{11, 12})
+		})
+	}
+}
+
+// TestBrokenMirrorCaught is the fuzzer's acceptance self-test: a Mirror
+// engine whose write path skips the own-install flush+fence (test-only
+// copy, engine.NewBrokenMirror) must be caught within a bounded budget,
+// the failing spec must shrink, and replaying the printed (seed, schedule)
+// reproducer must deterministically reproduce the same failing media image.
+func TestBrokenMirrorCaught(t *testing.T) {
+	base := Spec{
+		Structure: "list",
+		Kind:      engine.MirrorDRAM,
+		Faults:    pmem.FaultSpec{Torn: true, Drop: true},
+		NewEngine: engine.NewBrokenMirror,
+		// Workers=1 keeps every attempt exactly replayable.
+		Schedule: Schedule{Workers: 1, OpsPer: 10, Keys: 4},
+	}
+	var caught *Spec
+	var firstFail *Result
+	attempts := 0
+hunt:
+	for seed := int64(1); seed <= 30; seed++ {
+		spec := base
+		spec.Seed = seed
+		total := Calibrate(spec)
+		for _, frac := range []int64{2, 3, 4, 5} {
+			spec.Schedule.CrashAt = 1 + total*(frac-1)/frac%total
+			attempts++
+			if res := Run(spec); res.Failed() {
+				caught, firstFail = &spec, res
+				break hunt
+			}
+		}
+	}
+	if caught == nil {
+		t.Fatalf("seeded durability bug not caught in %d attempts", attempts)
+	}
+	t.Logf("caught after %d attempts: %v\n  %s", attempts, *caught, firstFail.Violations[0])
+
+	// Shrink to a minimal reproducer; it must still fail.
+	small, res := Shrink(*caught)
+	if !res.Failed() {
+		t.Fatalf("shrink lost the failure: %v", small)
+	}
+	t.Logf("shrunk reproducer: %v (%d violations)", small, len(res.Violations))
+
+	// Replay determinism: same (seed, schedule) — same media image, still
+	// failing. Two fresh replays must agree with each other bit for bit.
+	r1 := Run(small)
+	r2 := Run(small)
+	if !r1.Failed() || !r2.Failed() {
+		t.Fatalf("replay of shrunk reproducer did not fail (r1=%v r2=%v)", r1.Violations, r2.Violations)
+	}
+	if r1.MediaHash != r2.MediaHash {
+		t.Fatalf("replays produced different media images: %#x vs %#x", r1.MediaHash, r2.MediaHash)
+	}
+	if r1.CrashedAt != r2.CrashedAt {
+		t.Fatalf("replays crashed at different ops: %d vs %d", r1.CrashedAt, r2.CrashedAt)
+	}
+}
+
+// TestUnbrokenMirrorNotCaught is the control for the self-test: the same
+// hunt against the correct engine must come up empty.
+func TestUnbrokenMirrorNotCaught(t *testing.T) {
+	spec := Spec{
+		Structure: "list",
+		Kind:      engine.MirrorDRAM,
+		Faults:    pmem.FaultSpec{Torn: true, Drop: true},
+		Schedule:  Schedule{Workers: 1, OpsPer: 10, Keys: 4},
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		spec.Seed = seed
+		total := Calibrate(spec)
+		for _, frac := range []int64{2, 3, 4} {
+			spec.Schedule.CrashAt = 1 + total*(frac-1)/frac%total
+			if res := Run(spec); res.Failed() {
+				t.Fatalf("correct engine flagged: %v: %v", spec, res.Violations)
+			}
+		}
+	}
+}
+
+// TestScheduleRoundTrip pins the reproducer codec.
+func TestScheduleRoundTrip(t *testing.T) {
+	s := Schedule{Workers: 3, OpsPer: 12, Keys: 7, CrashAt: 4211}
+	got, err := ParseSchedule(s.String())
+	if err != nil || got != s {
+		t.Fatalf("round trip %v -> %v, %v", s, got, err)
+	}
+	if _, err := ParseSchedule("bogus"); err == nil {
+		t.Fatal("bogus schedule accepted")
+	}
+}
+
+// TestZurielUnderFaults puts the hand-made durable sets under the fault
+// adversary via the custom crash harness: torn and dropped lines must be
+// absorbed by the checksum validity scheme.
+func TestZurielUnderFaults(t *testing.T) {
+	mks := map[string]func() zuriel.Set{
+		"LinkFree": func() zuriel.Set { return zuriel.NewLinkFree(zuriel.Config{Words: 1 << 21, Buckets: 16, Track: true}) },
+		"SOFT":     func() zuriel.Set { return zuriel.NewSoft(zuriel.Config{Words: 1 << 21, Buckets: 16, Track: true}) },
+	}
+	for name, mk := range mks {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				s := mk()
+				fm := pmem.NewFaultModel(seed, pmem.FaultSpec{Torn: true, Evict: true, Drop: true})
+				s.InjectFaults(fm)
+				// A modest trigger lands the crash mid-workload; the
+				// FreezeLag path would race it, so trigger directly.
+				fm.CrashAfter(2000 + seed*517)
+				target := crashtest.CustomTarget{
+					NewWorker: func() (func(k, v uint64) bool, func(k uint64) bool, func(k uint64) bool) {
+						c := s.NewCtx()
+						return func(k, v uint64) bool { return s.Insert(c, k, v) },
+							func(k uint64) bool { return s.Delete(c, k) },
+							func(k uint64) bool { return s.Contains(c, k) }
+					},
+					Freeze:  s.Freeze,
+					Crash:   s.Crash,
+					Recover: s.Recover,
+				}
+				for _, v := range crashtest.RunCustom(target, crashtest.Config{
+					Policy: pmem.CrashDropAll, Seed: seed * 13, Workers: 3, KeysPer: 16,
+				}) {
+					t.Errorf("seed %d key=%d: %s (got present=%v, want %s)", seed, v.Key, v.Context, v.Got, v.Want)
+				}
+			}
+		})
+	}
+}

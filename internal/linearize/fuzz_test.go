@@ -1,0 +1,206 @@
+package linearize
+
+import (
+	"testing"
+)
+
+// decodeOps turns fuzz bytes into a bounded, well-formed operation list:
+// 4 bytes per op (kind, key, result+inv, res-delta), a 2-key keyspace to
+// force conflicts, and timestamps in a small range so intervals overlap.
+func decodeOps(data []byte, max int) ([]Op, []byte) {
+	var ops []Op
+	for len(data) >= 4 && len(ops) < max {
+		inv := uint64(data[2]>>1) % 12
+		ops = append(ops, Op{
+			Kind:   OpKind(data[0] % 3),
+			Key:    uint64(data[1] % 2),
+			Result: data[2]&1 == 1,
+			Inv:    inv,
+			Res:    inv + 1 + uint64(data[3])%12,
+		})
+		data = data[4:]
+	}
+	return ops, data
+}
+
+// permutations returns all orderings of [0, n).
+func permutations(n int) [][]int {
+	var out [][]int
+	perm := make([]int, 0, n)
+	used := make([]bool, n)
+	var build func()
+	build = func() {
+		if len(perm) == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				used[i] = true
+				perm = append(perm, i)
+				build()
+				perm = perm[:len(perm)-1]
+				used[i] = false
+			}
+		}
+	}
+	build()
+	return out
+}
+
+// validSeq checks one candidate order the slow, obvious way: pairwise
+// real-time (an op whose response precedes another's invocation comes
+// first) and sequential set legality. It returns the reached final state.
+func validSeq(ops []Op, perm []int, initial map[uint64]bool) (bool, map[uint64]bool) {
+	for a := 0; a < len(perm); a++ {
+		for b := a + 1; b < len(perm); b++ {
+			if ops[perm[b]].Res < ops[perm[a]].Inv {
+				return false, nil
+			}
+		}
+	}
+	s := make(map[uint64]bool, len(initial))
+	for k, v := range initial {
+		s[k] = v
+	}
+	for _, i := range perm {
+		if !apply(s, ops[i]) {
+			return false, nil
+		}
+	}
+	return true, s
+}
+
+// oracleCheck is the brute-force linearizability oracle: try every
+// permutation.
+func oracleCheck(ops []Op, initial map[uint64]bool) bool {
+	for _, perm := range permutations(len(ops)) {
+		if ok, _ := validSeq(ops, perm, initial); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// oracleDurable is the brute-force durable-linearizability oracle: every
+// subset of the pending writes taken as successful, every interleaving,
+// and the reached state must equal the recovered one.
+func oracleDurable(done, pending []Op, initial, final map[uint64]bool) bool {
+	target := setState(final)
+	var writes []Op
+	for _, op := range pending {
+		if op.Kind != OpContains {
+			eff := op
+			eff.Result = true
+			writes = append(writes, eff)
+		}
+	}
+	for mask := 0; mask < 1<<len(writes); mask++ {
+		combined := append([]Op(nil), done...)
+		for i, op := range writes {
+			if mask&(1<<i) != 0 {
+				combined = append(combined, op)
+			}
+		}
+		for _, perm := range permutations(len(combined)) {
+			if ok, s := validSeq(combined, perm, initial); ok && setState(s) == target {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func FuzzCheck(f *testing.F) {
+	f.Add([]byte{0, 0, 3, 0, 1, 0, 2, 1})          // insert ok, delete ok, sequential
+	f.Add([]byte{2, 0, 3, 9, 0, 0, 3, 9})          // overlapping contains/insert
+	f.Add([]byte{0, 1, 1, 1, 0, 1, 3, 1, 1, 1, 2}) // double insert same key
+	f.Add([]byte{2, 0, 3, 0, 2, 0, 2, 0, 1, 0, 5}) // contains true with no insert
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, _ := decodeOps(data, 6)
+		h := &History{Ops: ops}
+		got := Check(h, nil) == nil
+		want := oracleCheck(ops, nil)
+		if got != want {
+			t.Fatalf("Check = %v, oracle = %v for ops %+v", got, want, ops)
+		}
+	})
+}
+
+func FuzzCheckDurable(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 3, 0, 1})                   // 1 done, 1 pending insert, final {0}
+	f.Add([]byte{17, 0, 0, 3, 0, 1, 0, 2, 0})         // done insert + pending delete
+	f.Add([]byte{2, 0, 0, 3, 0, 1, 1, 5, 2, 0, 6, 0}) // 2 done, empty final
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		nDone := 1 + int(data[0])%4
+		nPend := int(data[0]>>4) % 3
+		finalBits := data[1]
+		done, rest := decodeOps(data[2:], nDone)
+		var pending []Op
+		for len(rest) >= 2 && len(pending) < nPend {
+			pending = append(pending, Op{
+				Kind: OpKind(rest[0] % 3),
+				Key:  uint64(rest[1] % 2),
+				Inv:  uint64(rest[1]>>1) % 12,
+				Res:  ^uint64(0),
+			})
+			rest = rest[2:]
+		}
+		final := map[uint64]bool{0: finalBits&1 != 0, 1: finalBits&2 != 0}
+		h := &History{Ops: done, Pending: pending}
+		got := CheckDurable(h, nil, final) == nil
+		want := oracleDurable(done, pending, nil, final)
+		if got != want {
+			t.Fatalf("CheckDurable = %v, oracle = %v for done %+v pending %+v final %v",
+				got, want, done, pending, final)
+		}
+	})
+}
+
+// TestCheckDurable pins the checker's crash semantics on hand-built
+// histories before the fuzzer ever runs.
+func TestCheckDurable(t *testing.T) {
+	ins := func(key uint64, inv, res uint64) Op {
+		return Op{Kind: OpInsert, Key: key, Result: true, Inv: inv, Res: res}
+	}
+	cases := []struct {
+		name    string
+		done    []Op
+		pending []Op
+		final   map[uint64]bool
+		ok      bool
+	}{
+		{"completed insert survives", []Op{ins(1, 1, 2)}, nil, map[uint64]bool{1: true}, true},
+		{"completed insert lost", []Op{ins(1, 1, 2)}, nil, map[uint64]bool{}, false},
+		{"pending insert took effect", nil, []Op{{Kind: OpInsert, Key: 1, Inv: 1, Res: ^uint64(0)}}, map[uint64]bool{1: true}, true},
+		{"pending insert vanished", nil, []Op{{Kind: OpInsert, Key: 1, Inv: 1, Res: ^uint64(0)}}, map[uint64]bool{}, true},
+		{"state from nowhere", nil, nil, map[uint64]bool{3: true}, false},
+		{"pending delete of completed insert", []Op{ins(2, 1, 2)},
+			[]Op{{Kind: OpDelete, Key: 2, Inv: 3, Res: ^uint64(0)}}, map[uint64]bool{}, true},
+		{"pending cannot precede its invocation", []Op{ins(2, 5, 6)},
+			[]Op{{Kind: OpDelete, Key: 2, Inv: 1, Res: ^uint64(0)}}, map[uint64]bool{}, true},
+	}
+	for _, tc := range cases {
+		h := &History{Ops: tc.done, Pending: tc.pending}
+		err := CheckDurable(h, nil, tc.final)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: CheckDurable = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestCheckDurableRealTimeOrder: op B responded before op A was invoked,
+// so A cannot linearize first — a recovered state explicable only by
+// reordering them must be rejected.
+func TestCheckDurableRealTimeOrder(t *testing.T) {
+	h := &History{Ops: []Op{
+		{Kind: OpInsert, Key: 1, Result: true, Inv: 1, Res: 2},
+		{Kind: OpDelete, Key: 1, Result: false, Inv: 5, Res: 6}, // failed delete AFTER the insert: contradiction
+	}}
+	if err := CheckDurable(h, nil, map[uint64]bool{1: true}); err == nil {
+		t.Fatal("failed delete after completed insert of the same key should not linearize")
+	}
+}

@@ -57,8 +57,13 @@ type Op struct {
 // most 64 operations (the search uses a bitmask).
 type History struct {
 	clock atomic.Uint64
-	mu    chan struct{} // 1-slot semaphore guarding Ops
+	mu    chan struct{} // 1-slot semaphore guarding Ops and Pending
 	Ops   []Op
+	// Pending holds operations cut by a crash: invoked, never responded.
+	// Their Res is ^uint64(0) (they constrain no one's real-time order)
+	// and their Result is meaningless. Check ignores them; CheckDurable
+	// lets each one either take effect or vanish.
+	Pending []Op
 }
 
 // NewHistory creates an empty history.
@@ -83,7 +88,23 @@ type Recorder struct {
 
 func (r *Recorder) record(kind OpKind, key uint64, f func() bool) bool {
 	inv := r.h.clock.Add(1)
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		// The operation panicked — in the crash harness that means the
+		// device froze mid-operation. Record it as pending (invoked, no
+		// response) while the panic keeps unwinding.
+		<-r.h.mu
+		r.h.Pending = append(r.h.Pending, Op{
+			Kind: kind, Key: key,
+			Inv: inv, Res: ^uint64(0), Thread: r.thread,
+		})
+		r.h.mu <- struct{}{}
+	}()
 	result := f()
+	completed = true
 	res := r.h.clock.Add(1)
 	<-r.h.mu
 	r.h.Ops = append(r.h.Ops, Op{
@@ -198,6 +219,94 @@ func Check(h *History, initial map[uint64]bool) error {
 	}
 	if !dfs(0) {
 		return fmt.Errorf("linearize: no valid linearization for %d ops", len(ops))
+	}
+	return nil
+}
+
+// CheckDurable checks durable linearizability of a crashed history against
+// the state observed after recovery: there must exist a linearization in
+// which every *completed* operation takes effect with its observed result
+// (respecting real-time order), each crash-cut *pending* operation either
+// takes effect as a successful write or vanishes entirely (the two legal
+// fates of an operation with no response), and the final abstract state
+// equals the recovered set contents. A completed operation whose effect is
+// missing from `final` — the signature of a lost flush — has no such
+// linearization, and the error says so.
+func CheckDurable(h *History, initial, final map[uint64]bool) error {
+	ops := make([]Op, 0, len(h.Ops)+len(h.Pending))
+	ops = append(ops, h.Ops...)
+	ops = append(ops, h.Pending...)
+	nDone := len(h.Ops)
+	if len(ops) > 64 {
+		return fmt.Errorf("linearize: history of %d ops exceeds the 64-op bound", len(ops))
+	}
+	state := make(map[uint64]bool, len(initial))
+	for k, v := range initial {
+		state[k] = v
+	}
+	target := setState(final)
+	full := (uint64(1) << len(ops)) - 1
+	visited := make(map[string]bool)
+	var dfs func(done uint64) bool
+	dfs = func(done uint64) bool {
+		if done == full {
+			return setState(state) == target
+		}
+		key := fmt.Sprintf("%x|%s", done, setState(state))
+		if visited[key] {
+			return false
+		}
+		visited[key] = true
+		// Real-time order constrains completed operations only: pending
+		// ops never responded, so their Res (= max uint64) bounds no one.
+		minRes := ^uint64(0)
+		for i, op := range ops {
+			if done&(1<<i) == 0 && op.Res < minRes {
+				minRes = op.Res
+			}
+		}
+		for i, op := range ops {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			if i >= nDone {
+				// Pending: may vanish at any point in the search (it has
+				// no effect, so position is irrelevant) ...
+				if dfs(done | 1<<i) {
+					return true
+				}
+				// ... or take effect as a successful write, if invoked in
+				// time and legal. A cut Contains has no effect either way.
+				if op.Inv > minRes || op.Kind == OpContains {
+					continue
+				}
+				eff := op
+				eff.Result = true
+				prev := state[op.Key]
+				if apply(state, eff) {
+					if dfs(done | 1<<i) {
+						return true
+					}
+					unapply(state, eff, prev)
+				}
+				continue
+			}
+			if op.Inv > minRes {
+				continue
+			}
+			prev := state[op.Key]
+			if apply(state, op) {
+				if dfs(done | 1<<i) {
+					return true
+				}
+				unapply(state, op, prev)
+			}
+		}
+		return false
+	}
+	if !dfs(0) {
+		return fmt.Errorf("linearize: no durable linearization of %d completed + %d pending ops reaches the recovered state",
+			nDone, len(h.Pending))
 	}
 	return nil
 }

@@ -1,0 +1,80 @@
+package patomic
+
+// BrokenMem is a deliberately bugged copy of Mem's write path, kept ONLY as
+// a target for the fault fuzzer's self-test: it omits the flush+fence
+// between installing a write into rep_p and mirroring it into rep_v, so a
+// value becomes loadable — and an operation completes — before it is
+// durable. Under a Drop or Torn fault model a crash can then lose or tear a
+// completed operation's install, which the fuzzer must detect as a durable
+// linearizability violation. The help path keeps its flush+fence so the
+// bug is precisely "one missing flush in the writer's own install", the
+// seeded-bug shape the acceptance criteria call for. Never use outside
+// tests.
+type BrokenMem struct {
+	*Mem
+}
+
+// CompareAndSwap is Figure 4 minus the own-install flush+fence (see the
+// BUG comment). Everything else — help path, torn-view retry, failure
+// paths — matches Mem.CompareAndSwap.
+func (m BrokenMem) CompareAndSwap(ctx *Ctx, off uint64, expected, newVal uint64) (bool, uint64) {
+	for {
+		pv, ps := m.P.LoadPair(off)
+		vv, vs := m.V.LoadPair(off)
+
+		if ps == vs+1 {
+			// Help path: unchanged, flush+fence intact.
+			m.P.Flush(&ctx.FS, off)
+			m.P.Fence(&ctx.FS)
+			m.V.DWCAS(off, vv, vs, pv, ps)
+			m.noteHelp(ctx)
+			continue
+		}
+		if ps != vs {
+			m.noteRetry(ctx)
+			continue
+		}
+		if pv != expected {
+			return false, pv
+		}
+
+		ok, curV, curS := m.P.DWCAS(off, pv, ps, newVal, ps+1)
+		// BUG (deliberate): the correct path flushes and fences off here,
+		// making the install durable before it becomes visible in rep_v.
+		if ok {
+			m.V.DWCAS(off, pv, ps, newVal, ps+1)
+			return true, pv
+		}
+		if curV == expected {
+			m.noteRetry(ctx)
+			continue
+		}
+		m.V.DWCAS(off, vv, vs, curV, curS)
+		return false, curV
+	}
+}
+
+// Store loops over the broken CompareAndSwap (shadowing Mem.Store, which
+// would dispatch to the correct one through the embedded receiver).
+func (m BrokenMem) Store(ctx *Ctx, off uint64, v uint64) {
+	cur := m.Load(off)
+	for {
+		ok, actual := m.CompareAndSwap(ctx, off, cur, v)
+		if ok {
+			return
+		}
+		cur = actual
+	}
+}
+
+// FetchAdd loops over the broken CompareAndSwap.
+func (m BrokenMem) FetchAdd(ctx *Ctx, off uint64, delta uint64) uint64 {
+	cur := m.Load(off)
+	for {
+		ok, actual := m.CompareAndSwap(ctx, off, cur, cur+delta)
+		if ok {
+			return cur
+		}
+		cur = actual
+	}
+}

@@ -80,6 +80,7 @@ const (
 	stateFrozen uint64 = 1 << 0 // device frozen: every op panics ErrFrozen
 	stateArmed  uint64 = 1 << 1 // FreezeAfter countdown armed
 	stateSlow   uint64 = 1 << 2 // latency model active: ops must inject spins
+	stateFault  uint64 = 1 << 3 // fault model installed: ops consult the adversary
 )
 
 // Device is one simulated memory device. All word accesses are atomic; the
@@ -129,6 +130,11 @@ type Device struct {
 	baseState uint64
 	countdown atomic.Int64
 	gen       atomic.Uint64 // crash generation, for FlushSet recycle checks
+
+	// fault is the installed adversarial persistence fault model (nil when
+	// absent); see InjectFaults. While installed, stateFault keeps the gate
+	// closed so every operation consults it on the slow path.
+	fault *FaultModel
 
 	// Flush/fence counters are sharded across the FlushSets that have used
 	// this device; Counters sums the shards. The registry only grows (one
@@ -230,6 +236,9 @@ func (d *Device) checkSlow(off uint64) {
 	}
 	if off == 0 || off >= uint64(len(d.words)) {
 		d.badOffset(off)
+	}
+	if s&stateFault != 0 {
+		d.faultTick(off)
 	}
 }
 
@@ -505,6 +514,9 @@ func (d *Device) fenceSlow() {
 		d.setState(stateFrozen)
 		panic(ErrFrozen)
 	}
+	if s&stateFault != 0 {
+		d.faultTick(0)
+	}
 	spinN(d.fenceSpins)
 }
 
@@ -553,25 +565,33 @@ func (d *Device) FreezeAfter(n int64) {
 // adversary first decides the fate of every unfenced word, then the current
 // view is reset from the media. For a volatile device everything is zeroed.
 // The device is left unfrozen and ready for recovery.
+//
+// When a FaultModel is installed (InjectFaults), it supersedes the policy
+// argument: the model's seeded line-granular adversary — persist, drop, or
+// tear each dirty line — decides the media image instead.
 func (d *Device) Crash(policy CrashPolicy, rng *rand.Rand) {
 	if d.persistent {
 		if !d.track {
 			panic("pmem: Crash on a persistent device that is not tracking its media (Config.Track=false)")
 		}
-		for i := range d.words {
-			cur, med := d.words[i], d.media[i]
-			if cur == med {
-				continue
-			}
-			switch policy {
-			case CrashKeepAll:
-				d.media[i] = cur
-			case CrashRandom:
-				if rng == nil {
-					panic("pmem: CrashRandom requires a rand source")
+		if d.fault != nil {
+			d.fault.applyCrash(d)
+		} else {
+			for i := range d.words {
+				cur, med := d.words[i], d.media[i]
+				if cur == med {
+					continue
 				}
-				if rng.Int63()&1 == 0 {
+				switch policy {
+				case CrashKeepAll:
 					d.media[i] = cur
+				case CrashRandom:
+					if rng == nil {
+						panic("pmem: CrashRandom requires a rand source")
+					}
+					if rng.Int63()&1 == 0 {
+						d.media[i] = cur
+					}
 				}
 			}
 		}
@@ -583,7 +603,11 @@ func (d *Device) Crash(policy CrashPolicy, rng *rand.Rand) {
 	}
 	d.countdown.Store(0)
 	d.gen.Add(1)
-	d.state.Store(d.baseState)
+	base := d.baseState
+	if d.fault != nil {
+		base |= stateFault // the installed fault model survives the crash
+	}
+	d.state.Store(base)
 	d.syncGate()
 }
 
@@ -631,6 +655,7 @@ func (d *Device) CopyRange(dst *Device, off uint64, n int) {
 	if n <= 0 {
 		return
 	}
+	faulty := false
 	if s := d.state.Load(); s != 0 {
 		if s&stateFrozen != 0 {
 			panic(ErrFrozen)
@@ -639,9 +664,27 @@ func (d *Device) CopyRange(dst *Device, off uint64, n int) {
 			d.setState(stateFrozen)
 			panic(ErrFrozen)
 		}
+		faulty = s&stateFault != 0
 	}
 	if off == 0 || off+uint64(n) > uint64(len(d.words)) || off+uint64(n) > uint64(len(dst.words)) {
 		panic(fmt.Sprintf("pmem: %s: CopyRange [%d,%d) out of range", d.name, off, off+uint64(n)))
+	}
+	if faulty {
+		// With a fault model installed the bulk copy is no longer one
+		// indivisible operation: each cache line of the span is a separate
+		// consultation, so a randomized crash can land *inside* the copy,
+		// leaving only a prefix of lines in the destination — the partial
+		// rebuild the crash-during-recovery tests must tolerate.
+		for cur, end := off, off+uint64(n); cur < end; {
+			chunk := WordsPerLine - cur%WordsPerLine
+			if cur+chunk > end {
+				chunk = end - cur
+			}
+			d.faultTick(cur)
+			copy(dst.words[cur:cur+chunk], d.words[cur:cur+chunk])
+			cur += chunk
+		}
+		return
 	}
 	copy(dst.words[off:off+uint64(n)], d.words[off:off+uint64(n)])
 }

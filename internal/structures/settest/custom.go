@@ -1,0 +1,417 @@
+// Custom-lifecycle conformance batteries: the hand-made queue and map
+// adapters (internal/durablequeue, internal/cmapkv) manage their own
+// devices instead of living on an engine, so they cannot go through Run's
+// engine matrix. RunKV and RunQueue give them the same treatment —
+// sequential semantics against a model, concurrent stress, and the
+// quiesced crash+recover cycle over every crash policy — through small
+// closure-based targets, mirroring crashtest.CustomTarget.
+package settest
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mirror/internal/pmem"
+)
+
+// KVTarget adapts a persistent key-value map with upsert Put semantics.
+// The target owns one long-lived instance: Crash and Recover operate on it
+// in place, and NewWorker must hand out fresh per-thread closures that are
+// valid for the instance's current incarnation (stale workers from before
+// a crash must not be reused).
+type KVTarget struct {
+	// NewWorker returns per-thread operations. put upserts and reports
+	// whether the key was newly inserted.
+	NewWorker func() (put func(k, v uint64) bool, del func(k uint64) bool, get func(k uint64) (uint64, bool))
+	Len       func() int
+	Crash     func(policy pmem.CrashPolicy, rng *rand.Rand)
+	Recover   func()
+}
+
+// RunKV executes the map conformance battery. mk builds a fresh target per
+// subtest.
+func RunKV(t *testing.T, mk func() KVTarget) {
+	t.Run("Empty", func(t *testing.T) { testKVEmpty(t, mk()) })
+	t.Run("UpsertSemantics", func(t *testing.T) { testKVUpsert(t, mk()) })
+	t.Run("RandomBatch", func(t *testing.T) { testKVRandomBatch(t, mk()) })
+	t.Run("ConcurrentDistinct", func(t *testing.T) { testKVConcurrentDistinct(t, mk()) })
+	t.Run("QuiescedCrashRecovery", func(t *testing.T) { testKVQuiescedCrash(t, mk()) })
+}
+
+func testKVEmpty(t *testing.T, kv KVTarget) {
+	put, del, get := kv.NewWorker()
+	if _, ok := get(5); ok {
+		t.Error("get on empty map succeeded")
+	}
+	if del(5) {
+		t.Error("delete on empty map succeeded")
+	}
+	if kv.Len() != 0 {
+		t.Errorf("empty map has Len %d", kv.Len())
+	}
+	if !put(5, 50) {
+		t.Error("first put not reported as an insert")
+	}
+}
+
+func testKVUpsert(t *testing.T, kv KVTarget) {
+	put, del, get := kv.NewWorker()
+	if !put(3, 1) {
+		t.Fatal("first put not reported as an insert")
+	}
+	// Second put of the same key overwrites instead of failing — this is
+	// the pmemkv semantics that distinguish Put from Set.Insert.
+	if put(3, 2) {
+		t.Error("overwriting put reported as an insert")
+	}
+	if v, ok := get(3); !ok || v != 2 {
+		t.Errorf("get(3) = (%d,%v) after overwrite, want (2,true)", v, ok)
+	}
+	if !del(3) {
+		t.Error("delete failed")
+	}
+	if del(3) {
+		t.Error("double delete succeeded")
+	}
+	if !put(3, 7) {
+		t.Error("re-put after delete not reported as an insert")
+	}
+	if v, ok := get(3); !ok || v != 7 {
+		t.Errorf("get(3) = (%d,%v) after re-put, want (7,true)", v, ok)
+	}
+	if kv.Len() != 1 {
+		t.Errorf("Len = %d, want 1", kv.Len())
+	}
+}
+
+func testKVRandomBatch(t *testing.T, kv KVTarget) {
+	put, del, get := kv.NewWorker()
+	rng := rand.New(rand.NewSource(823))
+	model := make(map[uint64]uint64)
+	for i := 0; i < 2000; i++ {
+		key := uint64(rng.Intn(400) + 1)
+		switch rng.Intn(3) {
+		case 0:
+			val := rng.Uint64()
+			_, present := model[key]
+			if inserted := put(key, val); inserted == present {
+				t.Fatalf("op %d: put(%d) inserted=%v with present=%v", i, key, inserted, present)
+			}
+			model[key] = val
+		case 1:
+			_, present := model[key]
+			if got := del(key); got != present {
+				t.Fatalf("op %d: delete(%d) = %v, want %v", i, key, got, present)
+			}
+			delete(model, key)
+		default:
+			want, present := model[key]
+			got, ok := get(key)
+			if ok != present || (ok && got != want) {
+				t.Fatalf("op %d: get(%d) = (%d,%v), want (%d,%v)", i, key, got, ok, want, present)
+			}
+		}
+	}
+	if kv.Len() != len(model) {
+		t.Fatalf("Len = %d, model has %d", kv.Len(), len(model))
+	}
+}
+
+func testKVConcurrentDistinct(t *testing.T, kv KVTarget) {
+	const workers = 8
+	const perWorker = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			put, del, _ := kv.NewWorker()
+			base := uint64(w*perWorker + 1)
+			for i := uint64(0); i < perWorker; i++ {
+				if !put(base+i, base+i) {
+					t.Errorf("worker %d: put %d not an insert", w, base+i)
+					return
+				}
+			}
+			// Overwrite the whole range, then delete the even keys.
+			for i := uint64(0); i < perWorker; i++ {
+				if put(base+i, 2*(base+i)) {
+					t.Errorf("worker %d: overwrite %d reported as insert", w, base+i)
+					return
+				}
+			}
+			for i := uint64(0); i < perWorker; i++ {
+				if (base+i)%2 == 0 && !del(base+i) {
+					t.Errorf("worker %d: delete %d failed", w, base+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	_, _, get := kv.NewWorker()
+	for key := uint64(1); key <= workers*perWorker; key++ {
+		v, ok := get(key)
+		if want := key%2 == 1; ok != want {
+			t.Fatalf("key %d: present=%v, want %v", key, ok, want)
+		}
+		if ok && v != 2*key {
+			t.Fatalf("key %d = %d, want overwritten value %d", key, v, 2*key)
+		}
+	}
+}
+
+func testKVQuiescedCrash(t *testing.T, kv KVTarget) {
+	put, del, _ := kv.NewWorker()
+	rng := rand.New(rand.NewSource(6))
+	model := make(map[uint64]uint64)
+	for i := 0; i < 1500; i++ {
+		key := uint64(rng.Intn(300) + 1)
+		if rng.Intn(3) > 0 {
+			val := uint64(rng.Intn(1 << 30))
+			put(key, val)
+			model[key] = val
+		} else {
+			del(key)
+			delete(model, key)
+		}
+	}
+	for _, policy := range []pmem.CrashPolicy{pmem.CrashDropAll, pmem.CrashKeepAll, pmem.CrashRandom} {
+		kv.Crash(policy, rng)
+		kv.Recover()
+		// Fresh workers: pre-crash contexts are tied to the old incarnation.
+		put, del, get := kv.NewWorker()
+		for key := uint64(1); key <= 300; key++ {
+			want, present := model[key]
+			got, ok := get(key)
+			if ok != present || (ok && got != want) {
+				t.Fatalf("policy %v: key %d = (%d,%v), want (%d,%v)",
+					policy, key, got, ok, want, present)
+			}
+		}
+		if kv.Len() != len(model) {
+			t.Fatalf("policy %v: Len = %d, model has %d", policy, kv.Len(), len(model))
+		}
+		// The map must remain fully operational after recovery.
+		probe := uint64(1000 + rng.Intn(100))
+		if !put(probe, 1) {
+			t.Fatalf("policy %v: probe put failed after recovery", policy)
+		}
+		if v, ok := get(probe); !ok || v != 1 {
+			t.Fatalf("policy %v: probe get = (%d,%v) after recovery", policy, v, ok)
+		}
+		if !del(probe) {
+			t.Fatalf("policy %v: probe delete failed after recovery", policy)
+		}
+	}
+}
+
+// QueueTarget adapts a persistent FIFO queue. Like KVTarget, the target
+// owns one long-lived instance and workers must be re-created after a
+// crash.
+type QueueTarget struct {
+	NewWorker func() (enq func(v uint64), deq func() (uint64, bool))
+	Len       func() int
+	Crash     func(policy pmem.CrashPolicy, rng *rand.Rand)
+	Recover   func()
+}
+
+// RunQueue executes the queue conformance battery. mk builds a fresh
+// target per subtest.
+func RunQueue(t *testing.T, mk func() QueueTarget) {
+	t.Run("Empty", func(t *testing.T) { testQueueEmpty(t, mk()) })
+	t.Run("FIFO", func(t *testing.T) { testQueueFIFO(t, mk()) })
+	t.Run("InterleavedModel", func(t *testing.T) { testQueueInterleaved(t, mk()) })
+	t.Run("ConcurrentProducerOrder", func(t *testing.T) { testQueueConcurrent(t, mk()) })
+	t.Run("QuiescedCrashRecovery", func(t *testing.T) { testQueueQuiescedCrash(t, mk()) })
+}
+
+func testQueueEmpty(t *testing.T, q QueueTarget) {
+	_, deq := q.NewWorker()
+	if v, ok := deq(); ok {
+		t.Errorf("dequeue on empty queue returned %d", v)
+	}
+	if q.Len() != 0 {
+		t.Errorf("empty queue has Len %d", q.Len())
+	}
+}
+
+func testQueueFIFO(t *testing.T, q QueueTarget) {
+	enq, deq := q.NewWorker()
+	for v := uint64(1); v <= 100; v++ {
+		enq(v)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d after 100 enqueues", q.Len())
+	}
+	for want := uint64(1); want <= 100; want++ {
+		v, ok := deq()
+		if !ok || v != want {
+			t.Fatalf("dequeue = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if _, ok := deq(); ok {
+		t.Error("dequeue succeeded on drained queue")
+	}
+}
+
+func testQueueInterleaved(t *testing.T, q QueueTarget) {
+	enq, deq := q.NewWorker()
+	rng := rand.New(rand.NewSource(99))
+	var model []uint64
+	next := uint64(1)
+	for i := 0; i < 3000; i++ {
+		if rng.Intn(3) > 0 {
+			enq(next)
+			model = append(model, next)
+			next++
+		} else {
+			v, ok := deq()
+			if len(model) == 0 {
+				if ok {
+					t.Fatalf("op %d: dequeue on empty returned %d", i, v)
+				}
+				continue
+			}
+			if !ok || v != model[0] {
+				t.Fatalf("op %d: dequeue = (%d,%v), want (%d,true)", i, v, ok, model[0])
+			}
+			model = model[1:]
+		}
+	}
+	if q.Len() != len(model) {
+		t.Fatalf("Len = %d, model has %d", q.Len(), len(model))
+	}
+}
+
+// testQueueConcurrent drains a multi-producer multi-consumer run and
+// checks (a) the multiset of values survives and (b) each producer's
+// values come out in that producer's enqueue order — the per-producer
+// subsequence property a linearizable FIFO must preserve.
+func testQueueConcurrent(t *testing.T, q QueueTarget) {
+	const producers = 4
+	const consumers = 2
+	const perProducer = 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			enq, _ := q.NewWorker()
+			for i := uint64(0); i < perProducer; i++ {
+				enq(uint64(p)<<32 | i)
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	drained := make([][]uint64, consumers)
+	stop := make(chan struct{})
+	var cg sync.WaitGroup
+	for cn := 0; cn < consumers; cn++ {
+		cg.Add(1)
+		go func(cn int) {
+			defer cg.Done()
+			_, deq := q.NewWorker()
+			var got []uint64
+			for {
+				if v, ok := deq(); ok {
+					got = append(got, v)
+					continue
+				}
+				select {
+				case <-stop:
+					mu.Lock()
+					drained[cn] = got
+					mu.Unlock()
+					return
+				default:
+				}
+			}
+		}(cn)
+	}
+	wg.Wait()
+	close(stop)
+	cg.Wait()
+	// Final sequential drain catches anything left behind.
+	_, deq := q.NewWorker()
+	var rest []uint64
+	for {
+		v, ok := deq()
+		if !ok {
+			break
+		}
+		rest = append(rest, v)
+	}
+	seen := make(map[uint64]bool)
+	// Per-consumer streams preserve per-producer order; the residue drain
+	// is itself one more consumer stream.
+	for _, stream := range append(drained, rest) {
+		last := make([]int64, producers)
+		for p := range last {
+			last[p] = -1
+		}
+		for _, v := range stream {
+			p, i := int(v>>32), int64(v&0xffffffff)
+			if seen[v] {
+				t.Fatalf("value %d/%d dequeued twice", p, i)
+			}
+			seen[v] = true
+			if i <= last[p] {
+				t.Fatalf("producer %d order violated: %d after %d", p, i, last[p])
+			}
+			last[p] = i
+		}
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("drained %d values, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func testQueueQuiescedCrash(t *testing.T, q QueueTarget) {
+	enq, deq := q.NewWorker()
+	rng := rand.New(rand.NewSource(17))
+	var model []uint64
+	for v := uint64(1); v <= 200; v++ {
+		enq(v)
+		model = append(model, v)
+	}
+	// Partially drain so the crash image has a mid-chain head.
+	for i := 0; i < 60; i++ {
+		if v, ok := deq(); !ok || v != model[0] {
+			t.Fatalf("pre-crash drain: got (%d,%v), want (%d,true)", v, ok, model[0])
+		}
+		model = model[1:]
+	}
+	for _, policy := range []pmem.CrashPolicy{pmem.CrashDropAll, pmem.CrashKeepAll, pmem.CrashRandom} {
+		q.Crash(policy, rng)
+		q.Recover()
+		enq, deq = q.NewWorker()
+		if q.Len() != len(model) {
+			t.Fatalf("policy %v: Len = %d after recovery, model has %d", policy, q.Len(), len(model))
+		}
+		// Drain a prefix in order, enqueue replacements at the back: the
+		// recovered queue must behave as a live FIFO, not a read-only image.
+		for i := 0; i < 20 && len(model) > 0; i++ {
+			v, ok := deq()
+			if !ok || v != model[0] {
+				t.Fatalf("policy %v: dequeue = (%d,%v), want (%d,true)", policy, v, ok, model[0])
+			}
+			model = model[1:]
+		}
+		probe := uint64(100000) + uint64(rng.Intn(1000))
+		enq(probe)
+		model = append(model, probe)
+	}
+	// Final full drain must replay the model exactly.
+	for len(model) > 0 {
+		v, ok := deq()
+		if !ok || v != model[0] {
+			t.Fatalf("final drain: got (%d,%v), want (%d,true)", v, ok, model[0])
+		}
+		model = model[1:]
+	}
+	if v, ok := deq(); ok {
+		t.Fatalf("drained queue still yielded %d", v)
+	}
+}

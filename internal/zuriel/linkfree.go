@@ -241,6 +241,9 @@ func (s *LinkFree) Get(c *Ctx, key uint64) (uint64, bool) {
 }
 
 // Freeze implements Set.
+// InjectFaults installs the fault model on the node-heap device.
+func (s *LinkFree) InjectFaults(fm *pmem.FaultModel) { s.dev.InjectFaults(fm) }
+
 func (s *LinkFree) Freeze() { s.dev.Freeze() }
 
 // Crash implements Set.

@@ -252,6 +252,10 @@ func (s *Soft) Get(c *Ctx, key uint64) (uint64, bool) {
 	return 0, false
 }
 
+// InjectFaults installs the fault model on the persistent-node device
+// (VNodes are volatile and need no adversary).
+func (s *Soft) InjectFaults(fm *pmem.FaultModel) { s.pdev.InjectFaults(fm) }
+
 // Freeze implements Set.
 func (s *Soft) Freeze() {
 	s.pdev.Freeze()

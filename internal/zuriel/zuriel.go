@@ -86,6 +86,9 @@ type Set interface {
 	Delete(c *Ctx, key uint64) bool
 	Contains(c *Ctx, key uint64) bool
 	Get(c *Ctx, key uint64) (uint64, bool)
+	// InjectFaults installs an adversarial persistence fault model on the
+	// set's persistent device (nil removes it); see pmem.FaultModel.
+	InjectFaults(fm *pmem.FaultModel)
 	// Freeze unwinds in-flight operations; Crash takes the power failure;
 	// Recover rebuilds the set from the persistent node heap.
 	Freeze()
