@@ -74,6 +74,7 @@ func main() {
 		checkIn  = flag.String("checkjson", "", "parse and validate a BENCH_<n>.json report, then exit")
 		structsF = flag.String("structures", "", "comma-separated structure filter for -json (list,hashtable,bst,skiplist)")
 		enginesF = flag.String("engines", "", "comma-separated engine filter for -json (e.g. Mirror,NVTraverse)")
+		noElide  = flag.Bool("noelide", false, "disable flush elision / fence coalescing (ablation baseline)")
 	)
 	flag.Parse()
 
@@ -125,6 +126,7 @@ func main() {
 		Scale:    *scale,
 		Latency:  !*noLat && !*fast,
 		Seed:     *seed,
+		NoElide:  *noElide,
 	}
 	for _, part := range strings.Split(*threads, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))

@@ -36,3 +36,22 @@ func (e *brokenMirror) CAS(c *Ctx, ref Ref, field int, old, new uint64) bool {
 func (e *brokenMirror) FetchAdd(c *Ctx, ref Ref, field int, delta uint64) uint64 {
 	return e.bm.FetchAdd(&c.pa, e.cellAddr(ref, field), delta)
 }
+
+// NewBrokenWatermarkMirror returns a Mirror engine with a deliberately
+// broken flush-elision layer: the fault model's early eviction advances the
+// persisted-epoch watermark as if it were a fenced commit. A writer whose
+// line was evicted then elides its flush+fence on the strength of the fake
+// watermark, so its completed operation is visible but unfenced — and a
+// crash whose line fate is "drop" loses it, a durable-linearizability
+// violation. This is precisely the soundness condition ISSUE 5 names
+// ("early fault-model eviction must NOT advance it"); the fault fuzzer's
+// acceptance self-test must catch this engine under evict+drop faults.
+// Test-only.
+func NewBrokenWatermarkMirror(cfg Config) Engine {
+	cfg.Kind = MirrorDRAM
+	cfg.NoElide = false
+	cfg.setDefaults()
+	me := newMirror(cfg)
+	me.mem.P.BreakWatermarkForTest()
+	return me
+}

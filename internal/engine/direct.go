@@ -44,6 +44,7 @@ func newDirect(cfg Config) *directEngine {
 		Words:      cfg.Words,
 		Persistent: persistent,
 		Track:      cfg.Track,
+		Elide:      !cfg.NoElide,
 		Model:      model,
 	})
 	e := &directEngine{
@@ -64,7 +65,11 @@ func (e *directEngine) Kind() Kind { return e.kind }
 func (e *directEngine) NewCtx() *Ctx {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return &Ctx{Cache: palloc.NewCache(e.alloc, e.recl)}
+	c := &Ctx{Cache: palloc.NewCache(e.alloc, e.recl)}
+	if e.elides() {
+		c.Cache.PreFree = func() { e.dev.CommitRelaxed(&c.fs) }
+	}
+	return c
 }
 
 func (e *directEngine) addr(ref Ref, field int) uint64 { return ref + uint64(field) }
@@ -76,13 +81,32 @@ func (e *directEngine) persistsReads() bool { return e.kind == Izraelevitz }
 // durable reports whether writes must reach the media.
 func (e *directEngine) durable() bool { return e.kind == Izraelevitz || e.kind == NVTraverse }
 
+// elides reports whether the flush-elision layer applies. Only the
+// traversal transformation opts in: Izraelevitz *is* the blanket
+// flush-everything discipline, and eliding it would misrepresent the
+// paper's baseline.
+func (e *directEngine) elides() bool { return e.kind == NVTraverse && e.dev.Elides() }
+
 func (e *directEngine) OpBegin(c *Ctx) { c.Cache.Enter() }
 
 func (e *directEngine) OpEnd(c *Ctx) {
 	if e.durable() {
+		if e.elides() && len(c.initLines) > 0 {
+			// Deferred inits of an object that was never published
+			// (FreeUnpublished): it never became reachable, nothing to
+			// persist.
+			c.initLines = c.initLines[:0]
+			c.initCells = 0
+		}
 		// Both transformations issue a final fence before an operation
-		// returns, so completed operations are durable.
-		e.dev.Fence(&c.fs)
+		// returns, so completed operations are durable — unless nothing
+		// was flushed since the last fence, in which case the sfence
+		// orders no clwb and commits nothing.
+		if e.elides() && c.fs.Pending() == 0 {
+			e.dev.NoteElided(&c.fs, 0, 1)
+		} else {
+			e.dev.Fence(&c.fs)
+		}
 	}
 	c.Cache.Exit()
 }
@@ -95,14 +119,33 @@ func (e *directEngine) StoreInit(c *Ctx, ref Ref, field int, v uint64) {
 	a := e.addr(ref, field)
 	e.dev.Store(a, v)
 	if e.durable() {
-		e.dev.Flush(&c.fs, a)
+		if e.elides() {
+			c.deferInitLine(a / pmem.WordsPerLine)
+		} else {
+			e.dev.Flush(&c.fs, a)
+		}
 	}
 }
 
 func (e *directEngine) Publish(c *Ctx, ref Ref) {
-	if e.durable() {
-		e.dev.Fence(&c.fs)
+	if !e.durable() {
+		return
 	}
+	if e.elides() {
+		for _, line := range c.initLines {
+			e.dev.Flush(&c.fs, line*pmem.WordsPerLine)
+		}
+		if elided := c.initCells - len(c.initLines); elided > 0 {
+			e.dev.NoteElided(&c.fs, uint64(elided), 0)
+		}
+		c.initLines = c.initLines[:0]
+		c.initCells = 0
+		if c.fs.Pending() == 0 {
+			e.dev.NoteElided(&c.fs, 0, 1)
+			return
+		}
+	}
+	e.dev.Fence(&c.fs)
 }
 
 func (e *directEngine) FreeUnpublished(c *Ctx, ref Ref, fields int) {
@@ -170,6 +213,24 @@ func (e *directEngine) CAS(c *Ctx, ref Ref, field int, old, new uint64) bool {
 	}
 }
 
+// CASRelaxed defers the install's durability to the relaxed-line registry
+// on the eliding traversal engine; the pre-free drain commits it. Every
+// other direct engine keeps its full CAS discipline.
+func (e *directEngine) CASRelaxed(c *Ctx, ref Ref, field int, old, new uint64) bool {
+	if !e.elides() {
+		return e.CAS(c, ref, field, old, new)
+	}
+	a := e.addr(ref, field)
+	ok := e.dev.CAS(a, old, new)
+	if ok {
+		e.dev.NoteRelaxed(&c.fs, a)
+	} else {
+		e.dev.Flush(&c.fs, a)
+		e.dev.Fence(&c.fs)
+	}
+	return ok
+}
+
 func (e *directEngine) FetchAdd(c *Ctx, ref Ref, field int, delta uint64) uint64 {
 	a := e.addr(ref, field)
 	switch {
@@ -190,6 +251,20 @@ func (e *directEngine) FetchAdd(c *Ctx, ref Ref, field int, delta uint64) uint64
 
 func (e *directEngine) MakePersistent(c *Ctx, ref Ref, fields int) {
 	if e.kind != NVTraverse {
+		return
+	}
+	if e.elides() {
+		// One clwb per cache line instead of one per field: the fields
+		// are contiguous words, so the line range covers them all.
+		first := e.addr(ref, 0) / pmem.WordsPerLine
+		last := e.addr(ref, fields-1) / pmem.WordsPerLine
+		for line := first; line <= last; line++ {
+			e.dev.Flush(&c.fs, line*pmem.WordsPerLine)
+		}
+		if elided := uint64(fields) - (last - first + 1); elided > 0 {
+			e.dev.NoteElided(&c.fs, elided, 0)
+		}
+		e.dev.Fence(&c.fs)
 		return
 	}
 	for f := 0; f < fields; f++ {
@@ -245,8 +320,18 @@ func (e *directEngine) Counters() (uint64, uint64) {
 	return e.dev.Counters()
 }
 
-// Stats reports zeros: the direct engines have no help protocol.
-func (e *directEngine) Stats() (uint64, uint64) { return 0, 0 }
+// Stats has no help protocol to report for the direct engines; the durable
+// ones carry the elision counters.
+func (e *directEngine) Stats() Stats {
+	if !e.durable() {
+		return Stats{}
+	}
+	ef, en, pb, rx := e.dev.ElisionCounters()
+	return Stats{
+		ElidedFlushes: ef, ElidedFences: en,
+		PiggybackedFences: pb, RelaxedCAS: rx,
+	}
+}
 
 func (e *directEngine) Footprint() (uint64, int) {
 	return e.alloc.LiveWords(), 1

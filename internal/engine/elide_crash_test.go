@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mirror/internal/pmem"
+)
+
+// rootTracer is the recovery tracer for workloads that live entirely in
+// the persistent root object: nothing on the heap to visit.
+func rootTracer(read func(Ref, int) uint64, visit func(Ref, int)) {}
+
+// TestFetchAddStoreCrashSweepUnderFaults crashes FetchAdd/Store workloads
+// at seeded points under the eviction+drop adversary, on every durable
+// engine with the elision layer in its default (on) state. The two
+// counters live in root fields 0 and 1 — cells at offsets 8 and 10, the
+// same cache line — so one field's flush+fence commits the other field's
+// line too, which is exactly the situation the watermark and commit-ticket
+// probes feed on. After recovery the Lemma 5.3–5.5 replica invariants
+// must hold and each counter must be the last completed value or the
+// single in-flight one: elision may skip redundant instructions, but a
+// completed operation's durability must never depend on an eviction.
+func TestFetchAddStoreCrashSweepUnderFaults(t *testing.T) {
+	for _, k := range Kinds() {
+		if !k.Durable() {
+			continue
+		}
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(k) + 1))
+			for round := 0; round < 25; round++ {
+				e := New(Config{Kind: k, Words: 1 << 18, RootFields: 4, Track: true})
+				for _, d := range e.PersistentDevices() {
+					d.InjectFaults(pmem.NewFaultModel(int64(round+1), pmem.FaultSpec{Evict: true, Drop: true}))
+				}
+				c := e.NewCtx()
+				var completedAdd, completedStore uint64
+				e.FreezeAfter(int64(rng.Intn(400) + 1))
+				func() {
+					defer func() {
+						if r := recover(); r != nil && r != pmem.ErrFrozen {
+							panic(r)
+						}
+					}()
+					for i := uint64(1); i <= 1000; i++ {
+						e.OpBegin(c)
+						e.FetchAdd(c, e.RootRef(), 0, 1)
+						e.OpEnd(c)
+						completedAdd = i
+						e.OpBegin(c)
+						e.Store(c, e.RootRef(), 1, i)
+						e.OpEnd(c)
+						completedStore = i
+					}
+				}()
+				e.Freeze()
+				e.Crash(pmem.CrashDropAll, rng)
+				e.Recover(rootTracer)
+
+				if msg := CheckMirrorInvariants(e, e.RootRef(), 2); msg != "" {
+					t.Fatalf("round %d: %s", round, msg)
+				}
+				c2 := e.NewCtx()
+				e.OpBegin(c2)
+				v0 := e.Load(c2, e.RootRef(), 0)
+				v1 := e.Load(c2, e.RootRef(), 1)
+				e.OpEnd(c2)
+				if v0 != completedAdd && v0 != completedAdd+1 {
+					t.Fatalf("round %d: FetchAdd counter = %d, want %d or %d",
+						round, v0, completedAdd, completedAdd+1)
+				}
+				if v1 != completedStore && v1 != completedStore+1 {
+					t.Fatalf("round %d: Store counter = %d, want %d or %d",
+						round, v1, completedStore, completedStore+1)
+				}
+			}
+		})
+	}
+}
+
+// TestElisionAblationEquivalence pins that -noelide is purely a
+// performance switch: the same quiesced workload leaves bit-identical
+// persistent media with the layer on and off.
+func TestElisionAblationEquivalence(t *testing.T) {
+	for _, k := range Kinds() {
+		if !k.Durable() {
+			continue
+		}
+		t.Run(k.String(), func(t *testing.T) {
+			images := make([]string, 2)
+			for i, noElide := range []bool{false, true} {
+				e := New(Config{Kind: k, Words: 1 << 18, RootFields: 4, Track: true, NoElide: noElide})
+				c := e.NewCtx()
+				for i := uint64(1); i <= 50; i++ {
+					e.OpBegin(c)
+					ref := e.Alloc(c, 2)
+					e.StoreInit(c, ref, 0, 100+i)
+					e.StoreInit(c, ref, 1, e.Load(c, e.RootRef(), 0))
+					e.Publish(c, ref)
+					e.CAS(c, e.RootRef(), 0, e.Load(c, e.RootRef(), 0), ref)
+					e.FetchAdd(c, e.RootRef(), 1, i)
+					e.OpEnd(c)
+				}
+				var hashes []uint64
+				for _, d := range e.PersistentDevices() {
+					d.Freeze()
+					hashes = append(hashes, d.MediaHash())
+				}
+				images[i] = fmt.Sprint(hashes)
+			}
+			if images[0] != images[1] {
+				t.Fatalf("elision changed the persistent image: %s vs %s", images[0], images[1])
+			}
+		})
+	}
+}

@@ -92,6 +92,27 @@ type Ctx struct {
 	Cache *palloc.Cache
 	fs    pmem.FlushSet // direct engines: flush set of the single device
 	pa    patomic.Ctx   // mirror engines: persistent-replica flush set
+
+	// Deferred StoreInit flushes for the eliding direct engines (the
+	// mirror engines keep theirs in pa): distinct dirty lines in
+	// first-touch order, and the cell count they replace.
+	initLines []uint64
+	initCells int
+}
+
+// deferInitLine records a line dirtied by StoreInit for the next Publish;
+// the last-entry fast path covers consecutive fields of one object.
+func (c *Ctx) deferInitLine(line uint64) {
+	c.initCells++
+	if n := len(c.initLines); n > 0 && c.initLines[n-1] == line {
+		return
+	}
+	for _, l := range c.initLines {
+		if l == line {
+			return
+		}
+	}
+	c.initLines = append(c.initLines, line)
 }
 
 // Tracer walks a data structure's reachable objects during recovery. It is
@@ -165,6 +186,16 @@ type Engine interface {
 	Store(c *Ctx, ref Ref, field int, v uint64)
 	// CAS durably compares-and-swaps a field.
 	CAS(c *Ctx, ref Ref, field int, old, new uint64) bool
+	// CASRelaxed compares-and-swaps a field whose update is only
+	// retire-gated: an auxiliary physical update (snip of a marked node,
+	// upper-level skiplist link, bst excision) whose loss at a crash
+	// leaves a state some earlier crash could also have left. An eliding
+	// engine may make the install visible before it is durable, deferring
+	// the commit to the relaxed-line registry, which is drained before
+	// any retired object is freed. Linearization points (marks, level-0
+	// links, flags) must use CAS. Engines without elision treat it as
+	// CAS exactly.
+	CASRelaxed(c *Ctx, ref Ref, field int, old, new uint64) bool
 	// FetchAdd durably adds to a field, returning the previous value.
 	FetchAdd(c *Ctx, ref Ref, field int, delta uint64) uint64
 	// MakePersistent ensures an object's fields are durable; traversal
@@ -207,14 +238,32 @@ type Engine interface {
 	// Counters reports cumulative flush and fence counts across all
 	// devices (for the ablation benchmarks).
 	Counters() (flushes, fences uint64)
-	// Stats reports the Mirror protocol's cumulative help completions and
-	// restarts (patomic.Mem.Stats); engines without a help protocol
-	// report zeros.
-	Stats() (helps, retries uint64)
+	// Stats reports the engine's cumulative protocol and elision
+	// statistics.
+	Stats() Stats
 	// Footprint reports the live allocated words (in the engine's cell
 	// layout) and how many device replicas hold them, so total memory is
 	// words × replicas × 8 bytes — the space-overhead account of §6.2.5.
 	Footprint() (words uint64, replicas int)
+}
+
+// Stats aggregates an engine's protocol and elision statistics.
+type Stats struct {
+	// Helps and Retries are the Mirror protocol's help completions and
+	// restarts (patomic.Mem.Stats); zero for engines without a help
+	// protocol.
+	Helps, Retries uint64
+	// ElidedFlushes and ElidedFences count persistence instructions the
+	// flush-elision layer skipped because the persisted-epoch watermark,
+	// a batched-init line dedup, an empty pending set, or the
+	// relaxed-line registry proved them redundant.
+	ElidedFlushes, ElidedFences uint64
+	// PiggybackedFences counts fences avoided by riding a concurrent
+	// fence's commit ticket instead of issuing one.
+	PiggybackedFences uint64
+	// RelaxedCAS counts retire-gated installs whose durability was
+	// deferred to the relaxed-line registry (committed at drain time).
+	RelaxedCAS uint64
 }
 
 // Config describes an engine instance.
@@ -230,6 +279,10 @@ type Config struct {
 	// Track maintains the persistent media image so Crash/Recover work.
 	// Benchmarks that never crash can disable it.
 	Track bool
+	// NoElide disables the flush-elision and fence-coalescing layer (the
+	// ablation baseline): every durability point issues its engine's full
+	// flush+fence discipline.
+	NoElide bool
 }
 
 func (c *Config) setDefaults() {

@@ -41,6 +41,7 @@ func newMirror(cfg Config) *mirrorEngine {
 		Words:      cfg.Words,
 		Persistent: true,
 		Track:      cfg.Track,
+		Elide:      !cfg.NoElide,
 		Model:      pModel,
 	})
 	v := pmem.New(pmem.Config{
@@ -73,7 +74,13 @@ func (e *mirrorEngine) Kind() Kind { return e.kind }
 func (e *mirrorEngine) NewCtx() *Ctx {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return &Ctx{Cache: palloc.NewCache(e.alloc, e.recl)}
+	c := &Ctx{Cache: palloc.NewCache(e.alloc, e.recl)}
+	if e.mem.P.Elides() {
+		// Before a drain batch frees anything, commit every relaxed line:
+		// the media must never hold a pointer into reused memory.
+		c.Cache.PreFree = func() { e.mem.P.CommitRelaxed(&c.pa.FS) }
+	}
+	return c
 }
 
 func (e *mirrorEngine) cellAddr(ref Ref, field int) uint64 {
@@ -122,6 +129,11 @@ func (e *mirrorEngine) Store(c *Ctx, ref Ref, field int, v uint64) {
 
 func (e *mirrorEngine) CAS(c *Ctx, ref Ref, field int, old, new uint64) bool {
 	ok, _ := e.mem.CompareAndSwap(&c.pa, e.cellAddr(ref, field), old, new)
+	return ok
+}
+
+func (e *mirrorEngine) CASRelaxed(c *Ctx, ref Ref, field int, old, new uint64) bool {
+	ok, _ := e.mem.CompareAndSwapRelaxed(&c.pa, e.cellAddr(ref, field), old, new)
 	return ok
 }
 
@@ -209,8 +221,14 @@ func (e *mirrorEngine) PersistentDevices() []*pmem.Device {
 	return []*pmem.Device{e.mem.P}
 }
 
-func (e *mirrorEngine) Stats() (uint64, uint64) {
-	return e.mem.Stats()
+func (e *mirrorEngine) Stats() Stats {
+	h, r := e.mem.Stats()
+	ef, en, pb, rx := e.mem.P.ElisionCounters()
+	return Stats{
+		Helps: h, Retries: r,
+		ElidedFlushes: ef, ElidedFences: en,
+		PiggybackedFences: pb, RelaxedCAS: rx,
+	}
 }
 
 func (e *mirrorEngine) Counters() (uint64, uint64) {

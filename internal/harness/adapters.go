@@ -92,6 +92,7 @@ func buildEngineTarget(kind engine.Kind, structure string, o Options, keyRange i
 		Words:   deviceWords(structure, kind, keyRange),
 		Latency: o.Latency,
 		Track:   false, // benchmarks never crash
+		NoElide: o.NoElide,
 	})
 	setup := e.NewCtx()
 	var mk func(c *engine.Ctx) structures.Set

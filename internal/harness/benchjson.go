@@ -36,6 +36,16 @@ type BenchPoint struct {
 	// (patomic.Mem.Stats deltas); zero for engines without a help path.
 	Helps   uint64 `json:"helps"`
 	Retries uint64 `json:"retries"`
+
+	// Elision statistics this point added (engine.Stats deltas): flushes
+	// and fences skipped by the persisted-epoch watermark layer, fences
+	// avoided by piggybacking on a concurrent fence's commit ticket, and
+	// retire-gated installs deferred to the relaxed-line registry. All
+	// zero when the matrix runs with elision disabled (-noelide).
+	ElidedFlushes     uint64 `json:"elided_flushes"`
+	ElidedFences      uint64 `json:"elided_fences"`
+	PiggybackedFences uint64 `json:"piggybacked_fences"`
+	RelaxedCAS        uint64 `json:"relaxed_cas"`
 }
 
 // BenchHost records where the report was measured.
@@ -52,6 +62,9 @@ type BenchOptions struct {
 	Scale      int   `json:"scale"`
 	Latency    bool  `json:"latency"`
 	Seed       int64 `json:"seed"`
+	// NoElide records that the flush-elision layer was disabled (the
+	// ablation baseline run).
+	NoElide bool `json:"no_elide,omitempty"`
 }
 
 // RecoveryPoint is one recovery-pipeline measurement: how fast one engine
@@ -109,6 +122,7 @@ func RunBenchMatrix(o Options, structs []string, kinds []engine.Kind, threads []
 			Scale:      o.Scale,
 			Latency:    o.Latency,
 			Seed:       o.Seed,
+			NoElide:    o.NoElide,
 		},
 	}
 	// One representative key range per structure: the paper's 8M sets
@@ -124,7 +138,7 @@ func RunBenchMatrix(o Options, structs []string, kinds []engine.Kind, threads []
 			workload.PrefillHalf(target, uint64(keyRange), o.Seed)
 			for _, th := range threads {
 				fl0, fe0 := e.Counters()
-				h0, re0 := e.Stats()
+				s0 := e.Stats()
 				res := workload.Run(target, workload.Spec{
 					KeyRange: uint64(keyRange),
 					Mix:      workload.Mix801010,
@@ -133,18 +147,22 @@ func RunBenchMatrix(o Options, structs []string, kinds []engine.Kind, threads []
 					Seed:     o.Seed,
 				})
 				fl1, fe1 := e.Counters()
-				h1, re1 := e.Stats()
+				s1 := e.Stats()
 				r.Points = append(r.Points, BenchPoint{
-					Structure: st,
-					Engine:    kind.String(),
-					Threads:   th,
-					KeyRange:  keyRange,
-					Mops:      res.MopsPerSec(),
-					Ops:       res.Ops,
-					Flushes:   fl1 - fl0,
-					Fences:    fe1 - fe0,
-					Helps:     h1 - h0,
-					Retries:   re1 - re0,
+					Structure:         st,
+					Engine:            kind.String(),
+					Threads:           th,
+					KeyRange:          keyRange,
+					Mops:              res.MopsPerSec(),
+					Ops:               res.Ops,
+					Flushes:           fl1 - fl0,
+					Fences:            fe1 - fe0,
+					Helps:             s1.Helps - s0.Helps,
+					Retries:           s1.Retries - s0.Retries,
+					ElidedFlushes:     s1.ElidedFlushes - s0.ElidedFlushes,
+					ElidedFences:      s1.ElidedFences - s0.ElidedFences,
+					PiggybackedFences: s1.PiggybackedFences - s0.PiggybackedFences,
+					RelaxedCAS:        s1.RelaxedCAS - s0.RelaxedCAS,
 				})
 			}
 		}

@@ -26,6 +26,9 @@ type Options struct {
 	Latency bool
 	// Seed for the workload PRNGs.
 	Seed int64
+	// NoElide disables the flush-elision / fence-coalescing layer on the
+	// durable engines — the ablation baseline for EXPERIMENTS.md.
+	NoElide bool
 }
 
 func (o *Options) setDefaults() {

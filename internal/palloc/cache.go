@@ -19,6 +19,12 @@ const (
 	// exitDrainEvery is how many operation exits happen between
 	// quiesced-context drain attempts.
 	exitDrainEvery = 32
+	// drainEvery is how many retires happen between mid-operation drain
+	// attempts. Batching the drains batches the PreFree hook: an engine
+	// deferring relaxed-line commits (pmem.CommitRelaxed) pays its fence
+	// once per batch of frees, not once per retire. Limbo grows by at
+	// most drainEvery extra entries between drains.
+	drainEvery = 16
 	// idleEpoch marks a thread as not inside any operation.
 	idleEpoch = ^uint64(0)
 )
@@ -78,6 +84,12 @@ type Cache struct {
 	limbo       []retired
 	retireCount int
 	exitCount   int
+
+	// PreFree, when non-nil, runs once per drain batch, before the first
+	// limbo object of the batch is returned to the free lists. Durable
+	// engines hook it to commit deferred (relaxed) persistence work that
+	// must reach media before any unlinked object's memory is reused.
+	PreFree func()
 }
 
 // NewCache creates a thread cache bound to alloc, registered with recl.
@@ -160,12 +172,21 @@ func (c *Cache) Retire(off uint64, words int) {
 	if c.retireCount%advanceEvery == 0 {
 		c.recl.tryAdvance()
 	}
-	c.drain()
+	if c.retireCount%drainEvery == 0 {
+		c.drain()
+	}
 }
 
-// drain frees limbo objects that are two epochs old.
+// drain frees limbo objects that are two epochs old, running PreFree once
+// first when at least one object is ready.
 func (c *Cache) drain() {
 	g := c.recl.global.Load()
+	if len(c.limbo) == 0 || c.limbo[0].epoch+2 > g {
+		return
+	}
+	if c.PreFree != nil {
+		c.PreFree()
+	}
 	i := 0
 	for i < len(c.limbo) && c.limbo[i].epoch+2 <= g {
 		c.Free(c.limbo[i].off, c.limbo[i].words)

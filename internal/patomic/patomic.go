@@ -46,6 +46,28 @@ type Ctx struct {
 	mem     *Mem          // Mem this context is registered with (first use wins)
 	helps   atomic.Uint64 // completions of another thread's write (lines 19–26)
 	retries atomic.Uint64 // protocol restarts of any kind
+
+	// Deferred InitCell flushes (eliding devices only): distinct dirty
+	// lines in first-touch order, and the number of cells they cover.
+	// PublishFence drains them as one flush per line.
+	initLines []uint64
+	initCells int
+}
+
+// deferLine records a line touched by InitCell for the next PublishFence.
+// Consecutive cells of one object share lines, so the last-entry check is
+// the common-case dedup; the scan covers interleaved multi-object inits.
+func (ctx *Ctx) deferLine(line uint64) {
+	ctx.initCells++
+	if n := len(ctx.initLines); n > 0 && ctx.initLines[n-1] == line {
+		return
+	}
+	for _, l := range ctx.initLines {
+		if l == line {
+			return
+		}
+	}
+	ctx.initLines = append(ctx.initLines, line)
 }
 
 // Mem is a pair of replicas: cell offsets are valid on both devices.
@@ -126,11 +148,13 @@ func (m *Mem) CompareAndSwap(ctx *Ctx, off uint64, expected, newVal uint64) (boo
 
 		if ps == vs+1 {
 			// Another write installed (pv, ps) in rep_p but has not
-			// reached rep_v yet: help complete it (lines 19–26).
-			// The flush+fence guarantees the value is durable before
-			// it becomes loadable.
-			m.P.Flush(&ctx.FS, off)
-			m.P.Fence(&ctx.FS)
+			// reached rep_v yet: help complete it (lines 19–26). The
+			// value must be durable before it becomes loadable, but the
+			// flush+fence is elided when the watermark proves the owner
+			// (or an earlier helper, or an unrelated fence of the same
+			// line) already committed it — the epoch tag is read after
+			// the pair read that observed the install.
+			m.ensureDurable(ctx, off, m.P.PersistEpoch())
 			m.V.DWCAS(off, vv, vs, pv, ps)
 			m.noteHelp(ctx)
 			continue
@@ -145,12 +169,12 @@ func (m *Mem) CompareAndSwap(ctx *Ctx, off uint64, expected, newVal uint64) (boo
 			return false, pv
 		}
 
-		// Install into rep_p first (lines 38–42). The flush+fence runs
-		// whether or not the DWCAS succeeded: on failure it helps
-		// persist the competing write before we touch rep_v.
+		// Install into rep_p first (lines 38–42). The durability step
+		// runs whether or not the DWCAS succeeded: on failure it helps
+		// persist the competing write before we touch rep_v. The epoch
+		// tag is read after the DWCAS observed the cell.
 		ok, curV, curS := m.P.DWCAS(off, pv, ps, newVal, ps+1)
-		m.P.Flush(&ctx.FS, off)
-		m.P.Fence(&ctx.FS)
+		m.ensureDurable(ctx, off, m.P.PersistEpoch())
 		if ok {
 			// Mirror into rep_v (line 44). Failure here means a helper
 			// already completed our write (or a later one); either way
@@ -167,6 +191,90 @@ func (m *Mem) CompareAndSwap(ctx *Ctx, off uint64, expected, newVal uint64) (boo
 		}
 		// Help the winner's value into rep_v from the state we saw
 		// before failing (line 47), then fail.
+		m.V.DWCAS(off, vv, vs, curV, curS)
+		return false, curV
+	}
+}
+
+// ensureDurable makes the cell content observed under tag durable before a
+// mirror into rep_v. The caller read tag from P.PersistEpoch *after*
+// observing (or installing) the cell pair, so by the watermark's strict
+// monotone-epoch argument (pmem/elide.go):
+//
+//  1. Persisted(off, tag) — a fence committed the line after the
+//     observation; the observed value, or a successor with a higher
+//     sequence number, is on media. Skip both flush and fence.
+//  2. A commit ticket above tag — a fence that started after the
+//     observation is mid-commit and cannot stall (no gates between ticket
+//     and watermark); ride it instead of fencing ("piggyback").
+//  3. Otherwise — issue the full flush+fence of Figure 4.
+//
+// On a non-eliding device both probes are constant-false and the full path
+// runs unconditionally.
+func (m *Mem) ensureDurable(ctx *Ctx, off, tag uint64) {
+	if m.P.Persisted(off, tag) {
+		m.P.NoteElided(&ctx.FS, 1, 1)
+		return
+	}
+	if t := m.P.CommitTicket(off); t > tag && m.P.WaitPersisted(off, t) {
+		m.P.NotePiggyback(&ctx.FS)
+		return
+	}
+	m.P.Flush(&ctx.FS, off)
+	m.P.Fence(&ctx.FS)
+}
+
+// CompareAndSwapRelaxed is CompareAndSwap with the own-install flush+fence
+// deferred to the device's relaxed-line registry: the install becomes
+// visible in rep_v before it is durable, and the registry guarantees the
+// line commits before any object it unlinked is freed (the registration
+// happens before the volatile publish, so every thread that observed the
+// install — including the one that retires the unlinked object — is
+// ordered after it; the allocator's pre-free drain then commits it).
+//
+// It is sound ONLY for retire-gated auxiliary updates whose loss at a
+// crash leaves a state some earlier crash could also have left: snips of
+// already-marked nodes, upper-level skiplist links, bst excisions. A
+// linearization point (mark, level-0 link, bst flag) must use the full
+// CompareAndSwap. Help and failure paths keep the full discipline. On a
+// non-eliding device it degrades to CompareAndSwap exactly.
+func (m *Mem) CompareAndSwapRelaxed(ctx *Ctx, off uint64, expected, newVal uint64) (bool, uint64) {
+	if !m.P.Elides() {
+		return m.CompareAndSwap(ctx, off, expected, newVal)
+	}
+	for {
+		pv, ps := m.P.LoadPair(off)
+		vv, vs := m.V.LoadPair(off)
+
+		if ps == vs+1 {
+			m.ensureDurable(ctx, off, m.P.PersistEpoch())
+			m.V.DWCAS(off, vv, vs, pv, ps)
+			m.noteHelp(ctx)
+			continue
+		}
+		if ps != vs {
+			m.noteRetry(ctx)
+			continue
+		}
+		if pv != expected {
+			return false, pv
+		}
+
+		ok, curV, curS := m.P.DWCAS(off, pv, ps, newVal, ps+1)
+		if ok {
+			// Register before the mirror: the line's durability is now
+			// the pre-free drain's obligation, not ours.
+			m.P.NoteRelaxed(&ctx.FS, off)
+			m.V.DWCAS(off, pv, ps, newVal, ps+1)
+			return true, pv
+		}
+		// Failed install: persist the competing write before touching
+		// rep_v, as in the full protocol.
+		m.ensureDurable(ctx, off, m.P.PersistEpoch())
+		if curV == expected {
+			m.noteRetry(ctx)
+			continue
+		}
 		m.V.DWCAS(off, vv, vs, curV, curS)
 		return false, curV
 	}
@@ -214,11 +322,19 @@ func (m *Mem) FetchAdd(ctx *Ctx, off uint64, delta uint64) uint64 {
 // InitCell initializes an unpublished cell on both replicas with value v
 // and sequence number InitSeq, and flushes the persistent copy. The flush
 // is not fenced: callers batch the fence via PublishFence before the cell
-// becomes reachable, mirroring the allocator wrapper of §4.3.2.
+// becomes reachable, mirroring the allocator wrapper of §4.3.2. On an
+// eliding device even the flush is deferred: PublishFence issues one flush
+// per distinct dirty line, so a multi-cell object costs one clwb per cache
+// line instead of one per cell (both cell words share a line — cells are
+// 16-byte aligned).
 func (m *Mem) InitCell(ctx *Ctx, off uint64, v uint64) {
 	m.P.Store(off, v)
 	m.P.Store(off+1, InitSeq)
-	m.P.Flush(&ctx.FS, off)
+	if m.P.Elides() {
+		ctx.deferLine(off / pmem.WordsPerLine)
+	} else {
+		m.P.Flush(&ctx.FS, off)
+	}
 	m.V.Store(off, v)
 	m.V.Store(off+1, InitSeq)
 }
@@ -226,8 +342,26 @@ func (m *Mem) InitCell(ctx *Ctx, off uint64, v uint64) {
 // PublishFence fences all pending persistent-replica flushes of this
 // context. It must run after a new object's InitCells and before the CAS
 // that publishes the object, so the object's contents are durable no later
-// than the reference to it.
+// than the reference to it. On an eliding device it first drains the
+// deferred init flushes (one per distinct line, counting the per-cell
+// flushes a non-eliding device would have issued as elided), and skips the
+// fence entirely when nothing at all is pending — an sfence with no clwb
+// in flight orders nothing.
 func (m *Mem) PublishFence(ctx *Ctx) {
+	if m.P.Elides() {
+		for _, line := range ctx.initLines {
+			m.P.Flush(&ctx.FS, line*pmem.WordsPerLine)
+		}
+		if elided := ctx.initCells - len(ctx.initLines); elided > 0 {
+			m.P.NoteElided(&ctx.FS, uint64(elided), 0)
+		}
+		ctx.initLines = ctx.initLines[:0]
+		ctx.initCells = 0
+		if ctx.FS.Pending() == 0 {
+			m.P.NoteElided(&ctx.FS, 0, 1)
+			return
+		}
+	}
 	m.P.Fence(&ctx.FS)
 }
 

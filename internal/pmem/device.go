@@ -70,6 +70,7 @@ type Config struct {
 	Words      int          // capacity in 8-byte words (offset 0 reserved)
 	Persistent bool         // survives Crash via its media image
 	Track      bool         // maintain the media image (required for Crash)
+	Elide      bool         // maintain the persisted-epoch watermark (elide.go)
 	Model      LatencyModel // injected access costs
 }
 
@@ -141,6 +142,21 @@ type Device struct {
 	// entry per thread context), so summation stays cheap and exact.
 	shardMu sync.Mutex
 	shards  []*FlushSet
+
+	// Flush-elision state (Config.Elide; see elide.go): the global persist
+	// epoch, the per-line watermark and in-flight ticket tables, and the
+	// relaxed-line registry. lineTrack extends pending-line recording to
+	// eliding devices that do not track a media image (benchmarks).
+	elide      bool
+	lineTrack  bool
+	breakWM    bool // test-only: eviction falsely advances the watermark
+	pepoch     atomic.Uint64
+	marks      []atomic.Uint64
+	committing []atomic.Uint64
+
+	relaxedMu    sync.Mutex
+	relaxedLines []uint64 // registered lines in first-registration order
+	relaxedSet   map[uint64]struct{}
 }
 
 // New creates a Device. Words is rounded up to a whole number of cache
@@ -170,6 +186,14 @@ func New(cfg Config) *Device {
 	d.syncGate()
 	if d.track {
 		d.media = alignedWords(words)
+	}
+	d.elide = cfg.Elide && cfg.Persistent
+	d.lineTrack = d.track || d.elide
+	if d.elide {
+		nLines := len(d.words)/WordsPerLine + 1
+		d.marks = make([]atomic.Uint64, nLines)
+		d.committing = make([]atomic.Uint64, nLines)
+		d.relaxedSet = make(map[uint64]struct{})
 	}
 	return d
 }
@@ -380,6 +404,14 @@ type FlushSet struct {
 	flushes atomic.Uint64 // this thread's flush count on dev
 	fences  atomic.Uint64 // this thread's fence count on dev
 
+	// Elision shards (see elide.go): persistence instructions this thread
+	// *did not* issue because the watermark, a batch dedup, or the
+	// relaxed-line registry proved them redundant.
+	elidedFlushes atomic.Uint64
+	elidedFences  atomic.Uint64
+	piggybacked   atomic.Uint64
+	relaxed       atomic.Uint64
+
 	lines []uint64          // pending lines, unique, in first-flush order
 	table map[uint64]uint64 // line -> epoch; dedup once the set spills
 	epoch uint64            // current epoch; table entries from older epochs are stale
@@ -388,6 +420,14 @@ type FlushSet struct {
 // Reset discards any pending flushes (used when a context is recycled).
 // Counter shards are preserved: Reset forgets in-flight clwbs, not history.
 func (s *FlushSet) Reset() { s.clearLines() }
+
+// Pending returns the number of distinct lines flushed but not yet fenced
+// on this set. Engines consult it to elide a fence that would commit
+// nothing (an sfence with no clwb in flight orders nothing durable).
+// Pending lines are only recorded on tracking or eliding devices, so the
+// query is conservatively zero — and fence elision must therefore be gated
+// on Device.Elides — everywhere else.
+func (s *FlushSet) Pending() int { return len(s.lines) }
 
 // clearLines empties the pending-line set in O(1): the slice is truncated
 // and the epoch advances, invalidating every table entry at once.
@@ -454,7 +494,7 @@ func (d *Device) Flush(fs *FlushSet, off uint64) {
 		fs.enter(d)
 	}
 	fs.flushes.Add(1)
-	if d.track {
+	if d.lineTrack {
 		fs.add(off >> lineShift)
 	}
 	if debugChecks {
@@ -492,8 +532,8 @@ func (d *Device) Fence(fs *FlushSet) {
 		fs.enter(d)
 	}
 	fs.fences.Add(1)
-	if d.track && len(fs.lines) > 0 {
-		d.commitLines(fs.lines)
+	if d.lineTrack && len(fs.lines) > 0 {
+		d.commitFence(fs.lines)
 		fs.clearLines()
 	}
 	if debugChecks {
@@ -600,6 +640,18 @@ func (d *Device) Crash(policy CrashPolicy, rng *rand.Rand) {
 		for i := range d.words {
 			d.words[i] = 0
 		}
+	}
+	// Relaxed lines die with the cache: nothing defers past a crash. The
+	// watermark and epoch survive — marks never exceed pepoch, and fresh
+	// tags are read from pepoch, so stale marks can never satisfy the
+	// strict Persisted comparison.
+	if d.elide {
+		d.relaxedMu.Lock()
+		d.relaxedLines = d.relaxedLines[:0]
+		for line := range d.relaxedSet {
+			delete(d.relaxedSet, line)
+		}
+		d.relaxedMu.Unlock()
 	}
 	d.countdown.Store(0)
 	d.gen.Add(1)

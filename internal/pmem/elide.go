@@ -1,0 +1,252 @@
+// Flush elision and fence coalescing (DESIGN.md "Flush elision & fence
+// coalescing"). A device built with Config.Elide maintains a FliT-style
+// per-cache-line *persisted-epoch watermark* table: a global persist epoch
+// counter advances at the start of every committing fence, and a line's
+// watermark is raised to that epoch only after the fence has actually
+// copied the line to the media. A writer that (a) observes a value and
+// then (b) reads the epoch can elide its own flush+fence whenever the
+// line's watermark later exceeds that epoch — the strict inequality proves,
+// by monotonicity alone, that some fence copied the line *after* the
+// observation, so the observed value (or a successor with a higher
+// sequence number) is on media.
+//
+// Crucially the watermark is raised only on the fenced-commit path: the
+// fault model's early eviction also copies a line to media, but an eviction
+// is not a guarantee — it must never advance the watermark (the
+// deliberately-broken variant behind BreakWatermarkForTest does exactly
+// that, and the fault fuzzer's acceptance self-test proves the fuzzer
+// catches it).
+//
+// Two further mechanisms ride on the same epoch order:
+//
+//   - Fence coalescing: a committing fence first publishes its epoch as a
+//     per-line *ticket* (committing[line]), then commits, then raises the
+//     watermark. A concurrent writer holding tag g that sees a ticket t > g
+//     knows a fence that began after its install is mid-commit; it elides
+//     its flush and waits for the watermark to reach t instead of fencing
+//     itself ("piggybacking"). Between publishing the ticket and raising
+//     the watermark the fencer executes only plain atomic operations — no
+//     freeze gate, no fault consultation — so an observed ticket is a
+//     completion guarantee, not a promise.
+//
+//   - The relaxed-line registry: a CAS that is only retire-gated (list and
+//     skiplist snips, bst excisions — see patomic.CompareAndSwapRelaxed)
+//     may become visible before it is durable, provided its line is made
+//     durable before any object it unlinked is freed. Such installs
+//     register their line here, *before* the volatile publish, and every
+//     allocator drain commits the registry (flush per line + one fence)
+//     before freeing anything. The mutex orders registration before the
+//     stealing drain whenever the freeing thread observed the install, so
+//     the media can never hold a pointer into freed memory.
+package pmem
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// piggybackSpins bounds the wait for an in-flight fence's commit before the
+// piggybacking writer gives up and issues its own flush+fence. The fencer
+// cannot stall between ticket and watermark (no gates there), so the bound
+// exists only as a scheduling safety valve.
+const piggybackSpins = 1 << 14
+
+// atomicMax advances a monotone counter to at least v.
+func atomicMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Elides reports whether the flush-elision watermark machinery is enabled
+// (Config.Elide on a persistent device).
+func (d *Device) Elides() bool { return d.elide }
+
+// PersistEpoch returns the current global persist epoch. A writer reads it
+// *after* observing (or installing) a value; the returned tag is what
+// Persisted and CommitTicket compare against. Zero when elision is off.
+func (d *Device) PersistEpoch() uint64 {
+	if !d.elide {
+		return 0
+	}
+	return d.pepoch.Load()
+}
+
+// Persisted reports whether the line containing off has provably committed
+// to media since the caller's observation tagged tag: the watermark must
+// strictly exceed the tag, which proves the committing fence's epoch
+// advance — and therefore its line copy — happened after the tag was read.
+// Always false when elision is off, so callers degrade to the full
+// flush+fence.
+func (d *Device) Persisted(off, tag uint64) bool {
+	if !d.elide {
+		return false
+	}
+	return d.marks[off>>lineShift].Load() > tag
+}
+
+// CommitTicket returns the highest fence epoch that has been published for
+// the line containing off but whose commit may still be in flight. A ticket
+// strictly greater than the caller's tag means a fence that started after
+// the caller's observation will commit the line; WaitPersisted rides it.
+func (d *Device) CommitTicket(off uint64) uint64 {
+	if !d.elide {
+		return 0
+	}
+	return d.committing[off>>lineShift].Load()
+}
+
+// WaitPersisted spins until the watermark of the line containing off
+// reaches ticket, i.e. until the fence that published the ticket has
+// committed the line. It reports false if the bound expires — callers then
+// fall back to their own flush+fence.
+func (d *Device) WaitPersisted(off, ticket uint64) bool {
+	line := off >> lineShift
+	for i := 0; i < piggybackSpins; i++ {
+		if d.marks[line].Load() >= ticket {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}
+
+// commitFence is Fence's commit step. With elision on it brackets the media
+// copy with the epoch protocol: advance the global epoch, publish it as a
+// ticket on every dirty line, copy the lines, then raise the watermarks.
+// The watermark is raised strictly after the copy — an early eviction
+// (fault.go) copies lines without passing through here and therefore never
+// advances a watermark.
+func (d *Device) commitFence(lines []uint64) {
+	if !d.elide {
+		if d.track {
+			d.commitLines(lines)
+		}
+		return
+	}
+	e := d.pepoch.Add(1)
+	for _, line := range lines {
+		atomicMax(&d.committing[line], e)
+	}
+	if d.track {
+		d.commitLines(lines)
+	}
+	for _, line := range lines {
+		atomicMax(&d.marks[line], e)
+	}
+}
+
+// NoteRelaxed registers the line containing off in the relaxed-line
+// registry: the caller is about to make a value visible before it is
+// durable, deferring the line's commit to the next CommitRelaxed. It must
+// be called after the persistent install and before the volatile publish —
+// that ordering is what lets the stealing drain prove it covers every
+// unlink the freeing thread observed. The call itself issues no
+// persistence instructions; it counts one elided flush and one elided
+// fence on fs.
+func (d *Device) NoteRelaxed(fs *FlushSet, off uint64) {
+	if fs.dev != d {
+		d.adopt(fs)
+	}
+	fs.relaxed.Add(1)
+	fs.elidedFlushes.Add(1)
+	fs.elidedFences.Add(1)
+	line := off >> lineShift
+	d.relaxedMu.Lock()
+	if _, dup := d.relaxedSet[line]; !dup {
+		d.relaxedSet[line] = struct{}{}
+		d.relaxedLines = append(d.relaxedLines, line)
+	}
+	d.relaxedMu.Unlock()
+}
+
+// CommitRelaxed makes every registered relaxed line durable: it steals the
+// registry and issues one Flush per line plus a single trailing Fence on
+// fs — ordinary countable device operations, so the freeze gate, the fault
+// model, and the watermark all apply. When the registry is empty it issues
+// nothing, not even the fence. Allocator drains call this before freeing
+// the first object of a batch.
+func (d *Device) CommitRelaxed(fs *FlushSet) {
+	if !d.elide {
+		return
+	}
+	d.relaxedMu.Lock()
+	if len(d.relaxedLines) == 0 {
+		d.relaxedMu.Unlock()
+		return
+	}
+	lines := append([]uint64(nil), d.relaxedLines...)
+	d.relaxedLines = d.relaxedLines[:0]
+	for line := range d.relaxedSet {
+		delete(d.relaxedSet, line)
+	}
+	d.relaxedMu.Unlock()
+	for _, line := range lines {
+		off := line << lineShift
+		if off == 0 {
+			off = 1 // offset 0 is reserved; any word of the line works
+		}
+		d.Flush(fs, off)
+	}
+	d.Fence(fs)
+}
+
+// RelaxedPending returns the number of lines currently registered for
+// deferred commit; tests use it.
+func (d *Device) RelaxedPending() int {
+	d.relaxedMu.Lock()
+	n := len(d.relaxedLines)
+	d.relaxedMu.Unlock()
+	return n
+}
+
+// NoteElided records persistence instructions a caller skipped because the
+// watermark (or batch dedup, or an already-fenced empty pending set) proved
+// them redundant. Pure accounting; the ablation benchmarks report these.
+func (d *Device) NoteElided(fs *FlushSet, flushes, fences uint64) {
+	if fs.dev != d {
+		d.adopt(fs)
+	}
+	if flushes != 0 {
+		fs.elidedFlushes.Add(flushes)
+	}
+	if fences != 0 {
+		fs.elidedFences.Add(fences)
+	}
+}
+
+// NotePiggyback records a fence avoided by riding a concurrent fence's
+// ticket (the flush was elided too).
+func (d *Device) NotePiggyback(fs *FlushSet) {
+	if fs.dev != d {
+		d.adopt(fs)
+	}
+	fs.elidedFlushes.Add(1)
+	fs.piggybacked.Add(1)
+}
+
+// ElisionCounters sums the per-thread elision shards: flushes elided,
+// fences elided, fences piggybacked on a concurrent fence's ticket, and
+// relaxed installs registered for deferred commit.
+func (d *Device) ElisionCounters() (elidedFlushes, elidedFences, piggybacked, relaxed uint64) {
+	d.shardMu.Lock()
+	for _, s := range d.shards {
+		elidedFlushes += s.elidedFlushes.Load()
+		elidedFences += s.elidedFences.Load()
+		piggybacked += s.piggybacked.Load()
+		relaxed += s.relaxed.Load()
+	}
+	d.shardMu.Unlock()
+	return
+}
+
+// BreakWatermarkForTest makes the fault model's early eviction falsely
+// advance the evicted line's watermark past the current epoch — exactly
+// the bug the watermark protocol exists to rule out (an eviction is not a
+// commit guarantee). Installed only by engine.NewBrokenWatermarkMirror;
+// the fault fuzzer's acceptance self-test must catch the resulting
+// durable-linearizability violations.
+func (d *Device) BreakWatermarkForTest() { d.breakWM = true }

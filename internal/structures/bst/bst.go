@@ -69,6 +69,7 @@ func NewAt(e engine.Engine, c *engine.Ctx, rootField int) *BST {
 	if r := e.Load(c, e.RootRef(), rootField); r != 0 {
 		b.r = r
 		b.s = addr(e.Load(c, r, fLeft))
+		b.repairExcisions(c)
 		return b
 	}
 	newLeaf := func(key uint64) engine.Ref {
@@ -97,6 +98,66 @@ func NewAt(e engine.Engine, c *engine.Ctx, rootField int) *BST {
 
 // Name implements structures.Set.
 func (b *BST) Name() string { return "bst" }
+
+// repairExcisions completes every pending deletion on a recovered image.
+// A delete linearizes at the fully persisted flag CAS, but the promotion
+// that physically excises the doomed leaf persists lazily (relaxed), so a
+// crash can surface a flagged edge whose excision was lost — and a key
+// re-inserted after the (volatile) excision would then sit behind the
+// still-linked doomed leaf, unreachable by seek. Completing each flagged
+// edge's excision at attach time — exactly what a helper would have done,
+// with fully persisted CASes since this is recovery — restores the
+// invariant that flagged parents are transient. Runs to fixpoint because a
+// promoted sibling edge keeps its own flag; idempotent and crash-safe
+// (a crash mid-repair leaves fewer flagged edges for the next repair).
+func (b *BST) repairExcisions(c *engine.Ctx) {
+	e := b.e
+	for {
+		excised := false
+		// walk visits internal node n, reached from gp via gpField, and
+		// excises the first flagged parent it finds (then restarts, since
+		// the excision changes the tree above the walk frontier).
+		var walk func(gp engine.Ref, gpField int, n engine.Ref)
+		walk = func(gp engine.Ref, gpField int, n engine.Ref) {
+			if excised || n == 0 {
+				return
+			}
+			le := e.TraversalLoad(c, n, fLeft)
+			re := e.TraversalLoad(c, n, fRight)
+			if addr(le) == 0 && addr(re) == 0 {
+				return // leaf
+			}
+			for _, side := range [2]struct {
+				edge uint64
+				cf   int
+			}{{le, fLeft}, {re, fRight}} {
+				if flagged(side.edge) {
+					sib := re
+					if side.cf == fRight {
+						sib = le
+					}
+					gpEdge := e.TraversalLoad(c, gp, gpField)
+					if e.CAS(c, gp, gpField, gpEdge, sib&^tagBit) {
+						e.Retire(c, n, NodeFields)
+						if d := addr(side.edge); d != 0 {
+							e.Retire(c, d, NodeFields)
+						}
+					}
+					excised = true
+					return
+				}
+			}
+			walk(n, fLeft, addr(le))
+			if !excised {
+				walk(n, fRight, addr(re))
+			}
+		}
+		walk(b.r, fLeft, b.s)
+		if !excised {
+			return
+		}
+	}
+}
 
 // seekRecord is the result of a traversal (the paper's seek record):
 // ancestor —(untagged edge)→ successor —...—→ parent —→ leaf.
@@ -173,25 +234,28 @@ func (b *BST) Insert(c *engine.Ctx, key, val uint64) bool {
 			e.MakePersistent(c, rec.leaf, NodeFields)
 			return false
 		}
+		// Batch both nodes' initialization under one trailing fence: the
+		// leaf and its internal parent become durable together at Commit.
+		ba := engine.Batch(e, c)
 		if newLeaf == 0 {
 			newLeaf = e.Alloc(c, NodeFields)
-			e.StoreInit(c, newLeaf, fKey, key)
-			e.StoreInit(c, newLeaf, fVal, val)
-			e.StoreInit(c, newLeaf, fLeft, 0)
-			e.StoreInit(c, newLeaf, fRight, 0)
+			ba.StoreInit(newLeaf, fKey, key)
+			ba.StoreInit(newLeaf, fVal, val)
+			ba.StoreInit(newLeaf, fLeft, 0)
+			ba.StoreInit(newLeaf, fRight, 0)
 			newInternal = e.Alloc(c, NodeFields)
-			e.StoreInit(c, newInternal, fVal, 0)
+			ba.StoreInit(newInternal, fVal, 0)
 		}
 		if key < leafKey {
-			e.StoreInit(c, newInternal, fKey, leafKey)
-			e.StoreInit(c, newInternal, fLeft, newLeaf)
-			e.StoreInit(c, newInternal, fRight, rec.leaf)
+			ba.StoreInit(newInternal, fKey, leafKey)
+			ba.StoreInit(newInternal, fLeft, newLeaf)
+			ba.StoreInit(newInternal, fRight, rec.leaf)
 		} else {
-			e.StoreInit(c, newInternal, fKey, key)
-			e.StoreInit(c, newInternal, fLeft, rec.leaf)
-			e.StoreInit(c, newInternal, fRight, newLeaf)
+			ba.StoreInit(newInternal, fKey, key)
+			ba.StoreInit(newInternal, fLeft, rec.leaf)
+			ba.StoreInit(newInternal, fRight, newLeaf)
 		}
-		e.Publish(c, newInternal)
+		ba.Commit()
 		e.MakePersistent(c, rec.parent, NodeFields)
 		if e.CAS(c, rec.parent, cf, rec.leaf, newInternal) {
 			return true
@@ -282,12 +346,15 @@ func (b *BST) cleanup(c *engine.Ctx, key uint64, rec seekRecord) bool {
 	doomedLeaf := addr(flaggedEdge)
 
 	// Freeze the promoted edge with the tag bit (fetch-and-or by CAS).
+	// The tag is cleanup bookkeeping, not a linearization point — losing
+	// it in a crash merely re-exposes the flagged-but-unpromoted state a
+	// crash before cleanup leaves anyway — so it may persist lazily.
 	for {
 		v := e.TraversalLoad(c, rec.parent, promoted)
 		if tagged(v) {
 			break
 		}
-		if e.CAS(c, rec.parent, promoted, v, v|tagBit) {
+		if e.CASRelaxed(c, rec.parent, promoted, v, v|tagBit) {
 			break
 		}
 	}
@@ -296,8 +363,12 @@ func (b *BST) cleanup(c *engine.Ctx, key uint64, rec seekRecord) bool {
 	e.MakePersistent(c, rec.ancestor, NodeFields)
 	e.MakePersistent(c, rec.parent, NodeFields)
 	// Promote: keep the sibling's flag (its own delete may be in flight),
-	// drop the tag.
-	if e.CAS(c, rec.ancestor, succField, rec.successor, sibling&^tagBit) {
+	// drop the tag. The delete linearized at the (fully persisted) flag
+	// CAS, and a crash that loses the promotion re-exposes the flagged
+	// edge — readers already treat that as absent — so the excision may
+	// persist lazily; the registry commits it before parent/leaf are
+	// freed, keeping the media free of dangling references.
+	if e.CASRelaxed(c, rec.ancestor, succField, rec.successor, sibling&^tagBit) {
 		e.Retire(c, rec.parent, NodeFields)
 		if doomedLeaf != 0 {
 			e.Retire(c, doomedLeaf, NodeFields)

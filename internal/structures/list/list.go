@@ -67,7 +67,11 @@ retry:
 				// Mirror, redundant for Izraelevitz).
 				e.MakePersistent(c, predRef, NodeFields)
 				e.MakePersistent(c, curr, NodeFields)
-				if !e.CAS(c, predRef, predField, curr, structures.Unmark(succ)) {
+				// The unlink is auxiliary cleanup: the node is already
+				// logically deleted (marked), so the snip may persist
+				// lazily — it is committed before curr's memory can be
+				// reused, via the retire-gated relaxed-line registry.
+				if !e.CASRelaxed(c, predRef, predField, curr, structures.Unmark(succ)) {
 					continue retry
 				}
 				e.Retire(c, curr, NodeFields)
@@ -104,13 +108,17 @@ func (l *List) Insert(c *engine.Ctx, key, val uint64) bool {
 			e.MakePersistent(c, curr, NodeFields)
 			return false
 		}
+		// Batch the node's initialization: relaxed flushes per dirty line,
+		// one trailing fence at Commit (engine.Batch; equivalent to
+		// StoreInit+Publish on non-eliding engines).
+		b := engine.Batch(e, c)
 		if node == 0 {
 			node = e.Alloc(c, NodeFields)
-			e.StoreInit(c, node, fKey, key)
-			e.StoreInit(c, node, fVal, val)
+			b.StoreInit(node, fKey, key)
+			b.StoreInit(node, fVal, val)
 		}
-		e.StoreInit(c, node, fNext, curr)
-		e.Publish(c, node)
+		b.StoreInit(node, fNext, curr)
+		b.Commit()
 		e.MakePersistent(c, predRef, NodeFields)
 		if e.CAS(c, predRef, predField, curr, node) {
 			return true
@@ -139,7 +147,10 @@ func (l *List) Delete(c *engine.Ctx, key uint64) bool {
 			continue
 		}
 		// Attempt the physical unlink; on failure find() will clean up.
-		if e.CAS(c, predRef, predField, curr, succ) {
+		// The delete's linearization point was the (fully persisted) mark
+		// CAS above, so the unlink itself may persist lazily — the
+		// relaxed-line registry commits it before the node is freed.
+		if e.CASRelaxed(c, predRef, predField, curr, succ) {
 			e.Retire(c, curr, NodeFields)
 		}
 		return true

@@ -58,6 +58,7 @@ func NewAt(e engine.Engine, c *engine.Ctx, rootField int) *SkipList {
 	defer e.OpEnd(c)
 	if h := e.Load(c, e.RootRef(), rootField); h != 0 {
 		s.head = h
+		s.repairMarks(c)
 		return s
 	}
 	s.head = e.Alloc(c, fNext+MaxLevel)
@@ -74,6 +75,40 @@ func NewAt(e engine.Engine, c *engine.Ctx, rootField int) *SkipList {
 
 // Name implements structures.Set.
 func (s *SkipList) Name() string { return "skiplist" }
+
+// repairMarks restores the top-down mark invariant on a recovered image.
+// Delete marks a node's accelerator levels with relaxed persistence (only
+// the level-0 mark — the linearization point — is fenced), so a crash can
+// surface a node durably marked at level 0 but unmarked above: a state
+// unreachable in crash-free execution, which search answers with a retry
+// that, with no live deleter to wait for, never terminates. Walking every
+// level of the quiesced image and re-marking the accelerator levels of
+// each level-0-marked node (with fully persisted CASes — this is recovery,
+// not the hot path) restores the invariant; subsequent searches then snip
+// the zombies out normally. Idempotent, and crash-safe: a crash mid-repair
+// just leaves a subset of the marks for the next repair.
+func (s *SkipList) repairMarks(c *engine.Ctx) {
+	e := s.e
+	seen := map[engine.Ref]bool{s.head: true}
+	for i := 0; i < MaxLevel; i++ {
+		curr := structures.Unmark(e.TraversalLoad(c, s.head, fNext+i))
+		for curr != 0 {
+			if !seen[curr] {
+				seen[curr] = true
+				if structures.Marked(e.TraversalLoad(c, curr, fNext)) {
+					top := int(e.TraversalLoad(c, curr, fTop))
+					for j := 1; j < top; j++ {
+						v := e.TraversalLoad(c, curr, fNext+j)
+						if !structures.Marked(v) {
+							e.CAS(c, curr, fNext+j, v, structures.Mark(v))
+						}
+					}
+				}
+			}
+			curr = structures.Unmark(e.TraversalLoad(c, curr, fNext+i))
+		}
+	}
+}
 
 // randomLevel draws a height with geometric distribution p=1/2.
 func (s *SkipList) randomLevel() int {
@@ -123,9 +158,12 @@ retry:
 				right = structures.Unmark(rightNext)
 			}
 			if leftNext != right {
-				// Snip the whole marked run with one CAS.
+				// Snip the whole marked run with one CAS. The snipped
+				// nodes are already logically deleted, so the snip may
+				// persist lazily: the relaxed-line registry commits it
+				// before any of those nodes' memory is reused.
 				e.MakePersistent(c, left, fNext+i+1)
-				if !e.CAS(c, left, fNext+i, leftNext, right) {
+				if !e.CASRelaxed(c, left, fNext+i, leftNext, right) {
 					continue retry
 				}
 			}
@@ -157,22 +195,29 @@ func (s *SkipList) Insert(c *engine.Ctx, key, val uint64) bool {
 			e.MakePersistent(c, succs[0], fNext)
 			return false
 		}
+		// Batch the tower's initialization: relaxed flushes per dirty
+		// line, one trailing fence at Commit.
+		b := engine.Batch(e, c)
 		if node == 0 {
 			node = e.Alloc(c, fNext+level)
-			e.StoreInit(c, node, fKey, key)
-			e.StoreInit(c, node, fVal, val)
-			e.StoreInit(c, node, fTop, uint64(level))
+			b.StoreInit(node, fKey, key)
+			b.StoreInit(node, fVal, val)
+			b.StoreInit(node, fTop, uint64(level))
 		}
 		for i := 0; i < level; i++ {
-			e.StoreInit(c, node, fNext+i, succs[i])
+			b.StoreInit(node, fNext+i, succs[i])
 		}
-		e.Publish(c, node)
+		b.Commit()
 		e.MakePersistent(c, preds[0], fNext+1)
 		if !e.CAS(c, preds[0], fNext, succs[0], node) {
 			continue // level-0 link lost the race; redo the search
 		}
-		// The node is logically inserted. Link the accelerator levels;
-		// abandon as soon as a concurrent delete marks the node.
+		// The node is logically inserted (the level-0 link above carried
+		// the full durability discipline). Link the accelerator levels;
+		// abandon as soon as a concurrent delete marks the node. These
+		// links only restore search acceleration — a crash that loses one
+		// leaves the node reachable and present via level 0 — so they may
+		// persist lazily through the relaxed-line registry.
 		for i := 1; i < level; i++ {
 			for {
 				cur := e.TraversalLoad(c, node, fNext+i)
@@ -180,7 +225,7 @@ func (s *SkipList) Insert(c *engine.Ctx, key, val uint64) bool {
 					return true // concurrently deleted; searches clean up
 				}
 				if cur != succs[i] {
-					if !e.CAS(c, node, fNext+i, cur, succs[i]) {
+					if !e.CASRelaxed(c, node, fNext+i, cur, succs[i]) {
 						// Lost to a mark; stop linking.
 						return true
 					}
@@ -189,7 +234,7 @@ func (s *SkipList) Insert(c *engine.Ctx, key, val uint64) bool {
 					break // already linked at this level by a re-search
 				}
 				e.MakePersistent(c, preds[i], fNext+i+1)
-				if e.CAS(c, preds[i], fNext+i, succs[i], node) {
+				if e.CASRelaxed(c, preds[i], fNext+i, succs[i], node) {
 					break
 				}
 				s.search(c, key, &preds, &succs)
@@ -223,14 +268,17 @@ func (s *SkipList) Delete(c *engine.Ctx, key uint64) bool {
 	}
 	top := int(e.TraversalLoad(c, node, fTop))
 	e.MakePersistent(c, node, fNext+top)
-	// Mark the accelerator levels top-down.
+	// Mark the accelerator levels top-down. Only the level-0 mark below
+	// decides presence, so these marks may persist lazily (relaxed): a
+	// crash that loses one leaves a not-yet-deleted node, which is the
+	// same state as crashing before the delete began.
 	for i := top - 1; i >= 1; i-- {
 		for {
 			next := e.TraversalLoad(c, node, fNext+i)
 			if structures.Marked(next) {
 				break
 			}
-			if e.CAS(c, node, fNext+i, next, structures.Mark(next)) {
+			if e.CASRelaxed(c, node, fNext+i, next, structures.Mark(next)) {
 				break
 			}
 		}
