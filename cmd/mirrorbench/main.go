@@ -11,6 +11,7 @@
 //	mirrorbench -recovery -sizes 1000,10000 -par 1,4   # recovery-pipeline sweep
 //	mirrorbench -json BENCH_1.json    # machine-readable engine×structure matrix
 //	mirrorbench -json BENCH_2.json -recovery   # matrix plus recovery section
+//	mirrorbench -json BENCH_4.json -detect     # detectable-operation overhead ablation
 //	mirrorbench -checkjson BENCH_1.json  # re-parse and validate a report
 //
 // Absolute numbers depend on the host; the shape — who wins, by what
@@ -75,6 +76,7 @@ func main() {
 		structsF = flag.String("structures", "", "comma-separated structure filter for -json (list,hashtable,bst,skiplist)")
 		enginesF = flag.String("engines", "", "comma-separated engine filter for -json (e.g. Mirror,NVTraverse)")
 		noElide  = flag.Bool("noelide", false, "disable flush elision / fence coalescing (ablation baseline)")
+		detect   = flag.Bool("detect", false, "route every operation through a detectable bracket (descriptor-overhead ablation)")
 	)
 	flag.Parse()
 
@@ -127,6 +129,7 @@ func main() {
 		Latency:  !*noLat && !*fast,
 		Seed:     *seed,
 		NoElide:  *noElide,
+		Detect:   *detect,
 	}
 	for _, part := range strings.Split(*threads, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))

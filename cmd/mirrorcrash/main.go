@@ -14,6 +14,7 @@
 //	mirrorcrash -structure hashtable -engine Mirror -rounds 100
 //	mirrorcrash -structure all -engine all -rounds 10
 //	mirrorcrash -fuzz 50 -structure all -engine all -faults torn,evict,drop
+//	mirrorcrash -fuzz 50 -structure all -engine Mirror -detect
 //	mirrorcrash -structure list -engine Mirror -faults torn,drop -seed 7 -schedule w1o5k1c13
 package main
 
@@ -62,11 +63,12 @@ func main() {
 		structure = flag.String("structure", "hashtable", "list|hashtable|bst|skiplist|all")
 		engName   = flag.String("engine", "Mirror", "Mirror|MirrorNVMM|Izraelevitz|NVTraverse|all")
 		rounds    = flag.Int("rounds", 20, "crash rounds per combination")
-		seed      = flag.Int64("seed", time.Now().UnixNano(), "base seed")
+		seed      = flag.Int64("seed", 1, "base seed (fixed default for reproducible runs)")
 		fuzzN     = flag.Int("fuzz", 0, "fault-fuzz iterations per combination (0 = classic crash rounds)")
 		faultsStr = flag.String("faults", "torn,evict,drop", "fault behaviors for -fuzz/-schedule: torn,evict,drop or none")
 		schedule  = flag.String("schedule", "", "replay one reproducer schedule (e.g. w1o5k1c13) with -seed")
 		reproOut  = flag.String("repro-out", "", "write the minimized reproducer to this file on fuzz failure")
+		detect    = flag.Bool("detect", false, "run -fuzz/-schedule with detectable operations: cross-check Detect verdicts against the linearizability checker and replay cut ops through ExactlyOnce")
 	)
 	flag.Parse()
 
@@ -76,7 +78,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *schedule != "" {
-		os.Exit(replay(*structure, *engName, faults, *seed, *schedule))
+		os.Exit(replay(*structure, *engName, faults, *seed, *schedule, *detect))
 	}
 
 	var structNames, engNames []string
@@ -102,7 +104,11 @@ func main() {
 	}
 
 	if *fuzzN > 0 {
-		os.Exit(fuzz(structNames, engNames, faults, *seed, *fuzzN, *reproOut))
+		os.Exit(fuzz(structNames, engNames, faults, *seed, *fuzzN, *reproOut, *detect))
+	}
+	if *detect {
+		fmt.Fprintln(os.Stderr, "mirrorcrash: -detect requires -fuzz or -schedule")
+		os.Exit(2)
 	}
 
 	policies := []pmem.CrashPolicy{pmem.CrashDropAll, pmem.CrashKeepAll, pmem.CrashRandom}
@@ -149,8 +155,12 @@ func crashAtFor(seed, total int64) int64 {
 // each with a calibrated mid-flight crash placement. The first failure is
 // shrunk, printed as a re-runnable reproducer, optionally written to
 // reproOut, and fails the process.
-func fuzz(structNames, engNames []string, faults pmem.FaultSpec, baseSeed int64, fuzzN int, reproOut string) int {
-	fmt.Printf("fault-fuzz: faults=%s base seed %d, %d runs per combination\n", faults, baseSeed, fuzzN)
+func fuzz(structNames, engNames []string, faults pmem.FaultSpec, baseSeed int64, fuzzN int, reproOut string, detect bool) int {
+	mode := ""
+	if detect {
+		mode = ", detectable operations"
+	}
+	fmt.Printf("fault-fuzz: faults=%s base seed %d, %d runs per combination%s\n", faults, baseSeed, fuzzN, mode)
 	for _, sn := range structNames {
 		for _, en := range engNames {
 			start := time.Now()
@@ -162,6 +172,7 @@ func fuzz(structNames, engNames []string, faults pmem.FaultSpec, baseSeed int64,
 					Faults:    faults,
 					Seed:      baseSeed + int64(i),
 					Schedule:  faultfuzz.Schedule{Workers: 2, OpsPer: 8, Keys: 6},
+					Detect:    detect,
 				}
 				spec.Schedule.CrashAt = crashAtFor(spec.Seed, faultfuzz.Calibrate(spec))
 				res := faultfuzz.Run(spec)
@@ -197,7 +208,7 @@ func fuzz(structNames, engNames []string, faults pmem.FaultSpec, baseSeed int64,
 
 // replay re-runs one (seed, schedule) reproducer and reports the media
 // fingerprint, so a failure can be confirmed bit for bit.
-func replay(structure, engName string, faults pmem.FaultSpec, seed int64, scheduleStr string) int {
+func replay(structure, engName string, faults pmem.FaultSpec, seed int64, scheduleStr string, detect bool) int {
 	kind, ok := engines[engName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "mirrorcrash: -schedule needs a single engine, got %q\n", engName)
@@ -208,7 +219,7 @@ func replay(structure, engName string, faults pmem.FaultSpec, seed int64, schedu
 		fmt.Fprintf(os.Stderr, "mirrorcrash: %v\n", err)
 		return 2
 	}
-	spec := faultfuzz.Spec{Structure: structure, Kind: kind, Faults: faults, Seed: seed, Schedule: sched}
+	spec := faultfuzz.Spec{Structure: structure, Kind: kind, Faults: faults, Seed: seed, Schedule: sched, Detect: detect}
 	res := faultfuzz.Run(spec)
 	fmt.Printf("replay %v\n  crashed at op %d of %d, media hash %#x\n",
 		spec, res.CrashedAt, res.OpsTotal, res.MediaHash)

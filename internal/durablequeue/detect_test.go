@@ -1,0 +1,177 @@
+package durablequeue
+
+import (
+	"testing"
+
+	"mirror/internal/engine"
+	"mirror/internal/pmem"
+)
+
+func newDetectQueue(clients int) *Queue {
+	return New(Config{Words: 1 << 16, Track: true, Clients: clients})
+}
+
+// guardFrozen runs f, swallowing the simulated power-cut panic.
+func guardFrozen(f func()) {
+	defer func() {
+		if r := recover(); r != nil && r != pmem.ErrFrozen {
+			panic(r)
+		}
+	}()
+	f()
+}
+
+// TestDetectEmptyQueueCrash covers the quiesced crash+recover cycle on an
+// *empty* queue: the failed dequeue's verdict must survive the crash with
+// its recorded (false) result, and the queue must stay empty and usable.
+func TestDetectEmptyQueueCrash(t *testing.T) {
+	q := newDetectQueue(1)
+	c := q.NewCtx()
+	q.DetectBegin(c, 0, 1, engine.DetectDequeue, 0)
+	if _, ok := q.Dequeue(c); ok {
+		t.Fatal("dequeue on empty queue succeeded")
+	}
+	q.DetectEnd(c, false)
+	q.Crash(pmem.CrashDropAll, nil)
+	q.Recover()
+	if n := q.Len(); n != 0 {
+		t.Fatalf("Len after recovery = %d, want 0", n)
+	}
+	v := q.Detect(0, 1)
+	if v.Verdict != engine.Committed || !v.KnownResult || v.Result {
+		t.Errorf("empty dequeue verdict = %+v, want Committed with result false", v)
+	}
+	c2 := q.NewCtx()
+	if _, ok := q.Dequeue(c2); ok {
+		t.Error("recovered empty queue produced an element")
+	}
+	q.Enqueue(c2, 7)
+	if got, ok := q.Dequeue(c2); !ok || got != 7 {
+		t.Errorf("recovered queue roundtrip = (%d, %v), want (7, true)", got, ok)
+	}
+}
+
+// TestDetectSingleElementQueueCrash covers the quiesced cycle on a
+// *single-element* queue: a crash after the detectable enqueue, recovery,
+// then a crash after the detectable dequeue — each time the last
+// operation's verdict must read Committed with the recorded result, and
+// the dequeue verdict must carry the dequeued value in Rval.
+func TestDetectSingleElementQueueCrash(t *testing.T) {
+	q := newDetectQueue(2)
+	if q.Clients() != 2 {
+		t.Fatalf("Clients() = %d, want 2", q.Clients())
+	}
+	c := q.NewCtx()
+	q.DetectBegin(c, 1, 1, engine.DetectEnqueue, 42)
+	q.Enqueue(c, 42)
+	q.DetectEnd(c, true)
+	q.Crash(pmem.CrashDropAll, nil)
+	q.Recover()
+	if n := q.Len(); n != 1 {
+		t.Fatalf("Len after enqueue+crash = %d, want 1", n)
+	}
+	if v := q.Detect(1, 1); v.Verdict != engine.Committed || !v.KnownResult || !v.Result {
+		t.Errorf("enqueue verdict = %+v, want Committed with result true", v)
+	}
+	if v := q.Detect(0, 1); v.Verdict != engine.NotCommitted {
+		t.Errorf("client 0 never announced: got %+v, want NotCommitted", v)
+	}
+
+	c = q.NewCtx()
+	q.DetectBegin(c, 1, 2, engine.DetectDequeue, 0)
+	if got, ok := q.Dequeue(c); !ok || got != 42 {
+		t.Fatalf("dequeue = (%d, %v), want (42, true)", got, ok)
+	}
+	q.DetectEnd(c, true)
+	q.Crash(pmem.CrashDropAll, nil)
+	q.Recover()
+	if n := q.Len(); n != 0 {
+		t.Fatalf("Len after dequeue+crash = %d, want 0", n)
+	}
+	v := q.Detect(1, 2)
+	if v.Verdict != engine.Committed || !v.KnownResult || !v.Result {
+		t.Fatalf("dequeue verdict = %+v, want Committed with result true", v)
+	}
+	if v.Rval != 42 {
+		t.Errorf("dequeue verdict Rval = %d, want 42", v.Rval)
+	}
+}
+
+// TestDetectQueueCrashSweep cuts a detectable enqueue (into an empty
+// queue) and a detectable dequeue (from a single-element queue) at every
+// device-op index and cross-checks the verdict against the recovered
+// state. This exercises the enqueue's deferred announce — the announce
+// must be durable by the time the linearizing link can possibly be — and
+// the dequeue's Rval plumbing.
+func TestDetectQueueCrashSweep(t *testing.T) {
+	for cut := int64(1); cut <= 50; cut++ {
+		// Enqueue sweep.
+		q := newDetectQueue(1)
+		c := q.NewCtx()
+		q.dev.FreezeAfter(cut)
+		guardFrozen(func() {
+			q.DetectBegin(c, 0, 1, engine.DetectEnqueue, 9)
+			q.Enqueue(c, 9)
+			q.DetectEnd(c, true)
+		})
+		q.Crash(pmem.CrashDropAll, nil)
+		q.Recover()
+		v := q.Detect(0, 1)
+		n := q.Len()
+		switch v.Verdict {
+		case engine.Committed:
+			if !v.KnownResult || !v.Result || n != 1 {
+				t.Errorf("enqueue cut=%d: Committed (%+v) but Len=%d", cut, v, n)
+			}
+		case engine.NotCommitted:
+			if n != 0 {
+				t.Errorf("enqueue cut=%d: NotCommitted but Len=%d", cut, n)
+			}
+		}
+
+		// Dequeue sweep from a one-element queue.
+		q = newDetectQueue(1)
+		c = q.NewCtx()
+		q.Enqueue(c, 33)
+		q.dev.FreezeAfter(cut)
+		guardFrozen(func() {
+			q.DetectBegin(c, 0, 1, engine.DetectDequeue, 0)
+			q.Dequeue(c)
+			q.DetectEnd(c, true)
+		})
+		q.Crash(pmem.CrashDropAll, nil)
+		q.Recover()
+		v = q.Detect(0, 1)
+		n = q.Len()
+		switch v.Verdict {
+		case engine.Committed:
+			if !v.KnownResult || !v.Result || n != 0 || v.Rval != 33 {
+				t.Errorf("dequeue cut=%d: Committed (%+v) but Len=%d", cut, v, n)
+			}
+		case engine.NotCommitted:
+			if n != 1 {
+				t.Errorf("dequeue cut=%d: NotCommitted but Len=%d", cut, n)
+			}
+		}
+	}
+}
+
+// TestDetectQueueDisabledPanics pins the loud-failure contract when
+// detectability is off.
+func TestDetectQueueDisabledPanics(t *testing.T) {
+	q := New(Config{Words: 1 << 14})
+	c := q.NewCtx()
+	for name, f := range map[string]func(){
+		"DetectBegin": func() { q.DetectBegin(c, 0, 1, engine.DetectEnqueue, 1) },
+		"Detect":      func() { q.Detect(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with Clients=0 did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"mirror/internal/engine"
 	"mirror/internal/palloc"
 	"mirror/internal/pmem"
 )
@@ -35,7 +36,9 @@ const (
 
 // Queue is the hand-made durable FIFO queue.
 type Queue struct {
-	dev *pmem.Device
+	dev     *pmem.Device
+	det     *engine.DescRegion // nil when Config.Clients == 0
+	clients int
 
 	mu    sync.Mutex
 	alloc *palloc.Allocator
@@ -46,6 +49,14 @@ type Queue struct {
 type Ctx struct {
 	cache *palloc.Cache
 	fs    pmem.FlushSet
+	det   detState // in-flight detectable-operation bracket
+}
+
+// detState tracks one context's armed detectable operation.
+type detState struct {
+	armed, delivered bool
+	client           int
+	seq              uint64
 }
 
 // Config describes a queue instance.
@@ -53,6 +64,9 @@ type Config struct {
 	Words   int
 	Latency bool
 	Track   bool
+	// Clients reserves per-client operation-descriptor slots below the node
+	// heap for detectable operations; 0 leaves the layout unchanged.
+	Clients int
 }
 
 // New creates an empty durable queue.
@@ -70,7 +84,15 @@ func New(cfg Config) *Queue {
 			Persistent: true, Track: cfg.Track, Model: model,
 		}),
 	}
-	q.alloc = palloc.New(palloc.Config{Base: 16, End: uint64(q.dev.Size())})
+	// Descriptor slots sit between the root slots and the node heap; the
+	// base (16) is already line-aligned.
+	heapBase := uint64(16)
+	if cfg.Clients > 0 {
+		q.det = engine.NewDescRegion(q.dev, heapBase, cfg.Clients, true)
+		q.clients = cfg.Clients
+		heapBase += q.det.Words()
+	}
+	q.alloc = palloc.New(palloc.Config{Base: heapBase, End: uint64(q.dev.Size())})
 	q.recl = palloc.NewReclaimer()
 	// Durable dummy node.
 	boot := q.NewCtx()
@@ -117,6 +139,9 @@ func (q *Queue) Enqueue(c *Ctx, v uint64) {
 			// The linearizing link is durable before we return; the
 			// tail swing is auxiliary.
 			q.persist(c, tail+fNext)
+			// The link fence just made the enqueue durable: the detectable
+			// verdict may publish (no-op when unarmed).
+			q.detectLinearized(c, true, 0)
 			q.dev.CAS(tailSlot, tail, node)
 			return
 		}
@@ -143,6 +168,9 @@ func (q *Queue) Dequeue(c *Ctx) (uint64, bool) {
 		v := q.dev.Load(next + fVal)
 		if q.dev.CAS(headSlot, head, next) {
 			q.persist(c, headSlot)
+			// The head swing is durable: publish the verdict with the
+			// dequeued value so a replay after a crash can return it.
+			q.detectLinearized(c, true, v)
 			c.cache.Retire(head, fSize)
 			return v, true
 		}
@@ -191,6 +219,9 @@ func (q *Queue) Recover() {
 		q.dev.PersistRange(e.Off, e.Words)
 	}
 	q.dev.PersistRange(headSlot, 1)
+	if q.det != nil {
+		q.det.Scrub()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.alloc.Rebuild(extents)
@@ -199,3 +230,58 @@ func (q *Queue) Recover() {
 
 // Counters reports cumulative flushes and fences.
 func (q *Queue) Counters() (uint64, uint64) { return q.dev.Counters() }
+
+// Clients reports the number of reserved descriptor slots (0 = off).
+func (q *Queue) Clients() int { return q.clients }
+
+// DetectBegin durably announces operation (client, seq) before it runs;
+// kind is engine.DetectEnqueue (val = the enqueued value) or
+// engine.DetectDequeue (val ignored). Enqueue announces are deferred onto
+// the operation's own pre-link content fence — the linearizing link CAS
+// cannot execute, let alone persist, before that fence commits the
+// announce. Dequeue announces fence eagerly: the head-swing CAS could be
+// evicted to media before any fence of ours.
+func (q *Queue) DetectBegin(c *Ctx, client int, seq, kind, val uint64) {
+	if q.det == nil {
+		panic("durablequeue: detectability is disabled (Config.Clients == 0)")
+	}
+	if c.det.armed {
+		panic("durablequeue: DetectBegin inside an armed detectable operation")
+	}
+	c.det = detState{armed: true, client: client, seq: seq}
+	q.det.Begin(&c.fs, client, seq, kind, 0, val, kind == engine.DetectEnqueue)
+}
+
+// detectLinearized publishes the verdict once the operation's effect is
+// durable; a no-op without an armed bracket.
+func (q *Queue) detectLinearized(c *Ctx, result bool, rval uint64) {
+	if q.det == nil || !c.det.armed || c.det.delivered {
+		return
+	}
+	q.det.Publish(&c.fs, c.det.client, c.det.seq, result, rval)
+	c.det.delivered = true
+}
+
+// DetectEnd publishes the verdict if the operation never linearized (an
+// empty dequeue) and issues the terminal verdict fence.
+func (q *Queue) DetectEnd(c *Ctx, result bool) {
+	if q.det == nil || !c.det.armed {
+		return
+	}
+	if !c.det.delivered {
+		q.det.Publish(&c.fs, c.det.client, c.det.seq, result, 0)
+	}
+	q.det.End(&c.fs)
+	c.det = detState{}
+}
+
+// Detect answers whether (client, seq) committed, from the quiesced,
+// crashed, or recovered queue. Authoritative only for the client's most
+// recently issued operation; a Committed dequeue's DetectResult.Rval
+// carries the dequeued value.
+func (q *Queue) Detect(client int, seq uint64) engine.DetectResult {
+	if q.det == nil {
+		panic("durablequeue: Detect with detectability disabled (Config.Clients == 0)")
+	}
+	return q.det.Detect(client, seq)
+}

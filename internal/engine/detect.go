@@ -1,0 +1,419 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mirror/internal/pmem"
+)
+
+// Detectability: per-client recoverable operation descriptors.
+//
+// A durably linearizable structure guarantees that completed operations
+// survive a crash — but after the crash a client still cannot ask "did my
+// last operation commit?". The descriptor region closes that gap. Each
+// client owns one 16-word slot (two cache lines) below the allocator base
+// of the persistent device:
+//
+//	announce line   w0 seq   w1 kind   w2 key   w3 val   w4 checksum
+//	verdict line    w8 seq<<2|result<<1|1   w9 rval   w10 checksum
+//
+// The protocol is: durably announce (client, seq, payload) before the
+// operation runs, publish the verdict after the linearizing install is
+// durable, and fence the verdict before the operation returns to the
+// client. Both lines are checksummed, so a torn line (a crash mid-write)
+// is detected rather than misread; client sequence numbers are strictly
+// increasing, so a slot holding a *later* announce or verdict proves every
+// earlier operation of that client completed.
+//
+// The one-slot design fixes the contract: Detect is authoritative only for
+// a client's most recently issued operation — the one a crash can cut.
+// Earlier operations delivered their responses before the crash, and the
+// slot overwrite their successor began may legitimately tear away their
+// superseded evidence (the scrubbed slot then reads NotCommitted for
+// them). Within the contract this is harmless: a client only ever asks
+// about its last sequence number, for which the answers below are exact.
+//
+// Ordering is what makes the verdicts sound:
+//
+//   - The announce is durable before the operation can take effect: a
+//     deferred announce rides the operation's own publish fence, which
+//     every insert issues strictly before its linearizing CAS; an eager
+//     announce (deletes, and any op without a pre-linearization fence)
+//     fences immediately. Hence "no valid announce for seq" implies the
+//     operation never reached its linearization point — NotCommitted.
+//   - The verdict is written only after the linearizing install is
+//     durable: Mirror makes every install durable before it is visible,
+//     NVTraverse fences inside its CAS, and Izraelevitz — whose CAS is
+//     flushed but fenced only before the next access — issues an explicit
+//     commit fence in Linearized first. Hence a durable verdict implies a
+//     durable effect — Committed.
+//   - A valid announce with no verdict proves nothing either way: Unknown.
+//
+// Descriptors deliberately do not reintroduce a fence per operation: the
+// announce of an insert is elided into the operation's existing publish
+// fence, the verdict flush piggybacks on the operation's flush set, and
+// the one trailing verdict fence is skipped via the elision layer whenever
+// an intervening fence already committed it.
+
+// Verdict is a detectability answer for one (client, seq) operation.
+type Verdict int
+
+// Verdict values. Unknown is the honest answer for an operation that was
+// announced but whose verdict never persisted: it may or may not have taken
+// effect (exactly the two fates durable linearizability allows a cut
+// operation).
+const (
+	Unknown Verdict = iota
+	Committed
+	NotCommitted
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Committed:
+		return "Committed"
+	case NotCommitted:
+		return "NotCommitted"
+	default:
+		return "Unknown"
+	}
+}
+
+// Operation kinds recorded in descriptors (word w1 of the announce line).
+const (
+	DetectInsert uint64 = iota + 1
+	DetectDelete
+	DetectContains
+	DetectEnqueue
+	DetectDequeue
+)
+
+// DetectResult is the full answer of Detect.
+type DetectResult struct {
+	Verdict Verdict
+	// KnownResult reports whether Result and Rval were recorded for this
+	// exact seq. It is false when the slot proves the operation committed
+	// only indirectly — a later operation of the same client has already
+	// overwritten the recorded result.
+	KnownResult bool
+	// Result is the operation's boolean return value (valid when
+	// KnownResult).
+	Result bool
+	// Rval is an auxiliary return word (dequeued value; zero for sets).
+	Rval uint64
+}
+
+// Descriptor slot layout, in words relative to the slot base. One slot is
+// DescSlotWords words = two cache lines; the announce words share the first
+// line and the verdict words the second, so each half persists (or tears)
+// as one line.
+const (
+	DescSlotWords = 2 * pmem.WordsPerLine
+
+	dSeq    = 0
+	dKind   = 1
+	dKey    = 2
+	dVal    = 3
+	dAnnChk = 4
+
+	dVerdict = pmem.WordsPerLine
+	dRval    = pmem.WordsPerLine + 1
+	dVerChk  = pmem.WordsPerLine + 2
+)
+
+// DescWords returns the size of the descriptor region for the given client
+// count.
+func DescWords(clients int) uint64 { return uint64(clients) * DescSlotWords }
+
+// mix64 is a splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// annChk checksums an announce line. The folded constant keeps the
+// checksum of an all-zero slot from validating.
+func annChk(seq, kind, key, val uint64) uint64 {
+	return mix64(seq*0x9e3779b97f4a7c15 ^ kind*0xff51afd7ed558ccd ^
+		key*0xc2b2ae3d27d4eb4f ^ val ^ 0xd6e8feb86659fd93)
+}
+
+// verChk checksums a verdict line.
+func verChk(vw, rval uint64) uint64 {
+	return mix64(vw*0x9e3779b97f4a7c15 ^ rval ^ 0xa0761d6478bd642f)
+}
+
+// DescRegion is a per-client operation-descriptor region on one persistent
+// device. The engines embed one below their allocator base; structure
+// packages with their own device layouts (durablequeue, zuriel) reuse it at
+// an offset of their choosing. Each slot is single-writer: one client id
+// maps to one slot, and a client runs one operation at a time.
+type DescRegion struct {
+	Dev     *pmem.Device
+	Base    uint64 // first word of slot 0; must be cache-line aligned
+	Clients int
+	// Durable applies the flush+fence protocol. Leave it false on volatile
+	// devices (the non-durable engines): the region is wiped at a crash and
+	// every verdict honestly reads NotCommitted.
+	Durable bool
+
+	announces atomic.Uint64
+	verdicts  atomic.Uint64
+}
+
+// NewDescRegion validates and returns a region descriptor. The region's
+// words must be reserved by the caller (they are raw words, not allocator
+// memory).
+func NewDescRegion(dev *pmem.Device, base uint64, clients int, durable bool) *DescRegion {
+	if base%pmem.WordsPerLine != 0 {
+		panic(fmt.Sprintf("engine: descriptor region base %d is not cache-line aligned", base))
+	}
+	if clients <= 0 {
+		panic("engine: descriptor region needs at least one client")
+	}
+	return &DescRegion{Dev: dev, Base: base, Clients: clients, Durable: durable}
+}
+
+func (r *DescRegion) slot(client int) uint64 {
+	if client < 0 || client >= r.Clients {
+		panic(fmt.Sprintf("engine: descriptor client %d outside [0, %d)", client, r.Clients))
+	}
+	return r.Base + uint64(client)*DescSlotWords
+}
+
+// Words returns the region's size in words.
+func (r *DescRegion) Words() uint64 { return DescWords(r.Clients) }
+
+// Begin writes and flushes the announce line for (client, seq). With
+// deferAnnounce the announce fence is left to the operation's own publish
+// barrier — sound only for operations that fence before their linearizing
+// install (inserts); otherwise Begin fences immediately.
+func (r *DescRegion) Begin(fs *pmem.FlushSet, client int, seq, kind, key, val uint64, deferAnnounce bool) {
+	if seq == 0 {
+		panic("engine: detectable sequence numbers start at 1")
+	}
+	s := r.slot(client)
+	r.Dev.Store(s+dSeq, seq)
+	r.Dev.Store(s+dKind, kind)
+	r.Dev.Store(s+dKey, key)
+	r.Dev.Store(s+dVal, val)
+	r.Dev.Store(s+dAnnChk, annChk(seq, kind, key, val))
+	if r.Durable {
+		r.Dev.Flush(fs, s)
+		if !deferAnnounce {
+			r.Dev.Fence(fs)
+		}
+	}
+	r.announces.Add(1)
+}
+
+// Publish writes and flushes the verdict line for (client, seq). It must
+// only be called once the operation's effect (if any) is durable — i.e.
+// after the linearizing install has returned. It does not fence; End does.
+func (r *DescRegion) Publish(fs *pmem.FlushSet, client int, seq uint64, result bool, rval uint64) {
+	s := r.slot(client)
+	vw := seq<<2 | 1
+	if result {
+		vw |= 2
+	}
+	r.Dev.Store(s+dVerdict, vw)
+	r.Dev.Store(s+dRval, rval)
+	r.Dev.Store(s+dVerChk, verChk(vw, rval))
+	if r.Durable {
+		r.Dev.Flush(fs, s+dVerdict)
+	}
+	r.verdicts.Add(1)
+}
+
+// End commits the published verdict before the operation returns to the
+// client. The fence is elided when an intervening fence of this thread
+// already committed the verdict line (the flush set is empty).
+func (r *DescRegion) End(fs *pmem.FlushSet) {
+	if !r.Durable {
+		return
+	}
+	if r.Dev.Elides() && fs.Pending() == 0 {
+		r.Dev.NoteElided(fs, 0, 1)
+		return
+	}
+	r.Dev.Fence(fs)
+}
+
+// Detect answers whether (client, seq) committed, from the raw descriptor
+// words. It reads the media view (ReadRaw), so it is valid on a quiesced,
+// crashed, or recovered device — the recovery-time query the client asks
+// before retrying. The answer is authoritative only when seq is the
+// client's most recently issued operation (see the package comment): a
+// torn overwrite by a later operation may erase the evidence for earlier,
+// already-responded sequence numbers, which then read NotCommitted.
+func (r *DescRegion) Detect(client int, seq uint64) DetectResult {
+	s := r.slot(client)
+	a0 := r.Dev.ReadRaw(s + dSeq)
+	a1 := r.Dev.ReadRaw(s + dKind)
+	a2 := r.Dev.ReadRaw(s + dKey)
+	a3 := r.Dev.ReadRaw(s + dVal)
+	a4 := r.Dev.ReadRaw(s + dAnnChk)
+	announced := a0 != 0 && a4 == annChk(a0, a1, a2, a3)
+	vw := r.Dev.ReadRaw(s + dVerdict)
+	rv := r.Dev.ReadRaw(s + dRval)
+	vc := r.Dev.ReadRaw(s + dVerChk)
+	verdictOK := vw&1 == 1 && vc == verChk(vw, rv)
+	switch {
+	case verdictOK && vw>>2 == seq:
+		return DetectResult{
+			Verdict: Committed, KnownResult: true,
+			Result: vw&2 != 0, Rval: rv,
+		}
+	case verdictOK && vw>>2 > seq, announced && a0 > seq:
+		// The slot has moved past seq: the client only begins seq+1 after
+		// seq completed, so seq committed (its recorded result is gone).
+		return DetectResult{Verdict: Committed}
+	case announced && a0 == seq:
+		return DetectResult{Verdict: Unknown}
+	default:
+		// No announce reached the media for seq (stale, zeroed, or torn):
+		// the operation never passed its pre-linearization barrier.
+		return DetectResult{Verdict: NotCommitted}
+	}
+}
+
+// Scrub zeroes torn descriptor lines after a crash: a line whose checksum
+// does not validate can never again yield a verdict, so recovery replaces
+// it with the canonical empty encoding and persists the wipe. Idempotent —
+// a crash during recovery re-scrubs the same lines.
+func (r *DescRegion) Scrub() {
+	for client := 0; client < r.Clients; client++ {
+		s := r.slot(client)
+		a0 := r.Dev.ReadRaw(s + dSeq)
+		a4 := r.Dev.ReadRaw(s + dAnnChk)
+		if a0 != 0 || a4 != 0 {
+			a1 := r.Dev.ReadRaw(s + dKind)
+			a2 := r.Dev.ReadRaw(s + dKey)
+			a3 := r.Dev.ReadRaw(s + dVal)
+			if a0 == 0 || a4 != annChk(a0, a1, a2, a3) {
+				for w := uint64(dSeq); w <= dAnnChk; w++ {
+					r.Dev.WriteRaw(s+w, 0)
+				}
+			}
+		}
+		vw := r.Dev.ReadRaw(s + dVerdict)
+		rv := r.Dev.ReadRaw(s + dRval)
+		vc := r.Dev.ReadRaw(s + dVerChk)
+		if (vw != 0 || rv != 0 || vc != 0) && (vw&1 != 1 || vc != verChk(vw, rv)) {
+			for w := uint64(dVerdict); w <= dVerChk; w++ {
+				r.Dev.WriteRaw(s+w, 0)
+			}
+		}
+	}
+	if r.Durable {
+		r.Dev.PersistRange(r.Base, int(r.Words()))
+	}
+}
+
+// Counters reports cumulative announces and verdict publishes.
+func (r *DescRegion) Counters() (announces, verdicts uint64) {
+	return r.announces.Load(), r.verdicts.Load()
+}
+
+// descState is the per-Ctx armed-operation state of the engine-integrated
+// descriptor protocol.
+type descState struct {
+	armed     bool
+	delivered bool
+	client    int
+	seq       uint64
+}
+
+// detectBegin arms the descriptor protocol for one operation on c.
+func detectBegin(r *DescRegion, c *Ctx, fs *pmem.FlushSet, client int, seq, kind, key, val uint64, deferAnnounce bool) {
+	if r == nil {
+		panic("engine: detectability is disabled (Config.Clients == 0)")
+	}
+	if c.det.armed {
+		panic("engine: DetectBegin while a detectable operation is already armed")
+	}
+	r.Begin(fs, client, seq, kind, key, val, deferAnnounce)
+	c.det = descState{armed: true, client: client, seq: seq}
+}
+
+// detectLinearized publishes the armed operation's verdict; called by the
+// structures immediately after their linearizing install returns (so the
+// effect is already durable). A no-op when nothing is armed, so structures
+// call it unconditionally.
+func detectLinearized(r *DescRegion, c *Ctx, fs *pmem.FlushSet, result bool) {
+	if r == nil || !c.det.armed || c.det.delivered {
+		return
+	}
+	r.Publish(fs, c.det.client, c.det.seq, result, 0)
+	c.det.delivered = true
+}
+
+// detectEnd publishes the verdict if no linearization hook did (operations
+// that completed without a linearizing install, e.g. a failed insert or a
+// Contains) and commits it before the operation returns to the client.
+func detectEnd(r *DescRegion, c *Ctx, fs *pmem.FlushSet, result bool) {
+	if r == nil || !c.det.armed {
+		return
+	}
+	if !c.det.delivered {
+		r.Publish(fs, c.det.client, c.det.seq, result, 0)
+	}
+	r.End(fs)
+	c.det = descState{}
+}
+
+// DetectOp describes one detectable operation for ExactlyOnce.
+type DetectOp struct {
+	Client int
+	Seq    uint64
+	Kind   uint64 // DetectInsert | DetectDelete | DetectContains
+	Key    uint64
+	Val    uint64
+	// DeferAnnounce lets the announce fence ride the operation's own
+	// publish barrier. Only sound for operations that issue a fence before
+	// their linearizing install — inserts do (the new node's publish
+	// barrier); deletes and queries must leave it false.
+	DeferAnnounce bool
+	// Run executes the operation body under the armed descriptor.
+	Run func(c *Ctx) bool
+}
+
+// Outcome is the result of an ExactlyOnce call.
+type Outcome struct {
+	// Ran reports whether the operation body executed in this call (false
+	// when the descriptor already proved it committed, or the verdict was
+	// Unknown and replay was not requested).
+	Ran bool
+	// Verdict is the Detect answer that routed the call.
+	Verdict Verdict
+	// Result is the operation's return value; valid when Known.
+	Result bool
+	Known  bool
+	Rval   uint64
+}
+
+// ExactlyOnce runs op at most once across crashes: it consults Detect for
+// (op.Client, op.Seq) and replays the operation iff the descriptor proves
+// it did not commit. With replayUnknown, an Unknown verdict is also
+// replayed — sound for idempotent set operations, whose re-execution after
+// a took-effect cut changes no state (only the returned boolean may differ
+// from what the cut execution would have returned); leave it false for
+// non-idempotent operations such as queue updates.
+func ExactlyOnce(e Engine, c *Ctx, op DetectOp, replayUnknown bool) Outcome {
+	d := e.Detect(op.Client, op.Seq)
+	switch {
+	case d.Verdict == Committed:
+		return Outcome{Verdict: Committed, Result: d.Result, Known: d.KnownResult, Rval: d.Rval}
+	case d.Verdict == Unknown && !replayUnknown:
+		return Outcome{Verdict: Unknown}
+	}
+	e.DetectBegin(c, op.Client, op.Seq, op.Kind, op.Key, op.Val, op.DeferAnnounce)
+	res := op.Run(c)
+	e.DetectEnd(c, res)
+	return Outcome{Ran: true, Verdict: d.Verdict, Result: res, Known: true}
+}

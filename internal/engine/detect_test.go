@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"testing"
+
+	"mirror/internal/pmem"
+)
+
+func newDescDevice(t *testing.T) *pmem.Device {
+	t.Helper()
+	return pmem.New(pmem.Config{
+		Name: "desc-test", Words: 1 << 12, Persistent: true, Track: true,
+	})
+}
+
+// TestDescRegionTruthTable walks one client slot through the announce →
+// verdict → supersede lifecycle and pins the Detect answer at each step.
+func TestDescRegionTruthTable(t *testing.T) {
+	dev := newDescDevice(t)
+	r := NewDescRegion(dev, pmem.WordsPerLine, 2, true)
+	var fs pmem.FlushSet
+
+	if v := r.Detect(0, 1); v.Verdict != NotCommitted {
+		t.Fatalf("fresh slot: %+v, want NotCommitted", v)
+	}
+	r.Begin(&fs, 0, 1, DetectInsert, 5, 50, false)
+	if v := r.Detect(0, 1); v.Verdict != Unknown {
+		t.Fatalf("announced, no verdict: %+v, want Unknown", v)
+	}
+	r.Publish(&fs, 0, 1, true, 0)
+	r.End(&fs)
+	if v := r.Detect(0, 1); v.Verdict != Committed || !v.KnownResult || !v.Result {
+		t.Fatalf("published true: %+v, want Committed/known/true", v)
+	}
+	if v := r.Detect(0, 2); v.Verdict != NotCommitted {
+		t.Fatalf("future seq: %+v, want NotCommitted", v)
+	}
+	if v := r.Detect(1, 1); v.Verdict != NotCommitted {
+		t.Fatalf("other client: %+v, want NotCommitted", v)
+	}
+
+	// A later announce supersedes the slot; seq 1's verdict line is still
+	// intact at this point, so its result remains readable.
+	r.Begin(&fs, 0, 2, DetectDelete, 5, 0, false)
+	if v := r.Detect(0, 1); v.Verdict != Committed {
+		t.Fatalf("superseded seq mid-op: %+v, want Committed", v)
+	}
+	if v := r.Detect(0, 2); v.Verdict != Unknown {
+		t.Fatalf("in-flight seq 2: %+v, want Unknown", v)
+	}
+	r.Publish(&fs, 0, 2, false, 0)
+	r.End(&fs)
+	if v := r.Detect(0, 2); v.Verdict != Committed || !v.KnownResult || v.Result {
+		t.Fatalf("published false: %+v, want Committed/known/false", v)
+	}
+	// Now seq 1's verdict is overwritten: still provably committed (a later
+	// op from the same client announced), but its result is gone.
+	if v := r.Detect(0, 1); v.Verdict != Committed || v.KnownResult {
+		t.Fatalf("superseded seq: %+v, want Committed without known result", v)
+	}
+
+	ann, ver := r.Counters()
+	if ann != 2 || ver != 2 {
+		t.Errorf("counters = (%d, %d), want (2, 2)", ann, ver)
+	}
+}
+
+// TestDescRegionDequeueRval pins the returned-value channel: a Committed
+// dequeue's verdict carries the dequeued value.
+func TestDescRegionDequeueRval(t *testing.T) {
+	dev := newDescDevice(t)
+	r := NewDescRegion(dev, pmem.WordsPerLine, 1, true)
+	var fs pmem.FlushSet
+	r.Begin(&fs, 0, 1, DetectDequeue, 0, 0, false)
+	r.Publish(&fs, 0, 1, true, 77)
+	r.End(&fs)
+	if v := r.Detect(0, 1); v.Verdict != Committed || !v.KnownResult || v.Rval != 77 {
+		t.Fatalf("dequeue verdict = %+v, want Committed with Rval 77", v)
+	}
+}
+
+// TestDescRegionCrashSurvival checks durability edges across a drop-all
+// crash: a fenced announce+verdict survives; an announce whose fence was
+// deferred and never issued is dropped entirely (NotCommitted — sound,
+// since the operation body never ran a fence either).
+func TestDescRegionCrashSurvival(t *testing.T) {
+	dev := newDescDevice(t)
+	r := NewDescRegion(dev, pmem.WordsPerLine, 2, true)
+	var fs pmem.FlushSet
+	r.Begin(&fs, 0, 1, DetectInsert, 5, 50, false)
+	r.Publish(&fs, 0, 1, true, 0)
+	r.End(&fs)
+	r.Begin(&fs, 1, 1, DetectInsert, 6, 60, true) // deferred: never fenced
+	dev.Freeze()
+	dev.Crash(pmem.CrashDropAll, nil)
+	r.Scrub()
+	if v := r.Detect(0, 1); v.Verdict != Committed || !v.KnownResult || !v.Result {
+		t.Errorf("fenced op after crash: %+v, want Committed/known/true", v)
+	}
+	if v := r.Detect(1, 1); v.Verdict != NotCommitted {
+		t.Errorf("unfenced announce after crash: %+v, want NotCommitted", v)
+	}
+}
+
+// TestDescRegionScrubTornLines corrupts the announce and verdict lines and
+// checks that Scrub rejects them (checksums), zeroes them durably, and is
+// idempotent.
+func TestDescRegionScrubTornLines(t *testing.T) {
+	dev := newDescDevice(t)
+	r := NewDescRegion(dev, pmem.WordsPerLine, 1, true)
+	var fs pmem.FlushSet
+	r.Begin(&fs, 0, 3, DetectInsert, 5, 50, false)
+	r.Publish(&fs, 0, 3, true, 0)
+	r.End(&fs)
+	// Tear both lines: flip a payload word without updating the checksums.
+	slot := uint64(pmem.WordsPerLine)
+	dev.WriteRaw(slot+2, 999)  // announce key word
+	dev.WriteRaw(slot+9, 1234) // verdict rval word
+	r.Scrub()
+	for w := uint64(0); w < DescSlotWords; w++ {
+		if got := dev.ReadRaw(slot + w); got != 0 {
+			t.Fatalf("slot word %d = %d after scrub, want 0", w, got)
+		}
+	}
+	if v := r.Detect(0, 3); v.Verdict != NotCommitted {
+		t.Errorf("scrubbed slot: %+v, want NotCommitted", v)
+	}
+	before := dev.MediaHash()
+	r.Scrub()
+	if dev.MediaHash() != before {
+		t.Error("second Scrub changed the media image")
+	}
+}
+
+// TestNewDescRegionMisuse pins the constructor's contract checks.
+func TestNewDescRegionMisuse(t *testing.T) {
+	dev := newDescDevice(t)
+	for name, f := range map[string]func(){
+		"unaligned base": func() { NewDescRegion(dev, pmem.WordsPerLine+1, 1, true) },
+		"zero clients":   func() { NewDescRegion(dev, pmem.WordsPerLine, 0, true) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestBatchCtxMisusePanics pins the satellite bugfix: with debug checks
+// enabled, a StoreInit after Commit and a double Commit both fail loudly
+// instead of silently reassigning durability to a fence that may never
+// come.
+func TestBatchCtxMisusePanics(t *testing.T) {
+	pmem.EnableDebugChecks()
+	defer pmem.DisableDebugChecks()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+
+	e := New(Config{Kind: MirrorDRAM, Words: 1 << 16})
+	c := e.NewCtx()
+	e.OpBegin(c)
+	ref := e.Alloc(c, 4)
+	b := Batch(e, c)
+	b.StoreInit(ref, 0, 1)
+	b.Commit()
+	mustPanic("StoreInit after Commit", func() { b.StoreInit(ref, 1, 2) })
+	mustPanic("double Commit", func() { b.Commit() })
+	e.OpEnd(c)
+
+	// Without debug checks the misuse stays permissive (legacy behavior).
+	pmem.DisableDebugChecks()
+	e2 := New(Config{Kind: MirrorDRAM, Words: 1 << 16})
+	c2 := e2.NewCtx()
+	e2.OpBegin(c2)
+	ref2 := e2.Alloc(c2, 4)
+	b2 := Batch(e2, c2)
+	b2.StoreInit(ref2, 0, 1)
+	b2.Commit()
+	b2.Commit()
+	e2.OpEnd(c2)
+}

@@ -15,6 +15,7 @@ type directEngine struct {
 	kind       Kind
 	dev        *pmem.Device
 	rootFields int
+	desc       *DescRegion // per-client op descriptors; nil when off
 
 	mu    sync.Mutex
 	alloc *palloc.Allocator
@@ -53,8 +54,18 @@ func newDirect(cfg Config) *directEngine {
 		rootFields: cfg.RootFields,
 		recl:       palloc.NewReclaimer(),
 	}
+	// Descriptor region between the roots and the allocator base. On the
+	// non-durable originals the region exists but never flushes: it is
+	// wiped at a crash, and every verdict honestly reads NotCommitted —
+	// exactly what a volatile structure's client should be told.
+	allocBase := rootsRegionWords(cfg.RootFields, 1)
+	if cfg.Clients > 0 {
+		descBase := descRegionBase(cfg.RootFields, 1)
+		e.desc = NewDescRegion(dev, descBase, cfg.Clients, e.durable())
+		allocBase = descBase + e.desc.Words()
+	}
 	e.alloc = palloc.New(palloc.Config{
-		Base: rootsRegionWords(cfg.RootFields, 1),
+		Base: allocBase,
 		End:  uint64(dev.Size()),
 	})
 	return e
@@ -299,12 +310,51 @@ func (e *directEngine) RecoverWith(tr Tracer, opts RecoverOptions) {
 		e.alloc.Rebuild(nil)
 		return
 	}
+	if e.desc != nil {
+		e.desc.Scrub()
+	}
 	shards := traceSpans(e.RecoveryLoad, tr, opts)
 	e.alloc.RebuildSharded(spanExtents(shards, 1), opts.workers())
 }
 
 func (e *directEngine) RecoveryLoad(ref Ref, field int) uint64 {
 	return e.dev.ReadRaw(e.addr(ref, field))
+}
+
+func (e *directEngine) Clients() int {
+	if e.desc == nil {
+		return 0
+	}
+	return e.desc.Clients
+}
+
+func (e *directEngine) DetectBegin(c *Ctx, client int, seq, kind, key, val uint64, deferAnnounce bool) {
+	detectBegin(e.desc, c, &c.fs, client, seq, kind, key, val, deferAnnounce)
+}
+
+func (e *directEngine) Linearized(c *Ctx, result bool) {
+	if e.desc == nil || !c.det.armed || c.det.delivered {
+		return
+	}
+	if e.kind == Izraelevitz {
+		// The Izraelevitz discipline flushes a CAS but fences only before
+		// the *next* access, so the linearizing install is not yet durable
+		// here. The verdict must never be durable before the install is:
+		// commit the install first.
+		e.dev.Fence(&c.fs)
+	}
+	detectLinearized(e.desc, c, &c.fs, result)
+}
+
+func (e *directEngine) DetectEnd(c *Ctx, result bool) {
+	detectEnd(e.desc, c, &c.fs, result)
+}
+
+func (e *directEngine) Detect(client int, seq uint64) DetectResult {
+	if e.desc == nil {
+		panic("engine: Detect with detectability disabled (Config.Clients == 0)")
+	}
+	return e.desc.Detect(client, seq)
 }
 
 // PersistentDevices returns the single device for the durable direct
@@ -323,14 +373,18 @@ func (e *directEngine) Counters() (uint64, uint64) {
 // Stats has no help protocol to report for the direct engines; the durable
 // ones carry the elision counters.
 func (e *directEngine) Stats() Stats {
-	if !e.durable() {
-		return Stats{}
+	var s Stats
+	if e.durable() {
+		ef, en, pb, rx := e.dev.ElisionCounters()
+		s = Stats{
+			ElidedFlushes: ef, ElidedFences: en,
+			PiggybackedFences: pb, RelaxedCAS: rx,
+		}
 	}
-	ef, en, pb, rx := e.dev.ElisionCounters()
-	return Stats{
-		ElidedFlushes: ef, ElidedFences: en,
-		PiggybackedFences: pb, RelaxedCAS: rx,
+	if e.desc != nil {
+		s.DetectAnnounces, s.DetectVerdicts = e.desc.Counters()
 	}
+	return s
 }
 
 func (e *directEngine) Footprint() (uint64, int) {

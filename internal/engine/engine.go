@@ -98,6 +98,9 @@ type Ctx struct {
 	// first-touch order, and the cell count they replace.
 	initLines []uint64
 	initCells int
+
+	// det is the armed detectable-operation state (see detect.go).
+	det descState
 }
 
 // deferInitLine records a line dirtied by StoreInit for the next Publish;
@@ -235,6 +238,30 @@ type Engine interface {
 	// and fingerprint post-crash media images through it.
 	PersistentDevices() []*pmem.Device
 
+	// Clients returns the configured detectable-client count; zero means
+	// detectability is off and the descriptor methods below must not be
+	// used (Detect and DetectBegin panic).
+	Clients() int
+	// DetectBegin durably announces operation (client, seq) with its
+	// payload before the operation body runs. deferAnnounce lets the
+	// announce fence ride the operation's own publish barrier (sound for
+	// inserts only; see DescRegion.Begin). Client sequence numbers must be
+	// strictly increasing per client, starting at 1.
+	DetectBegin(c *Ctx, client int, seq, kind, key, val uint64, deferAnnounce bool)
+	// Linearized publishes the armed operation's commit verdict; data
+	// structures call it immediately after their linearizing install
+	// returns (at which point the install is durable under every durable
+	// engine). A no-op when no detectable operation is armed.
+	Linearized(c *Ctx, result bool)
+	// DetectEnd completes the armed operation's descriptor protocol: it
+	// publishes the verdict if no Linearized hook fired and commits it
+	// before the operation returns to the client.
+	DetectEnd(c *Ctx, result bool)
+	// Detect answers whether (client, seq) committed, from the descriptor
+	// region's post-crash words; valid on a quiesced, crashed, or
+	// recovered engine.
+	Detect(client int, seq uint64) DetectResult
+
 	// Counters reports cumulative flush and fence counts across all
 	// devices (for the ablation benchmarks).
 	Counters() (flushes, fences uint64)
@@ -264,6 +291,9 @@ type Stats struct {
 	// RelaxedCAS counts retire-gated installs whose durability was
 	// deferred to the relaxed-line registry (committed at drain time).
 	RelaxedCAS uint64
+	// DetectAnnounces and DetectVerdicts count descriptor-region announce
+	// and verdict publishes (zero with detectability off).
+	DetectAnnounces, DetectVerdicts uint64
 }
 
 // Config describes an engine instance.
@@ -283,6 +313,11 @@ type Config struct {
 	// ablation baseline): every durability point issues its engine's full
 	// flush+fence discipline.
 	NoElide bool
+	// Clients reserves a per-client operation-descriptor region (Clients
+	// slots) between the roots and the allocator base, enabling the
+	// detectability protocol (DetectBegin/Linearized/DetectEnd/Detect).
+	// Zero leaves the layout unchanged and detectability off.
+	Clients int
 }
 
 func (c *Config) setDefaults() {
@@ -356,4 +391,13 @@ const rootBase = 8
 func rootsRegionWords(rootFields, cellW int) uint64 {
 	n := uint64(rootFields*cellW + rootBase)
 	return (n + palloc.AlignWords - 1) &^ (palloc.AlignWords - 1)
+}
+
+// descRegionBase returns the cache-line-aligned device offset of the
+// descriptor region, directly above the roots region. The allocator base
+// moves up by DescWords(clients) from here, so with Clients == 0 the
+// layout is exactly the pre-detectability one.
+func descRegionBase(rootFields, cellW int) uint64 {
+	b := rootsRegionWords(rootFields, cellW)
+	return (b + pmem.WordsPerLine - 1) &^ (pmem.WordsPerLine - 1)
 }

@@ -20,6 +20,7 @@ type mirrorEngine struct {
 	kind       Kind
 	mem        patomic.Mem
 	rootFields int
+	desc       *DescRegion // per-client op descriptors on rep_p; nil when off
 
 	mu    sync.Mutex
 	alloc *palloc.Allocator
@@ -55,8 +56,17 @@ func newMirror(cfg Config) *mirrorEngine {
 		rootFields: cfg.RootFields,
 		recl:       palloc.NewReclaimer(),
 	}
+	// The descriptor region (when configured) sits between the roots and
+	// the allocator base, on rep_p only: descriptors are raw words of the
+	// persistent replica, never mirrored and never traced.
+	allocBase := rootsRegionWords(cfg.RootFields, patomic.CellWords)
+	if cfg.Clients > 0 {
+		descBase := descRegionBase(cfg.RootFields, patomic.CellWords)
+		e.desc = NewDescRegion(p, descBase, cfg.Clients, true)
+		allocBase = descBase + e.desc.Words()
+	}
 	e.alloc = palloc.New(palloc.Config{
-		Base: rootsRegionWords(cfg.RootFields, patomic.CellWords),
+		Base: allocBase,
 		End:  uint64(p.Size()),
 	})
 	// Root cells start initialized so the sequence-number invariants hold
@@ -183,6 +193,11 @@ func (e *mirrorEngine) RecoverWith(tr Tracer, opts RecoverOptions) {
 	workers := opts.workers()
 
 	e.mem.RecoverRange(rootBase, e.rootFields*patomic.CellWords)
+	if e.desc != nil {
+		// Torn descriptor lines can never yield a verdict again; replace
+		// them with the canonical empty encoding before clients ask.
+		e.desc.Scrub()
+	}
 	shards := traceSpans(e.RecoveryLoad, tr, opts)
 
 	batches := recovery.Batches(shards)
@@ -196,6 +211,32 @@ func (e *mirrorEngine) RecoverWith(tr Tracer, opts RecoverOptions) {
 
 func (e *mirrorEngine) RecoveryLoad(ref Ref, field int) uint64 {
 	return e.mem.P.ReadRaw(e.cellAddr(ref, field))
+}
+
+func (e *mirrorEngine) Clients() int {
+	if e.desc == nil {
+		return 0
+	}
+	return e.desc.Clients
+}
+
+func (e *mirrorEngine) DetectBegin(c *Ctx, client int, seq, kind, key, val uint64, deferAnnounce bool) {
+	detectBegin(e.desc, c, &c.pa.FS, client, seq, kind, key, val, deferAnnounce)
+}
+
+func (e *mirrorEngine) Linearized(c *Ctx, result bool) {
+	detectLinearized(e.desc, c, &c.pa.FS, result)
+}
+
+func (e *mirrorEngine) DetectEnd(c *Ctx, result bool) {
+	detectEnd(e.desc, c, &c.pa.FS, result)
+}
+
+func (e *mirrorEngine) Detect(client int, seq uint64) DetectResult {
+	if e.desc == nil {
+		panic("engine: Detect with detectability disabled (Config.Clients == 0)")
+	}
+	return e.desc.Detect(client, seq)
 }
 
 // CheckMirrorInvariants verifies the per-cell replica invariants (Lemmas
@@ -224,11 +265,15 @@ func (e *mirrorEngine) PersistentDevices() []*pmem.Device {
 func (e *mirrorEngine) Stats() Stats {
 	h, r := e.mem.Stats()
 	ef, en, pb, rx := e.mem.P.ElisionCounters()
-	return Stats{
+	s := Stats{
 		Helps: h, Retries: r,
 		ElidedFlushes: ef, ElidedFences: en,
 		PiggybackedFences: pb, RelaxedCAS: rx,
 	}
+	if e.desc != nil {
+		s.DetectAnnounces, s.DetectVerdicts = e.desc.Counters()
+	}
+	return s
 }
 
 func (e *mirrorEngine) Counters() (uint64, uint64) {

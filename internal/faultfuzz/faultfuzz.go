@@ -82,6 +82,15 @@ type Spec struct {
 	Seed      int64
 	Schedule  Schedule
 	Words     int
+	// Detect enables detectable operations: the engine reserves one
+	// descriptor slot per worker (Config.Clients = Schedule.Workers), every
+	// workload operation runs inside a detectability bracket, and after
+	// recovery each Detect verdict is cross-checked against durable
+	// linearizability — the crash-cut operation is resolved by its verdict
+	// and replayed exactly-once. A Detect verdict that disagrees with
+	// linearize.CheckDurable is a violation like any other: shrinkable and
+	// replayable.
+	Detect bool
 	// NewEngine overrides engine construction (test hook for deliberately
 	// broken engines). nil means engine.New.
 	NewEngine func(engine.Config) engine.Engine
@@ -89,8 +98,12 @@ type Spec struct {
 
 // String renders the reproducer line a failing run prints.
 func (s Spec) String() string {
-	return fmt.Sprintf("-structure=%s -engine=%s -faults=%s -seed=%d -schedule=%s",
+	str := fmt.Sprintf("-structure=%s -engine=%s -faults=%s -seed=%d -schedule=%s",
 		s.Structure, s.Kind, s.Faults, s.Seed, s.Schedule)
+	if s.Detect {
+		str += " -detect"
+	}
+	return str
 }
 
 // Result is the outcome of one run.
@@ -177,6 +190,70 @@ func guard(f func()) (completed bool) {
 	return true
 }
 
+// detectableSet wraps a structures.Set so every operation runs inside a
+// detectable-operation bracket on one client descriptor slot. The adapter
+// sits *inside* the history Recorder, so the invoke-record precedes
+// DetectBegin and the response-record follows DetectEnd: an operation that
+// completed in the history has a durably published verdict. The fields are
+// single-writer (one worker per adapter) and are read only after the
+// post-crash quiesce.
+type detectableSet struct {
+	structures.Set
+	e      engine.Engine
+	client int
+	// seq is the last announced sequence number; completed is the last one
+	// whose DetectEnd returned. seq == completed+1 exactly when the crash
+	// cut an operation mid-flight (the announce happens before anything
+	// that can freeze).
+	seq, completed uint64
+	lastKind       uint64 // kind/key/val of the last *started* op
+	lastKey        uint64
+	lastVal        uint64
+	lastResult     bool // result of the last *completed* op
+}
+
+func (d *detectableSet) run(c *engine.Ctx, kind, key, val uint64, f func() bool) bool {
+	d.seq++
+	d.lastKind, d.lastKey, d.lastVal = kind, key, val
+	// Inserts and queries defer the announce onto the operation's own
+	// publish/terminal fence; deletes announce eagerly, before the mark CAS
+	// can make the effect durable.
+	deferAnnounce := kind != engine.DetectDelete
+	d.e.DetectBegin(c, d.client, d.seq, kind, key, val, deferAnnounce)
+	res := f()
+	d.e.DetectEnd(c, res)
+	d.completed = d.seq
+	d.lastResult = res
+	return res
+}
+
+func (d *detectableSet) Insert(c *engine.Ctx, key, val uint64) bool {
+	return d.run(c, engine.DetectInsert, key, val, func() bool { return d.Set.Insert(c, key, val) })
+}
+
+func (d *detectableSet) Delete(c *engine.Ctx, key uint64) bool {
+	return d.run(c, engine.DetectDelete, key, 0, func() bool { return d.Set.Delete(c, key) })
+}
+
+func (d *detectableSet) Contains(c *engine.Ctx, key uint64) bool {
+	return d.run(c, engine.DetectContains, key, 0, func() bool { return d.Set.Contains(c, key) })
+}
+
+// cut reports whether the crash cut an operation on this client mid-flight.
+func (d *detectableSet) cut() bool { return d.seq > d.completed }
+
+// opKind maps a descriptor kind back to the history's operation kind.
+func opKind(kind uint64) linearize.OpKind {
+	switch kind {
+	case engine.DetectInsert:
+		return linearize.OpInsert
+	case engine.DetectDelete:
+		return linearize.OpDelete
+	default:
+		return linearize.OpContains
+	}
+}
+
 // Run executes one fuzz run and returns its result.
 func Run(spec Spec) *Result {
 	spec.Schedule.setDefaults()
@@ -197,7 +274,11 @@ func Run(spec Spec) *Result {
 	}
 	res := &Result{}
 
-	e := newEngine(engine.Config{Kind: spec.Kind, Words: words, Track: true})
+	clients := 0
+	if spec.Detect {
+		clients = spec.Schedule.Workers
+	}
+	e := newEngine(engine.Config{Kind: spec.Kind, Words: words, Track: true, Clients: clients})
 	fm := pmem.NewFaultModel(spec.Seed, spec.Faults)
 	devs := e.PersistentDevices()
 	for _, d := range devs {
@@ -214,6 +295,7 @@ func Run(spec Spec) *Result {
 	})
 
 	hist := linearize.NewHistory()
+	dets := make([]*detectableSet, spec.Schedule.Workers)
 	if built {
 		var wg sync.WaitGroup
 		for w := 0; w < spec.Schedule.Workers; w++ {
@@ -222,7 +304,12 @@ func Run(spec Spec) *Result {
 				defer wg.Done()
 				guard(func() {
 					c := e.NewCtx()
-					rec := hist.Record(set, w)
+					rset := set
+					if spec.Detect {
+						dets[w] = &detectableSet{Set: set, e: e, client: w}
+						rset = dets[w]
+					}
+					rec := hist.Record(rset, w)
 					rng := rand.New(rand.NewSource(spec.Seed*1000 + int64(w)))
 					for i := 0; i < spec.Schedule.OpsPer; i++ {
 						key := uint64(1 + rng.Intn(spec.Schedule.Keys))
@@ -280,19 +367,129 @@ func Run(spec Spec) *Result {
 			}
 		})
 
-	// Observed final state + torn-value check (every value equals its key).
-	final := make(map[uint64]bool)
-	for key := uint64(1); key <= uint64(spec.Schedule.Keys); key++ {
-		if set.Contains(c, key) {
-			final[key] = true
-			if v, ok := set.Get(c, key); !ok || v != key {
-				res.addf("torn value: key %d has value %d after recovery", key, v)
+	// Detectability: every verdict must agree with the recorded history,
+	// and the crash-cut operation is resolved by its verdict *before* the
+	// durable-linearizability check — a Committed verdict obliges the cut
+	// op to take effect with the recorded result, a NotCommitted verdict
+	// obliges it to vanish, and only Unknown leaves both fates open.
+	if spec.Detect {
+		for w, d := range dets {
+			if d == nil {
+				continue
+			}
+			// Detect is authoritative only for a client's most recently
+			// issued operation — the one the crash may have cut. Earlier
+			// operations delivered their responses before the crash, and a
+			// torn in-flight overwrite of the one-slot descriptor may
+			// legitimately destroy their superseded evidence, so they are
+			// not probed here.
+			if d.completed > 0 && !d.cut() {
+				// The client quiesced before the crash: nothing was
+				// overwriting its slot, both descriptor lines were fenced,
+				// so the latest op's verdict must carry the recorded result
+				// verbatim.
+				v := e.Detect(w, d.completed)
+				if !v.KnownResult {
+					res.addf("detect: client %d latest seq %d has no recoverable result", w, d.completed)
+				} else if v.Result != d.lastResult {
+					res.addf("detect: client %d seq %d result %v disagrees with the recorded %v", w, d.completed, v.Result, d.lastResult)
+				}
+			}
+			if d.cut() {
+				v := e.Detect(w, d.seq)
+				switch v.Verdict {
+				case engine.Committed:
+					if !v.KnownResult {
+						res.addf("detect: client %d cut seq %d reads Committed without a result (nothing supersedes it)", w, d.seq)
+					} else if !hist.CompletePending(w, v.Result) {
+						res.addf("detect: client %d cut seq %d is Committed but the history has no pending op", w, d.seq)
+					}
+				case engine.NotCommitted:
+					if !hist.DropPending(w) {
+						res.addf("detect: client %d cut seq %d is NotCommitted but the history has no pending op", w, d.seq)
+					}
+				default:
+					// Unknown: keep the pending op; CheckDurable lets it
+					// take effect or vanish, both of which remain possible.
+				}
 			}
 		}
 	}
+
+	// Observed final state + torn-value check (every value equals its key).
+	scan := func() map[uint64]bool {
+		final := make(map[uint64]bool)
+		for key := uint64(1); key <= uint64(spec.Schedule.Keys); key++ {
+			if set.Contains(c, key) {
+				final[key] = true
+				if v, ok := set.Get(c, key); !ok || v != key {
+					res.addf("torn value: key %d has value %d after recovery", key, v)
+				}
+			}
+		}
+		return final
+	}
+	final := scan()
 	// Durable linearizability of the recorded history against that state.
 	if err := linearize.CheckDurable(hist, nil, final); err != nil {
 		res.addf("%v (completed=%d pending=%d state=%v)", err, len(hist.Ops), len(hist.Pending), final)
+	}
+
+	// Exactly-once replay of each cut operation: ExactlyOnce re-executes it
+	// iff its verdict says it did not commit (Unknown replays too — the set
+	// operations are idempotent, so an at-least-once Unknown replay stays
+	// linearizable). Each replayed call joins the history as a fresh
+	// completed op and the whole cross-check repeats on the new state: a
+	// duplicated or lost effect shows up as a non-linearizable history or a
+	// broken structure.
+	if spec.Detect {
+		replayed := false
+		for w, d := range dets {
+			if d == nil || !d.cut() {
+				continue
+			}
+			d := d
+			op := engine.DetectOp{
+				Client: w, Seq: d.seq,
+				Kind: d.lastKind, Key: d.lastKey, Val: d.lastVal,
+				DeferAnnounce: d.lastKind != engine.DetectDelete,
+				Run: func(c *engine.Ctx) bool {
+					switch d.lastKind {
+					case engine.DetectInsert:
+						return set.Insert(c, d.lastKey, d.lastVal)
+					case engine.DetectDelete:
+						return set.Delete(c, d.lastKey)
+					default:
+						return set.Contains(c, d.lastKey)
+					}
+				},
+			}
+			out := engine.ExactlyOnce(e, c, op, true)
+			if out.Ran {
+				replayed = true
+				hist.AppendCompleted(opKind(d.lastKind), d.lastKey, out.Result, w)
+			} else if out.Verdict != engine.Committed {
+				res.addf("detect: exactly-once replay of client %d seq %d neither ran nor found it Committed (%v)", w, d.seq, out.Verdict)
+			}
+		}
+		if replayed {
+			if rep := tgt.fsck(e, c); !rep.Ok() {
+				for _, p := range rep.Problems {
+					res.addf("post-replay fsck: %s", p)
+				}
+			}
+			tgt.tracer(e)(
+				func(ref engine.Ref, field int) uint64 { return e.TraversalLoad(c, ref, field) },
+				func(ref engine.Ref, fields int) {
+					if msg := engine.CheckMirrorInvariants(e, ref, fields); msg != "" {
+						res.addf("post-replay replica invariant: %s", msg)
+					}
+				})
+			final = scan()
+			if err := linearize.CheckDurable(hist, nil, final); err != nil {
+				res.addf("post-replay %v (completed=%d pending=%d state=%v)", err, len(hist.Ops), len(hist.Pending), final)
+			}
+		}
 	}
 	// Operational probe.
 	probe := uint64(spec.Schedule.Keys + 100)

@@ -68,6 +68,68 @@ func TestAllEnginesAllFaults(t *testing.T) {
 	}
 }
 
+// TestDetectableAllEngines runs the detectability cross-check against every
+// durable engine and every structure under the full fault mix: each
+// post-crash Detect verdict must agree with durable linearizability, the
+// crash-cut operation must be resolvable by its verdict, and the
+// exactly-once replay must leave a linearizable history with no duplicated
+// or lost effect.
+func TestDetectableAllEngines(t *testing.T) {
+	all := pmem.FaultSpec{Torn: true, Evict: true, Drop: true}
+	for _, structure := range Structures() {
+		for _, kind := range durableKinds() {
+			structure, kind := structure, kind
+			t.Run(fmt.Sprintf("%s/%s", structure, kind), func(t *testing.T) {
+				t.Parallel()
+				fuzzRounds(t, Spec{
+					Structure: structure,
+					Kind:      kind,
+					Faults:    all,
+					Detect:    true,
+					Schedule:  Schedule{Workers: 2, OpsPer: 8, Keys: 6},
+				}, []int64{5, 6, 7})
+			})
+		}
+	}
+}
+
+// TestDetectDoesNotMaskBrokenMirror re-runs the broken-engine hunt with
+// detectability enabled: a verdict that (truthfully) reads Committed for an
+// operation whose install was dropped must make the cross-check fail, not
+// absolve it — the history transformation obliges the op to take effect.
+func TestDetectDoesNotMaskBrokenMirror(t *testing.T) {
+	base := Spec{
+		Structure: "list",
+		Kind:      engine.MirrorDRAM,
+		Faults:    pmem.FaultSpec{Torn: true, Drop: true},
+		NewEngine: engine.NewBrokenMirror,
+		Detect:    true,
+		Schedule:  Schedule{Workers: 1, OpsPer: 10, Keys: 4},
+	}
+	attempts := 0
+	for seed := int64(1); seed <= 30; seed++ {
+		spec := base
+		spec.Seed = seed
+		total := Calibrate(spec)
+		for _, frac := range []int64{2, 3, 4, 5} {
+			spec.Schedule.CrashAt = 1 + total*(frac-1)/frac%total
+			attempts++
+			if res := Run(spec); res.Failed() {
+				t.Logf("caught after %d attempts: %v\n  %s", attempts, spec, res.Violations[0])
+				small, sres := Shrink(spec)
+				if !sres.Failed() {
+					t.Fatalf("shrink lost the failure: %v", small)
+				}
+				if !small.Detect {
+					t.Fatalf("shrink dropped the detect flag: %v", small)
+				}
+				return
+			}
+		}
+	}
+	t.Fatalf("seeded durability bug not caught with detectability enabled in %d attempts", attempts)
+}
+
 // TestIndividualFaults exercises each fault behavior in isolation (plus
 // concurrent workers) on one structure per behavior.
 func TestIndividualFaults(t *testing.T) {

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"mirror/internal/cmapkv"
 	"mirror/internal/engine"
@@ -45,6 +46,44 @@ type engineWorker struct {
 func (w *engineWorker) Insert(key, val uint64) bool { return w.set.Insert(w.c, key, val) }
 func (w *engineWorker) Delete(key uint64) bool      { return w.set.Delete(w.c, key) }
 func (w *engineWorker) Contains(key uint64) bool    { return w.set.Contains(w.c, key) }
+
+// detectWorker routes every operation through a detectable bracket via
+// engine.ExactlyOnce — the Options.Detect ablation path, measuring the
+// operation-descriptor overhead. Each worker owns one descriptor slot for
+// the duration of a measured point; the per-client sequence counters are
+// shared across the thread sweep so sequence numbers stay monotone when a
+// slot is reused by a later point's worker.
+type detectWorker struct {
+	set    structures.Set
+	e      engine.Engine
+	c      *engine.Ctx
+	client int
+	seq    *atomic.Uint64
+}
+
+func (w *detectWorker) run(kind, key, val uint64, deferAnnounce bool, f func(c *engine.Ctx) bool) bool {
+	out := engine.ExactlyOnce(w.e, w.c, engine.DetectOp{
+		Client: w.client, Seq: w.seq.Add(1),
+		Kind: kind, Key: key, Val: val,
+		DeferAnnounce: deferAnnounce, Run: f,
+	}, true)
+	return out.Result
+}
+
+func (w *detectWorker) Insert(key, val uint64) bool {
+	return w.run(engine.DetectInsert, key, val, true,
+		func(c *engine.Ctx) bool { return w.set.Insert(c, key, val) })
+}
+
+func (w *detectWorker) Delete(key uint64) bool {
+	return w.run(engine.DetectDelete, key, 0, false,
+		func(c *engine.Ctx) bool { return w.set.Delete(c, key) })
+}
+
+func (w *detectWorker) Contains(key uint64) bool {
+	return w.run(engine.DetectContains, key, 0, true,
+		func(c *engine.Ctx) bool { return w.set.Contains(c, key) })
+}
 
 // deviceWords sizes the engine devices for a structure holding up to
 // keyRange live keys, with slack for class rounding, churn, and epochs.
@@ -87,12 +126,27 @@ func bucketsFor(keyRange int) int {
 // engine's counters and protocol statistics (the JSON benchmark matrix) can
 // read them around a run.
 func buildEngineTarget(kind engine.Kind, structure string, o Options, keyRange int) (workload.Target, engine.Engine) {
+	clients := 0
+	if o.Detect {
+		// One descriptor slot per concurrent worker at the widest point of
+		// the thread sweep; worker ids are assigned modulo this, so ids are
+		// distinct within any single measured point.
+		for _, th := range o.Threads {
+			if th > clients {
+				clients = th
+			}
+		}
+		if clients == 0 {
+			clients = 1
+		}
+	}
 	e := engine.New(engine.Config{
 		Kind:    kind,
 		Words:   deviceWords(structure, kind, keyRange),
 		Latency: o.Latency,
 		Track:   false, // benchmarks never crash
 		NoElide: o.NoElide,
+		Clients: clients,
 	})
 	setup := e.NewCtx()
 	var mk func(c *engine.Ctx) structures.Set
@@ -112,11 +166,17 @@ func buildEngineTarget(kind engine.Kind, structure string, o Options, keyRange i
 	default:
 		panic("harness: unknown structure " + structure)
 	}
+	var workerIDs atomic.Uint64
+	seqs := make([]atomic.Uint64, clients)
 	return workload.Target{
 		Name:          fmt.Sprintf("%s/%s", structure, kind),
 		SortedPrefill: structure == StList,
 		NewWorker: func() workload.Worker {
 			c := e.NewCtx()
+			if clients > 0 {
+				id := int(workerIDs.Add(1)-1) % clients
+				return &detectWorker{set: mk(c), e: e, c: c, client: id, seq: &seqs[id]}
+			}
 			return &engineWorker{set: mk(c), e: e, c: c}
 		},
 	}, e

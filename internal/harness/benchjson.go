@@ -46,6 +46,12 @@ type BenchPoint struct {
 	ElidedFences      uint64 `json:"elided_fences"`
 	PiggybackedFences uint64 `json:"piggybacked_fences"`
 	RelaxedCAS        uint64 `json:"relaxed_cas"`
+
+	// Detectability statistics this point added: operation-descriptor
+	// announces and durably published verdicts. Zero (and omitted) unless
+	// the matrix runs with detectable operations (-detect).
+	DetectAnnounces uint64 `json:"detect_announces,omitempty"`
+	DetectVerdicts  uint64 `json:"detect_verdicts,omitempty"`
 }
 
 // BenchHost records where the report was measured.
@@ -65,6 +71,9 @@ type BenchOptions struct {
 	// NoElide records that the flush-elision layer was disabled (the
 	// ablation baseline run).
 	NoElide bool `json:"no_elide,omitempty"`
+	// Detect records that every operation ran through a detectable bracket
+	// (the descriptor-overhead ablation run).
+	Detect bool `json:"detect,omitempty"`
 }
 
 // RecoveryPoint is one recovery-pipeline measurement: how fast one engine
@@ -109,6 +118,9 @@ func RunBenchMatrix(o Options, structs []string, kinds []engine.Kind, threads []
 	if len(threads) == 0 {
 		threads = o.Threads
 	}
+	// buildEngineTarget sizes the descriptor region from the widest point
+	// of the sweep it will actually run.
+	o.Threads = threads
 	r := &BenchReport{
 		Schema: BenchSchema,
 		Host: BenchHost{
@@ -123,6 +135,7 @@ func RunBenchMatrix(o Options, structs []string, kinds []engine.Kind, threads []
 			Latency:    o.Latency,
 			Seed:       o.Seed,
 			NoElide:    o.NoElide,
+			Detect:     o.Detect,
 		},
 	}
 	// One representative key range per structure: the paper's 8M sets
@@ -163,6 +176,8 @@ func RunBenchMatrix(o Options, structs []string, kinds []engine.Kind, threads []
 					ElidedFences:      s1.ElidedFences - s0.ElidedFences,
 					PiggybackedFences: s1.PiggybackedFences - s0.PiggybackedFences,
 					RelaxedCAS:        s1.RelaxedCAS - s0.RelaxedCAS,
+					DetectAnnounces:   s1.DetectAnnounces - s0.DetectAnnounces,
+					DetectVerdicts:    s1.DetectVerdicts - s0.DetectVerdicts,
 				})
 			}
 		}

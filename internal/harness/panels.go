@@ -29,6 +29,11 @@ type Options struct {
 	// NoElide disables the flush-elision / fence-coalescing layer on the
 	// durable engines — the ablation baseline for EXPERIMENTS.md.
 	NoElide bool
+	// Detect routes every benchmark operation through a detectable-operation
+	// bracket (engine.ExactlyOnce), measuring the descriptor overhead — the
+	// ablation switch for the detectability layer. Off by default, so the
+	// standard matrix is unchanged.
+	Detect bool
 }
 
 func (o *Options) setDefaults() {

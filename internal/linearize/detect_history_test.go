@@ -1,0 +1,143 @@
+package linearize
+
+import (
+	"testing"
+
+	"mirror/internal/engine"
+	"mirror/internal/pmem"
+	"mirror/internal/structures/list"
+)
+
+// TestRecorderPanicLandsInPending is the regression test for the lost-op
+// window: when the recorded operation panics between the invoke record and
+// the response record — the frozen device unwinding through a patomic help
+// path is exactly that shape — the operation must land in Pending, never be
+// silently dropped. The sweep arms the freeze at every device-op index
+// inside a recorded insert, so the panic fires at every reachable point of
+// the operation body, help paths included.
+func TestRecorderPanicLandsInPending(t *testing.T) {
+	for fa := int64(1); ; fa++ {
+		h := NewHistory()
+		e := engine.New(engine.Config{Kind: engine.MirrorDRAM, Words: 1 << 16, Track: true})
+		c := e.NewCtx()
+		l := list.New(e, 0)
+		if !l.Insert(c, 5, 50) { // unrecorded prefill the insert traverses
+			t.Fatal("prefill failed")
+		}
+		r := h.Record(l, 3)
+		e.FreezeAfter(fa)
+		completed := func() (done bool) {
+			defer func() {
+				if p := recover(); p != nil && p != pmem.ErrFrozen {
+					panic(p)
+				}
+			}()
+			r.Insert(c, 9, 90)
+			return true
+		}()
+		e.FreezeAfter(0)
+		if completed {
+			if len(h.Ops) != 1 || len(h.Pending) != 0 {
+				t.Fatalf("fa=%d completed: Ops=%d Pending=%d, want 1/0", fa, len(h.Ops), len(h.Pending))
+			}
+			break
+		}
+		if len(h.Ops) != 0 || len(h.Pending) != 1 {
+			t.Fatalf("fa=%d cut: Ops=%d Pending=%d, want 0/1 (operation lost)",
+				fa, len(h.Ops), len(h.Pending))
+		}
+		p := h.Pending[0]
+		if p.Kind != OpInsert || p.Key != 9 || p.Thread != 3 || p.Res != ^uint64(0) {
+			t.Fatalf("fa=%d: pending record %+v malformed", fa, p)
+		}
+		if fa > 100000 {
+			t.Fatal("freeze sweep did not terminate")
+		}
+	}
+}
+
+// TestCompletePending pins the Committed-verdict history transformation:
+// the cut op moves to Ops with the verdict's result and must then take
+// effect in any linearization.
+func TestCompletePending(t *testing.T) {
+	h := NewHistory()
+	h.clock.Store(10)
+	h.Ops = []Op{{Kind: OpInsert, Key: 1, Result: true, Inv: 1, Res: 2, Thread: 0}}
+	h.Pending = []Op{{Kind: OpDelete, Key: 1, Inv: 3, Res: ^uint64(0), Thread: 1}}
+
+	if !h.CompletePending(1, true) {
+		t.Fatal("CompletePending found no pending op for thread 1")
+	}
+	if len(h.Pending) != 0 || len(h.Ops) != 2 {
+		t.Fatalf("Ops=%d Pending=%d after CompletePending, want 2/0", len(h.Ops), len(h.Pending))
+	}
+	got := h.Ops[1]
+	if !got.Result || got.Inv != 3 || got.Res == ^uint64(0) {
+		t.Fatalf("completed op %+v: want result true, original Inv, fresh Res", got)
+	}
+	// The delete is now obligatory: the final state must be empty.
+	if err := CheckDurable(h, nil, map[uint64]bool{}); err != nil {
+		t.Errorf("completed delete rejected: %v", err)
+	}
+	if err := CheckDurable(h, nil, map[uint64]bool{1: true}); err == nil {
+		t.Error("completed delete allowed to vanish")
+	}
+	if h.CompletePending(1, true) {
+		t.Error("second CompletePending for the same thread succeeded")
+	}
+}
+
+// TestDropPending pins the NotCommitted-verdict transformation: the cut op
+// vanishes and the history must check without it.
+func TestDropPending(t *testing.T) {
+	h := NewHistory()
+	h.clock.Store(10)
+	h.Ops = []Op{{Kind: OpInsert, Key: 1, Result: true, Inv: 1, Res: 2, Thread: 0}}
+	h.Pending = []Op{{Kind: OpDelete, Key: 1, Inv: 3, Res: ^uint64(0), Thread: 1}}
+
+	if !h.DropPending(1) {
+		t.Fatal("DropPending found no pending op for thread 1")
+	}
+	if len(h.Pending) != 0 || len(h.Ops) != 1 {
+		t.Fatalf("Ops=%d Pending=%d after DropPending, want 1/0", len(h.Ops), len(h.Pending))
+	}
+	// With the delete gone the key must still be present.
+	if err := CheckDurable(h, nil, map[uint64]bool{1: true}); err != nil {
+		t.Errorf("dropped delete still constrained the history: %v", err)
+	}
+	if err := CheckDurable(h, nil, map[uint64]bool{}); err == nil {
+		t.Error("key disappeared with no operation to explain it")
+	}
+	if h.DropPending(1) {
+		t.Error("second DropPending for the same thread succeeded")
+	}
+	if h.DropPending(0) {
+		t.Error("DropPending for a thread with no pending op succeeded")
+	}
+}
+
+// TestAppendCompleted pins the replay transformation: the appended op's
+// invocation follows every recorded response, so it linearizes after all
+// of them.
+func TestAppendCompleted(t *testing.T) {
+	h := NewHistory()
+	h.clock.Store(10)
+	h.Ops = []Op{{Kind: OpInsert, Key: 1, Result: true, Inv: 1, Res: 2, Thread: 0}}
+
+	h.AppendCompleted(OpDelete, 1, true, 2)
+	if len(h.Ops) != 2 {
+		t.Fatalf("Ops=%d after AppendCompleted, want 2", len(h.Ops))
+	}
+	got := h.Ops[1]
+	if got.Inv <= 10 || got.Res <= got.Inv {
+		t.Fatalf("appended op %+v: timestamps must be fresh and ordered", got)
+	}
+	// It must linearize after the insert: the final state is empty, and a
+	// history claiming the key survived is rejected.
+	if err := CheckDurable(h, nil, map[uint64]bool{}); err != nil {
+		t.Errorf("replayed delete rejected: %v", err)
+	}
+	if err := CheckDurable(h, nil, map[uint64]bool{1: true}); err == nil {
+		t.Error("replayed delete allowed to vanish")
+	}
+}

@@ -88,9 +88,15 @@ type Recorder struct {
 
 func (r *Recorder) record(kind OpKind, key uint64, f func() bool) bool {
 	inv := r.h.clock.Add(1)
-	completed := false
+	// recorded flips only once the response is actually in Ops — inside
+	// the critical section, after the append. Flipping it any earlier
+	// opens a window where a panic (the frozen device unwinding through a
+	// patomic help path, or through the detectability epilogue) loses the
+	// operation entirely: it would be in neither Ops nor Pending, and
+	// CheckDurable would validate a history missing a real operation.
+	recorded := false
 	defer func() {
-		if completed {
+		if recorded {
 			return
 		}
 		// The operation panicked — in the crash harness that means the
@@ -104,13 +110,13 @@ func (r *Recorder) record(kind OpKind, key uint64, f func() bool) bool {
 		r.h.mu <- struct{}{}
 	}()
 	result := f()
-	completed = true
 	res := r.h.clock.Add(1)
 	<-r.h.mu
 	r.h.Ops = append(r.h.Ops, Op{
 		Kind: kind, Key: key, Result: result,
 		Inv: inv, Res: res, Thread: r.thread,
 	})
+	recorded = true
 	r.h.mu <- struct{}{}
 	return result
 }
@@ -128,6 +134,66 @@ func (r *Recorder) Delete(c *engine.Ctx, key uint64) bool {
 // Contains records a membership query.
 func (r *Recorder) Contains(c *engine.Ctx, key uint64) bool {
 	return r.record(OpContains, key, func() bool { return r.set.Contains(c, key) })
+}
+
+// CompletePending resolves one thread's crash-cut pending operation as
+// having committed with the given result: the op moves from Pending to Ops,
+// keeping its invocation time and taking a fresh (maximal) response time,
+// so it constrains no completed operation's real-time order but must now
+// take effect in any linearization. This is the history transformation a
+// detectability verdict justifies (Detect == Committed with a recorded
+// result). It reports whether the thread had a pending operation. Intended
+// for quiesced, post-crash use.
+func (h *History) CompletePending(thread int, result bool) bool {
+	<-h.mu
+	defer func() { h.mu <- struct{}{} }()
+	op, ok := h.takePendingLocked(thread)
+	if !ok {
+		return false
+	}
+	op.Result = result
+	op.Res = h.clock.Add(1)
+	h.Ops = append(h.Ops, op)
+	return true
+}
+
+// DropPending removes one thread's crash-cut pending operation from the
+// history entirely — the transformation a Detect == NotCommitted verdict
+// justifies (the operation provably never took effect, so the history must
+// be checkable without it). It reports whether the thread had a pending
+// operation. Intended for quiesced, post-crash use.
+func (h *History) DropPending(thread int) bool {
+	<-h.mu
+	defer func() { h.mu <- struct{}{} }()
+	_, ok := h.takePendingLocked(thread)
+	return ok
+}
+
+// AppendCompleted records an operation executed outside a Recorder — e.g. a
+// post-recovery exactly-once replay — as a completed op whose invocation
+// follows every previously recorded response, so it must linearize after
+// all of them.
+func (h *History) AppendCompleted(kind OpKind, key uint64, result bool, thread int) {
+	inv := h.clock.Add(1)
+	res := h.clock.Add(1)
+	<-h.mu
+	h.Ops = append(h.Ops, Op{
+		Kind: kind, Key: key, Result: result,
+		Inv: inv, Res: res, Thread: thread,
+	})
+	h.mu <- struct{}{}
+}
+
+// takePendingLocked removes and returns the thread's pending op (threads
+// run one operation at a time, so there is at most one). Callers hold mu.
+func (h *History) takePendingLocked(thread int) (Op, bool) {
+	for i, op := range h.Pending {
+		if op.Thread == thread {
+			h.Pending = append(h.Pending[:i], h.Pending[i+1:]...)
+			return op, true
+		}
+	}
+	return Op{}, false
 }
 
 // setState is a canonical encoding of a small set (sorted keys).

@@ -258,6 +258,9 @@ func (b *BST) Insert(c *engine.Ctx, key, val uint64) bool {
 		ba.Commit()
 		e.MakePersistent(c, rec.parent, NodeFields)
 		if e.CAS(c, rec.parent, cf, rec.leaf, newInternal) {
+			// The linearizing edge swap is durable: publish the detectable
+			// verdict (no-op without an armed descriptor).
+			e.Linearized(c, true)
 			return true
 		}
 		// Help an in-progress delete blocking this edge, then retry.
@@ -303,6 +306,9 @@ func (b *BST) Delete(c *engine.Ctx, key uint64) bool {
 			e.MakePersistent(c, rec.parent, NodeFields)
 			e.MakePersistent(c, rec.leaf, NodeFields)
 			if e.CAS(c, rec.parent, cf, rec.leaf, rec.leaf|flagBit) {
+				// The injection flag is the linearization point; cleanup
+				// below is physical excision only.
+				e.Linearized(c, true)
 				doomed = rec.leaf
 				injecting = false
 				if b.cleanup(c, key, rec) {

@@ -1,0 +1,190 @@
+package zuriel
+
+import (
+	"fmt"
+	"testing"
+
+	"mirror/internal/engine"
+	"mirror/internal/pmem"
+)
+
+// guardFrozen runs f, converting the simulated power cut into a false
+// return; any other panic propagates.
+func guardFrozen(f func()) (completed bool) {
+	defer func() {
+		if r := recover(); r != nil && r != pmem.ErrFrozen {
+			panic(r)
+		}
+	}()
+	f()
+	return true
+}
+
+func detectMakers() map[string]func(clients int) Set {
+	return map[string]func(clients int) Set{
+		"LinkFree": func(clients int) Set {
+			return NewLinkFree(Config{Words: 1 << 16, Track: true, Clients: clients})
+		},
+		"SOFT": func(clients int) Set {
+			return NewSoft(Config{Words: 1 << 16, Track: true, Clients: clients})
+		},
+	}
+}
+
+// TestZurielDetectQuiesced pins the verdict truth table on a quiesced
+// crash: a completed bracket survives with its recorded result, earlier
+// sequence numbers are proven Committed by the later slot contents, and a
+// client that never announced reads NotCommitted.
+func TestZurielDetectQuiesced(t *testing.T) {
+	for name, mk := range detectMakers() {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			s := mk(2)
+			if s.Clients() != 2 {
+				t.Fatalf("Clients() = %d, want 2", s.Clients())
+			}
+			c := s.NewCtx()
+			s.DetectBegin(c, 1, 1, engine.DetectInsert, 7, 70)
+			if !s.Insert(c, 7, 70) {
+				t.Fatal("insert failed")
+			}
+			s.DetectEnd(c, true)
+			s.DetectBegin(c, 1, 2, engine.DetectDelete, 7, 0)
+			if !s.Delete(c, 7) {
+				t.Fatal("delete failed")
+			}
+			s.DetectEnd(c, true)
+			s.Crash(pmem.CrashDropAll, nil)
+			s.Recover()
+			if v := s.Detect(1, 2); v.Verdict != engine.Committed || !v.KnownResult || !v.Result {
+				t.Errorf("seq 2: got %+v, want Committed with result true", v)
+			}
+			if v := s.Detect(1, 1); v.Verdict != engine.Committed {
+				t.Errorf("seq 1 (superseded): got %+v, want Committed", v)
+			}
+			if v := s.Detect(0, 1); v.Verdict != engine.NotCommitted {
+				t.Errorf("client 0 never announced: got %+v, want NotCommitted", v)
+			}
+			c2 := s.NewCtx()
+			if s.Contains(c2, 7) {
+				t.Error("deleted key resurrected by recovery")
+			}
+		})
+	}
+}
+
+// TestZurielDetectCrashSweep cuts a detectable insert and then a
+// detectable delete at every device-op index and cross-checks the verdict
+// against the recovered state: Committed obliges the effect, NotCommitted
+// forbids it, and only Unknown leaves both fates open. The sweep runs both
+// under the plain drop-all crash and under the full seeded fault adversary
+// (torn + evict + drop) — the eager announce must stay ahead of any line
+// the adversary persists early.
+func TestZurielDetectCrashSweep(t *testing.T) {
+	for name, mk := range detectMakers() {
+		for _, faults := range []bool{false, true} {
+			name, mk, faults := name, mk, faults
+			t.Run(fmt.Sprintf("%s/faults=%v", name, faults), func(t *testing.T) {
+				t.Parallel()
+				for cut := int64(1); cut <= 60; cut++ {
+					// Insert sweep: key 9 into a set holding key 5.
+					s := mk(1)
+					c := s.NewCtx()
+					if !s.Insert(c, 5, 50) {
+						t.Fatal("prefill failed")
+					}
+					var fm *pmem.FaultModel
+					if faults {
+						fm = pmem.NewFaultModel(cut*7+1, pmem.FaultSpec{Torn: true, Evict: true, Drop: true})
+						s.InjectFaults(fm)
+						fm.CrashAfter(cut)
+					} else {
+						s.(interface{ devFreezeAfter(int64) }).devFreezeAfter(cut)
+					}
+					guardFrozen(func() {
+						s.DetectBegin(c, 0, 1, engine.DetectInsert, 9, 90)
+						s.Insert(c, 9, 90)
+						s.DetectEnd(c, true)
+					})
+					s.Crash(pmem.CrashDropAll, nil)
+					if fm != nil {
+						fm.CrashAfter(0)
+					}
+					s.Recover()
+					v := s.Detect(0, 1)
+					present := s.Contains(s.NewCtx(), 9)
+					switch v.Verdict {
+					case engine.Committed:
+						if !v.KnownResult || !v.Result || !present {
+							t.Errorf("insert cut=%d: Committed (%+v) but present=%v", cut, v, present)
+						}
+					case engine.NotCommitted:
+						if present {
+							t.Errorf("insert cut=%d: NotCommitted but key present", cut)
+						}
+					}
+
+					// Delete sweep: key 5 out of the same shape.
+					s = mk(1)
+					c = s.NewCtx()
+					if !s.Insert(c, 5, 50) {
+						t.Fatal("prefill failed")
+					}
+					if faults {
+						fm = pmem.NewFaultModel(cut*7+2, pmem.FaultSpec{Torn: true, Evict: true, Drop: true})
+						s.InjectFaults(fm)
+						fm.CrashAfter(cut)
+					} else {
+						s.(interface{ devFreezeAfter(int64) }).devFreezeAfter(cut)
+					}
+					guardFrozen(func() {
+						s.DetectBegin(c, 0, 1, engine.DetectDelete, 5, 0)
+						s.Delete(c, 5)
+						s.DetectEnd(c, true)
+					})
+					s.Crash(pmem.CrashDropAll, nil)
+					if fm != nil {
+						fm.CrashAfter(0)
+					}
+					s.Recover()
+					v = s.Detect(0, 1)
+					present = s.Contains(s.NewCtx(), 5)
+					switch v.Verdict {
+					case engine.Committed:
+						if !v.KnownResult || !v.Result || present {
+							t.Errorf("delete cut=%d: Committed (%+v) but present=%v", cut, v, present)
+						}
+					case engine.NotCommitted:
+						if !present {
+							t.Errorf("delete cut=%d: NotCommitted but key gone", cut)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// devFreezeAfter arms the persistent device's freeze trigger (test hook).
+func (s *LinkFree) devFreezeAfter(n int64) { s.dev.FreezeAfter(n) }
+func (s *Soft) devFreezeAfter(n int64)     { s.pdev.FreezeAfter(n) }
+
+// TestZurielDetectDisabledPanics pins the loud-failure contract when
+// detectability is off.
+func TestZurielDetectDisabledPanics(t *testing.T) {
+	s := NewLinkFree(Config{Words: 1 << 14})
+	c := s.NewCtx()
+	for name, f := range map[string]func(){
+		"DetectBegin": func() { s.DetectBegin(c, 0, 1, engine.DetectInsert, 1, 1) },
+		"Detect":      func() { s.Detect(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with Clients=0 did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

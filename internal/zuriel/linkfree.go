@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"mirror/internal/engine"
 	"mirror/internal/palloc"
 	"mirror/internal/pmem"
 )
@@ -23,8 +24,11 @@ const lfHeadSlot = 8
 // LinkFree is Zuriel et al.'s Link-Free durable set: one node per element
 // on NVMM, pointers never flushed, one flush+fence per update.
 type LinkFree struct {
-	dev     *pmem.Device
-	buckets int // 0 = single list
+	dev      *pmem.Device
+	buckets  int       // 0 = single list
+	det      *detector // nil when Config.Clients == 0
+	clients  int
+	heapBase uint64 // node-heap base (above head slots and descriptors)
 
 	mu    sync.Mutex
 	alloc *palloc.Allocator
@@ -49,6 +53,15 @@ func NewLinkFree(cfg Config) *LinkFree {
 		}),
 		buckets: cfg.Buckets,
 	}
+	base := uint64(lfHeadSlot + 8)
+	if cfg.Buckets > 0 {
+		base = uint64(lfHeadSlot + cfg.Buckets)
+		base = (base + palloc.AlignWords - 1) &^ (palloc.AlignWords - 1)
+	}
+	// Descriptor slots sit between the head slots and the node heap, so the
+	// recovery sanitize wipe never reaches them.
+	s.det, s.heapBase = newDetector(s.dev, base, cfg.Clients)
+	s.clients = cfg.Clients
 	s.initVolatile()
 	return s
 }
@@ -56,12 +69,7 @@ func NewLinkFree(cfg Config) *LinkFree {
 // initVolatile (re)creates the allocator, reclaimer, and bucket slots; the
 // head slots themselves are volatile data (never flushed).
 func (s *LinkFree) initVolatile() {
-	base := uint64(lfHeadSlot + 8)
-	if s.buckets > 0 {
-		base = uint64(lfHeadSlot + s.buckets)
-		base = (base + palloc.AlignWords - 1) &^ (palloc.AlignWords - 1)
-	}
-	s.alloc = palloc.New(palloc.Config{Base: base, End: uint64(s.dev.Size())})
+	s.alloc = palloc.New(palloc.Config{Base: s.heapBase, End: uint64(s.dev.Size())})
 	s.recl = palloc.NewReclaimer()
 	n := 1
 	if s.buckets > 0 {
@@ -179,6 +187,9 @@ func (s *LinkFree) Insert(c *Ctx, key, val uint64) bool {
 		}
 		s.dev.Store(node+lfNext, curr) // pointer: never flushed
 		if s.dev.CAS(predSlot, curr, node) {
+			// The node was persisted before the link: the insert is durable,
+			// so the detectable verdict may publish (no-op when unarmed).
+			s.det.linearized(c, true)
 			return true
 		}
 	}
@@ -202,6 +213,9 @@ func (s *LinkFree) Delete(c *Ctx, key uint64) bool {
 			continue
 		}
 		s.persistDelete(c, curr)
+		// Only now is the deleted state durable — the mark CAS alone lives
+		// in a never-flushed word, and recovery would resurrect the key.
+		s.det.linearized(c, true)
 		if s.dev.CAS(predSlot, curr, next) {
 			c.p.Retire(curr, lfSize)
 		}
@@ -272,6 +286,9 @@ func (s *LinkFree) RecoverParallel(workers int) {
 	s.mu.Unlock()
 	live := scanLive(s.dev, base, frontier, lfSize, lfKey, lfVal, lfMeta, workers)
 	sanitizeHeap(s.dev, base, frontier, workers)
+	if s.det != nil {
+		s.det.desc.Scrub()
+	}
 	s.mu.Lock()
 	s.initVolatile()
 	s.mu.Unlock()
@@ -280,5 +297,24 @@ func (s *LinkFree) RecoverParallel(workers int) {
 
 // Counters implements Set.
 func (s *LinkFree) Counters() (uint64, uint64) { return s.dev.Counters() }
+
+// Clients implements Set.
+func (s *LinkFree) Clients() int { return s.clients }
+
+// DetectBegin implements Set.
+func (s *LinkFree) DetectBegin(c *Ctx, client int, seq, kind, key, val uint64) {
+	s.det.begin(c, client, seq, kind, key, val)
+}
+
+// DetectEnd implements Set.
+func (s *LinkFree) DetectEnd(c *Ctx, result bool) { s.det.end(c, result) }
+
+// Detect implements Set.
+func (s *LinkFree) Detect(client int, seq uint64) engine.DetectResult {
+	if s.det == nil {
+		panic("zuriel: Detect with detectability disabled (Config.Clients == 0)")
+	}
+	return s.det.desc.Detect(client, seq)
+}
 
 var _ Set = (*LinkFree)(nil)
