@@ -11,7 +11,8 @@
 //	mirrorbench -recovery -sizes 1000,10000 -par 1,4   # recovery-pipeline sweep
 //	mirrorbench -json BENCH_1.json    # machine-readable engine×structure matrix
 //	mirrorbench -json BENCH_2.json -recovery   # matrix plus recovery section
-//	mirrorbench -json BENCH_4.json -detect     # detectable-operation overhead ablation
+//	mirrorbench -json BENCH_3.json -detect     # detectable-operation overhead ablation
+//	mirrorbench -json BENCH_4.json -combine    # matrix plus fence-combining ablation panels
 //	mirrorbench -checkjson BENCH_1.json  # re-parse and validate a report
 //
 // Absolute numbers depend on the host; the shape — who wins, by what
@@ -77,6 +78,7 @@ func main() {
 		enginesF = flag.String("engines", "", "comma-separated engine filter for -json (e.g. Mirror,NVTraverse)")
 		noElide  = flag.Bool("noelide", false, "disable flush elision / fence coalescing (ablation baseline)")
 		detect   = flag.Bool("detect", false, "route every operation through a detectable bracket (descriptor-overhead ablation)")
+		combine  = flag.Bool("combine", false, "with -json: append the fence-combining ablation panels (update-only list and queue, combine on/off in the same session); with -panel/-all: run the Mirror engines with per-thread write buffers")
 	)
 	flag.Parse()
 
@@ -153,6 +155,9 @@ func main() {
 			os.Exit(2)
 		}
 		report := harness.RunBenchMatrix(opts, structs, kinds, opts.Threads)
+		if *combine {
+			harness.AppendCombineAblation(report, opts, opts.Threads)
+		}
 		if *recovery {
 			report.Recovery = harness.RecoveryPoints(
 				harness.MeasureRecovery(parseInts("sizes", *sizesF), parseInts("par", *parsF)))
@@ -169,6 +174,11 @@ func main() {
 		fmt.Printf("wrote %s (%d points)\n", *jsonOut, len(report.Points))
 		return
 	}
+
+	// Panel mode: -combine switches the Mirror engines themselves over to
+	// the combining write path. (In -json mode the flag instead appends
+	// dedicated ablation panels, keeping the base matrix comparable.)
+	opts.Combine = *combine
 
 	fmt.Println(harness.EnvironmentNote())
 	show := func(p harness.Panel) {

@@ -15,6 +15,7 @@
 //	mirrorcrash -structure all -engine all -rounds 10
 //	mirrorcrash -fuzz 50 -structure all -engine all -faults torn,evict,drop
 //	mirrorcrash -fuzz 50 -structure all -engine Mirror -detect
+//	mirrorcrash -fuzz 50 -structure all -engine Mirror -combine
 //	mirrorcrash -structure list -engine Mirror -faults torn,drop -seed 7 -schedule w1o5k1c13
 package main
 
@@ -69,6 +70,7 @@ func main() {
 		schedule  = flag.String("schedule", "", "replay one reproducer schedule (e.g. w1o5k1c13) with -seed")
 		reproOut  = flag.String("repro-out", "", "write the minimized reproducer to this file on fuzz failure")
 		detect    = flag.Bool("detect", false, "run -fuzz/-schedule with detectable operations: cross-check Detect verdicts against the linearizability checker and replay cut ops through ExactlyOnce")
+		combine   = flag.Bool("combine", false, "run -fuzz/-schedule with cross-operation fence combining: completed ops above the drained combine ticket may legally vanish at the crash")
 	)
 	flag.Parse()
 
@@ -78,7 +80,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *schedule != "" {
-		os.Exit(replay(*structure, *engName, faults, *seed, *schedule, *detect))
+		os.Exit(replay(*structure, *engName, faults, *seed, *schedule, *detect, *combine))
 	}
 
 	var structNames, engNames []string
@@ -104,10 +106,10 @@ func main() {
 	}
 
 	if *fuzzN > 0 {
-		os.Exit(fuzz(structNames, engNames, faults, *seed, *fuzzN, *reproOut, *detect))
+		os.Exit(fuzz(structNames, engNames, faults, *seed, *fuzzN, *reproOut, *detect, *combine))
 	}
-	if *detect {
-		fmt.Fprintln(os.Stderr, "mirrorcrash: -detect requires -fuzz or -schedule")
+	if *detect || *combine {
+		fmt.Fprintln(os.Stderr, "mirrorcrash: -detect/-combine require -fuzz or -schedule")
 		os.Exit(2)
 	}
 
@@ -155,10 +157,13 @@ func crashAtFor(seed, total int64) int64 {
 // each with a calibrated mid-flight crash placement. The first failure is
 // shrunk, printed as a re-runnable reproducer, optionally written to
 // reproOut, and fails the process.
-func fuzz(structNames, engNames []string, faults pmem.FaultSpec, baseSeed int64, fuzzN int, reproOut string, detect bool) int {
+func fuzz(structNames, engNames []string, faults pmem.FaultSpec, baseSeed int64, fuzzN int, reproOut string, detect, combine bool) int {
 	mode := ""
 	if detect {
 		mode = ", detectable operations"
+	}
+	if combine {
+		mode += ", fence combining"
 	}
 	fmt.Printf("fault-fuzz: faults=%s base seed %d, %d runs per combination%s\n", faults, baseSeed, fuzzN, mode)
 	for _, sn := range structNames {
@@ -173,6 +178,7 @@ func fuzz(structNames, engNames []string, faults pmem.FaultSpec, baseSeed int64,
 					Seed:      baseSeed + int64(i),
 					Schedule:  faultfuzz.Schedule{Workers: 2, OpsPer: 8, Keys: 6},
 					Detect:    detect,
+					Combine:   combine,
 				}
 				spec.Schedule.CrashAt = crashAtFor(spec.Seed, faultfuzz.Calibrate(spec))
 				res := faultfuzz.Run(spec)
@@ -208,7 +214,7 @@ func fuzz(structNames, engNames []string, faults pmem.FaultSpec, baseSeed int64,
 
 // replay re-runs one (seed, schedule) reproducer and reports the media
 // fingerprint, so a failure can be confirmed bit for bit.
-func replay(structure, engName string, faults pmem.FaultSpec, seed int64, scheduleStr string, detect bool) int {
+func replay(structure, engName string, faults pmem.FaultSpec, seed int64, scheduleStr string, detect, combine bool) int {
 	kind, ok := engines[engName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "mirrorcrash: -schedule needs a single engine, got %q\n", engName)
@@ -219,7 +225,7 @@ func replay(structure, engName string, faults pmem.FaultSpec, seed int64, schedu
 		fmt.Fprintf(os.Stderr, "mirrorcrash: %v\n", err)
 		return 2
 	}
-	spec := faultfuzz.Spec{Structure: structure, Kind: kind, Faults: faults, Seed: seed, Schedule: sched, Detect: detect}
+	spec := faultfuzz.Spec{Structure: structure, Kind: kind, Faults: faults, Seed: seed, Schedule: sched, Detect: detect, Combine: combine}
 	res := faultfuzz.Run(spec)
 	fmt.Printf("replay %v\n  crashed at op %d of %d, media hash %#x\n",
 		spec, res.CrashedAt, res.OpsTotal, res.MediaHash)

@@ -1,0 +1,170 @@
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mirror/internal/engine"
+	"mirror/internal/pmem"
+)
+
+// combineReplay runs the sweep script on a fresh combining engine,
+// recording for every completed operation its result and the thread's
+// combine-buffer commit ticket at response time. It returns those
+// records, the index of the operation in flight when the freeze hit (-1
+// if the script completed), the drained watermark as of the freeze, and
+// whether a freeze occurred.
+type combineRec struct {
+	result bool
+	ticket uint64
+}
+
+func combineReplay(e engine.Engine, build Builder, script []sweepOp) (recs []combineRec, inflight int, drained uint64, froze bool) {
+	inflight = -1
+	var c *engine.Ctx
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r != pmem.ErrFrozen {
+					panic(r)
+				}
+				froze = true
+			}
+		}()
+		c = e.NewCtx()
+		set := build(e, c)
+		for i, op := range script {
+			inflight = i
+			var res bool
+			if op.insert {
+				res = set.Insert(c, op.key, op.key)
+			} else {
+				res = set.Delete(c, op.key)
+			}
+			last, _ := engine.CombineTickets(c)
+			recs = append(recs, combineRec{result: res, ticket: last})
+			inflight = -1
+		}
+	}()
+	if c != nil {
+		_, drained = engine.CombineTickets(c)
+	}
+	return recs, inflight, drained, froze
+}
+
+// keyFate is one key's operation trace for the per-key fate search.
+type keyFate struct {
+	insert    bool
+	result    bool
+	mayVanish bool
+	inflight  bool
+}
+
+// allowedPresence explores every legal assignment of fates to a key's
+// operations — must-apply ops apply with their recorded result, unfenced
+// (may-vanish) ops apply or vanish, the in-flight op applies as a
+// successful write or vanishes — and returns the set of final presence
+// values reachable through a consistent trace. A branch in which an
+// applied op's recorded result contradicts the simulated state is
+// abandoned: vanishing is per-operation, but the surviving subsequence
+// must still be sequentially legal.
+func allowedPresence(ops []keyFate) map[bool]bool {
+	res := make(map[bool]bool)
+	var dfs func(i int, present bool)
+	dfs = func(i int, present bool) {
+		if i == len(ops) {
+			res[present] = true
+			return
+		}
+		op := ops[i]
+		if op.mayVanish || op.inflight {
+			dfs(i+1, present) // vanish
+		}
+		if op.inflight {
+			// Take effect as a successful write.
+			dfs(i+1, op.insert)
+			return
+		}
+		// Apply with the recorded result, if legal here.
+		legal := op.result == (op.insert != present)
+		if legal {
+			next := present
+			if op.result {
+				next = op.insert
+			}
+			dfs(i+1, next)
+		}
+	}
+	dfs(0, false)
+	return res
+}
+
+// TestExhaustiveCrashPointsCombine re-runs the exhaustive single-threaded
+// crash-point sweep with fence combining enabled. Completed operations
+// whose commit tickets sit above the drained watermark at the freeze were
+// linearized but possibly never fenced, so each may independently vanish
+// or take effect — the per-key oracle is therefore a set of allowed final
+// presences computed by searching consistent fate assignments, rather
+// than the single recorded model. Fenced operations (ticket at or below
+// the watermark) must survive every crash policy. The direct engines
+// ignore Config.Combine; for them every ticket is 0 = drained and the
+// check degenerates to the strict sweep, pinning that the flag is inert.
+func TestExhaustiveCrashPointsCombine(t *testing.T) {
+	script := sweepScript()
+	keys := map[uint64]bool{}
+	for _, op := range script {
+		keys[op.key] = true
+	}
+	policies := []pmem.CrashPolicy{pmem.CrashDropAll, pmem.CrashKeepAll, pmem.CrashRandom}
+	for name, build := range builders() {
+		for _, kind := range durableKinds() {
+			t.Run(fmt.Sprintf("%s/%s", name, kind), func(t *testing.T) {
+				t.Parallel()
+				for _, policy := range policies {
+					rng := rand.New(rand.NewSource(23))
+					points := 0
+					for n := int64(1); ; n++ {
+						e := engine.New(engine.Config{Kind: kind, Words: 1 << 17, Track: true, Combine: true})
+						e.FreezeAfter(n)
+						recs, inflight, drained, froze := combineReplay(e, build, script)
+						e.Crash(policy, rng)
+						e.Recover(tracerFactories()[name](e))
+						c := e.NewCtx()
+						set := build(e, c)
+
+						for key := range keys {
+							var trace []keyFate
+							for i, op := range script {
+								if op.key != key {
+									continue
+								}
+								if i < len(recs) {
+									trace = append(trace, keyFate{
+										insert:    op.insert,
+										result:    recs[i].result,
+										mayVanish: recs[i].ticket > drained,
+									})
+								} else if i == inflight {
+									trace = append(trace, keyFate{insert: op.insert, inflight: true})
+								}
+							}
+							allowed := allowedPresence(trace)
+							if got := set.Contains(c, key); !allowed[got] {
+								t.Fatalf("policy=%v point=%d: key %d: got present=%v, allowed %v (drained=%d trace=%+v)",
+									policy, n, key, got, allowed, drained, trace)
+							}
+						}
+						points++
+						if !froze {
+							break // the script completed: every point covered
+						}
+					}
+					if points < 10 {
+						t.Fatalf("policy=%v: only %d crash points exercised; countdown not working?", policy, points)
+					}
+				}
+			})
+		}
+	}
+}

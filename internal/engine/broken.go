@@ -55,3 +55,22 @@ func NewBrokenWatermarkMirror(cfg Config) Engine {
 	me.mem.P.BreakWatermarkForTest()
 	return me
 }
+
+// NewBrokenCombineMirror returns a combining Mirror engine whose drain
+// drops a buffered commit ticket: the first buffered line of every
+// combined drain is silently skipped while the drained watermark still
+// advances past its ticket. The affected operation is then recorded as
+// durably committed (ticket <= drained) though its install never reached
+// a fence, so a crash whose line fate is "drop" loses a completed
+// operation the buffered checker is NOT allowed to excuse — exactly the
+// violation the fault fuzzer's combining acceptance test must catch,
+// shrink, and replay. Test-only.
+func NewBrokenCombineMirror(cfg Config) Engine {
+	cfg.Kind = MirrorDRAM
+	cfg.NoElide = false
+	cfg.Combine = true
+	cfg.setDefaults()
+	me := newMirror(cfg)
+	me.mem.P.BreakCombineForTest()
+	return me
+}

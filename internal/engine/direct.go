@@ -284,6 +284,18 @@ func (e *directEngine) MakePersistent(c *Ctx, ref Ref, fields int) {
 	e.dev.Fence(&c.fs)
 }
 
+// Drain commits the relaxed-line registry on the eliding traversal
+// engine; the other direct engines defer nothing. Config.Combine is
+// accepted but inert on every direct engine: the Izraelevitz discipline
+// fences around each access and NVTraverse fences its critical section,
+// so neither has a post-linearization fence a combine buffer could
+// absorb.
+func (e *directEngine) Drain(c *Ctx) {
+	if e.elides() {
+		e.dev.CommitRelaxed(&c.fs)
+	}
+}
+
 func (e *directEngine) RootRef() Ref { return rootBase }
 
 func (e *directEngine) Freeze() { e.dev.Freeze() }

@@ -206,6 +206,12 @@ type Engine interface {
 	// critical section (the NVTraverse barrier). No-op elsewhere.
 	MakePersistent(c *Ctx, ref Ref, fields int)
 
+	// Drain commits every durability obligation this context has
+	// deferred: its combine buffer (Config.Combine) and the device's
+	// relaxed-line registry. Quiesce points and media-equivalence tests
+	// call it; a no-op when nothing is deferred.
+	Drain(c *Ctx)
+
 	// RootRef returns the persistent root object (RootFields fields).
 	RootRef() Ref
 
@@ -294,6 +300,11 @@ type Stats struct {
 	// DetectAnnounces and DetectVerdicts count descriptor-region announce
 	// and verdict publishes (zero with detectability off).
 	DetectAnnounces, DetectVerdicts uint64
+	// CombinedFences counts linearizing installs whose fence was deferred
+	// into a per-thread combined drain (Config.Combine); DrainCauses
+	// breaks down why those drains ran. Zero with combining off.
+	CombinedFences uint64
+	DrainCauses    pmem.DrainCauses
 }
 
 // Config describes an engine instance.
@@ -318,6 +329,17 @@ type Config struct {
 	// detectability protocol (DetectBegin/Linearized/DetectEnd/Detect).
 	// Zero leaves the layout unchanged and detectability off.
 	Clients int
+	// Combine enables cross-operation fence combining on the Mirror
+	// engines: each thread buffers its linearizing installs' durability
+	// and drains them with one flush per line plus a single fence
+	// (capacity, epoch, conflict-probe, pre-verdict, and pre-free
+	// triggers; see pmem/combine.go). Completed operations may then
+	// vanish at a crash until their buffer drains — the buffered
+	// durable-linearizability contract. Requires elision (ignored under
+	// NoElide); the direct engines accept it and ignore it, since their
+	// disciplines fence reads or order writes and have no combinable
+	// post-linearization fence.
+	Combine bool
 }
 
 func (c *Config) setDefaults() {
@@ -326,6 +348,110 @@ func (c *Config) setDefaults() {
 	}
 	if c.RootFields == 0 {
 		c.RootFields = 8
+	}
+}
+
+// CombineTickets returns a context's (last, drained) combining ticket
+// pair: the ticket of its most recent buffered linearization and the
+// watermark of its last completed drain. At a crash, a completed
+// operation whose ticket exceeds its thread's watermark may vanish or
+// take effect; at or below it, the operation reached a drain fence and
+// must survive. Both read zero with combining off, collapsing the
+// buffered crash contract back to plain durable linearizability. The
+// pair is plain Go state and stays readable after a crash.
+func CombineTickets(c *Ctx) (last, drained uint64) {
+	return c.pa.FS.CombineTickets()
+}
+
+// CombineQuiet reports whether c's combine buffer is empty — every
+// linearization this thread issued has reached a drain fence. Constant
+// true with combining off. Data structures gate *exposing* shortcut
+// writes on it: a relaxed snip, unlink, or cleanup issued while the
+// writer's own buffer is non-empty can make a buffered linearization's
+// effect observable along a path that never loads the buffered line, so
+// the read-side conflict probe cannot defend it (the CASRelaxed exposure
+// rule). Gated sites defer the shortcut to a quiet moment instead of
+// paying CASRelaxed's own-buffer drain.
+func CombineQuiet(c *Ctx) bool {
+	return c.pa.FS.CombineQuiet()
+}
+
+// combineOwner is implemented by engines that can map a (ref, field)
+// cell to its persistent line and ask whether that line sits in a
+// context's own combine buffer.
+type combineOwner interface {
+	combineOwns(c *Ctx, ref Ref, field int) bool
+}
+
+// CombineOwnsField reports whether the cell (ref, field) lies on a line
+// this context's own combine buffer still holds — a linearization this
+// thread published but has not drained. The exposure rule only forbids
+// shortcut writes that hide a thread's *own* buffered linearization: a
+// foreign one was committed by the conflict probe when this thread
+// loaded it, so structures use this finer predicate (rather than
+// CombineQuiet) to keep snipping foreign marked nodes eagerly. Constant
+// false with combining off or on engines without cell mapping.
+func CombineOwnsField(e Engine, c *Ctx, ref Ref, field int) bool {
+	if o, ok := e.(combineOwner); ok {
+		return o.combineOwns(c, ref, field)
+	}
+	return false
+}
+
+// exposeSafeCASer is implemented by engines offering a relaxed CAS that
+// skips the exposure drain when the caller has discharged the exposure
+// rule itself.
+type exposeSafeCASer interface {
+	casRelaxedExposeSafe(c *Ctx, ref Ref, field int, old, new uint64) bool
+}
+
+// CASRelaxedExposeSafe is CASRelaxed minus the own-buffer exposure
+// drain. Use it only when the shortcut bypasses lines this thread does
+// NOT own in its combine buffer (checked via CombineOwnsField) — every
+// linearization it exposes was then probed durable by this thread's own
+// combined loads. Falls back to CASRelaxed on engines without the fast
+// path.
+func CASRelaxedExposeSafe(e Engine, c *Ctx, ref Ref, field int, old, new uint64) bool {
+	if x, ok := e.(exposeSafeCASer); ok {
+		return x.casRelaxedExposeSafe(c, ref, field, old, new)
+	}
+	return e.CASRelaxed(c, ref, field, old, new)
+}
+
+// adoptLoader is implemented by engines whose combining mode offers the
+// adopting traversal load and the matching no-effect witness barrier.
+type adoptLoader interface {
+	traversalLoadAdopt(c *Ctx, ref Ref, field int) uint64
+	commitWitness(c *Ctx)
+}
+
+// TraversalLoadAdopt is TraversalLoad for loads inside *update*
+// operations' traversals. Under combining, a crossed foreign buffered
+// install is adopted into this thread's own buffer (no fence now; the
+// thread's next drain commits the whole witnessed path under one fence)
+// instead of being probed durable on the spot. The trade is sound only
+// for operations that either linearize with a ticketed install of their
+// own or call CommitWitness before returning a no-effect verdict —
+// traversals of plain read operations must keep TraversalLoad, whose
+// probe is their only durability barrier. Falls back to TraversalLoad
+// on engines without combining.
+func TraversalLoadAdopt(e Engine, c *Ctx, ref Ref, field int) uint64 {
+	if a, ok := e.(adoptLoader); ok {
+		return a.traversalLoadAdopt(c, ref, field)
+	}
+	return e.TraversalLoad(c, ref, field)
+}
+
+// CommitWitness closes the adoption window before an update operation
+// returns a no-effect verdict (failed insert, absent-key delete): if
+// this thread adopted foreign lines during the traversal and holds no
+// undrained ticket of its own, the verdict is in the must-survive class
+// and its witnessed path must reach a fence first, so the buffer
+// drains. With an undrained ticket the verdict vanishes with the ticket
+// and no fence is due. No-op without combining.
+func CommitWitness(e Engine, c *Ctx) {
+	if a, ok := e.(adoptLoader); ok {
+		a.commitWitness(c)
 	}
 }
 

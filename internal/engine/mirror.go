@@ -20,6 +20,7 @@ type mirrorEngine struct {
 	kind       Kind
 	mem        patomic.Mem
 	rootFields int
+	combine    bool        // cross-operation fence combining active on rep_p
 	desc       *DescRegion // per-client op descriptors on rep_p; nil when off
 
 	mu    sync.Mutex
@@ -43,6 +44,7 @@ func newMirror(cfg Config) *mirrorEngine {
 		Persistent: true,
 		Track:      cfg.Track,
 		Elide:      !cfg.NoElide,
+		Combine:    cfg.Combine,
 		Model:      pModel,
 	})
 	v := pmem.New(pmem.Config{
@@ -54,6 +56,7 @@ func newMirror(cfg Config) *mirrorEngine {
 		kind:       cfg.Kind,
 		mem:        patomic.Mem{P: p, V: v},
 		rootFields: cfg.RootFields,
+		combine:    p.Combines(),
 		recl:       palloc.NewReclaimer(),
 	}
 	// The descriptor region (when configured) sits between the roots and
@@ -87,8 +90,16 @@ func (e *mirrorEngine) NewCtx() *Ctx {
 	c := &Ctx{Cache: palloc.NewCache(e.alloc, e.recl)}
 	if e.mem.P.Elides() {
 		// Before a drain batch frees anything, commit every relaxed line:
-		// the media must never hold a pointer into reused memory.
-		c.Cache.PreFree = func() { e.mem.P.CommitRelaxed(&c.pa.FS) }
+		// the media must never hold a pointer into reused memory. Under
+		// combining the registry already holds every buffered line, so the
+		// commit covers both; the combine drain after it then finds its
+		// lines durable and merely advances the drained-ticket watermark.
+		c.Cache.PreFree = func() {
+			e.mem.P.CommitRelaxed(&c.pa.FS)
+			if e.combine {
+				e.mem.P.CombineDrain(&c.pa.FS, pmem.DrainPreFree)
+			}
+		}
 	}
 	return c
 }
@@ -99,9 +110,17 @@ func (e *mirrorEngine) cellAddr(ref Ref, field int) uint64 {
 
 func (e *mirrorEngine) OpBegin(c *Ctx) { c.Cache.Enter() }
 
-// OpEnd needs no durability barrier: every Mirror write is durable before
-// it is visible, so a completed operation is durable by construction.
-func (e *mirrorEngine) OpEnd(c *Ctx) { c.Cache.Exit() }
+// OpEnd needs no durability barrier without combining: every Mirror write
+// is durable before it is visible, so a completed operation is durable by
+// construction. With combining, OpEnd pulses the per-thread epoch trigger,
+// which bounds how many of the owner's operations a buffered linearization
+// can outlive before a drain fences it.
+func (e *mirrorEngine) OpEnd(c *Ctx) {
+	if e.combine {
+		e.mem.P.CombineTick(&c.pa.FS)
+	}
+	c.Cache.Exit()
+}
 
 func (e *mirrorEngine) Alloc(c *Ctx, fields int) Ref {
 	return c.Cache.Alloc(fields * patomic.CellWords)
@@ -124,12 +143,22 @@ func (e *mirrorEngine) Retire(c *Ctx, ref Ref, fields int) {
 }
 
 func (e *mirrorEngine) Load(c *Ctx, ref Ref, field int) uint64 {
+	if e.combine {
+		return e.mem.LoadCombined(&c.pa, e.cellAddr(ref, field))
+	}
 	return e.mem.Load(e.cellAddr(ref, field))
 }
 
 // TraversalLoad is identical to Load: Mirror never persists reads, which is
-// precisely why it needs no traversal/critical distinction.
+// precisely why it needs no traversal/critical distinction. Combining
+// qualifies that claim: a read that observes another thread's buffered
+// install commits it first (the conflict probe), trading FliT-style
+// read-side flushes in the conflicting case for fewer write-side fences
+// everywhere else.
 func (e *mirrorEngine) TraversalLoad(c *Ctx, ref Ref, field int) uint64 {
+	if e.combine {
+		return e.mem.LoadCombined(&c.pa, e.cellAddr(ref, field))
+	}
 	return e.mem.Load(e.cellAddr(ref, field))
 }
 
@@ -138,6 +167,10 @@ func (e *mirrorEngine) Store(c *Ctx, ref Ref, field int, v uint64) {
 }
 
 func (e *mirrorEngine) CAS(c *Ctx, ref Ref, field int, old, new uint64) bool {
+	if e.combine {
+		ok, _ := e.mem.CompareAndSwapCombined(&c.pa, e.cellAddr(ref, field), old, new)
+		return ok
+	}
 	ok, _ := e.mem.CompareAndSwap(&c.pa, e.cellAddr(ref, field), old, new)
 	return ok
 }
@@ -147,11 +180,47 @@ func (e *mirrorEngine) CASRelaxed(c *Ctx, ref Ref, field int, old, new uint64) b
 	return ok
 }
 
+func (e *mirrorEngine) combineOwns(c *Ctx, ref Ref, field int) bool {
+	if !e.combine {
+		return false
+	}
+	return c.pa.FS.CombineOwns(e.cellAddr(ref, field))
+}
+
+func (e *mirrorEngine) casRelaxedExposeSafe(c *Ctx, ref Ref, field int, old, new uint64) bool {
+	ok, _ := e.mem.CompareAndSwapRelaxedExposeSafe(&c.pa, e.cellAddr(ref, field), old, new)
+	return ok
+}
+
+func (e *mirrorEngine) traversalLoadAdopt(c *Ctx, ref Ref, field int) uint64 {
+	if e.combine {
+		return e.mem.LoadAdopted(&c.pa, e.cellAddr(ref, field))
+	}
+	return e.mem.Load(e.cellAddr(ref, field))
+}
+
+func (e *mirrorEngine) commitWitness(c *Ctx) {
+	if e.combine {
+		e.mem.P.CombineWitness(&c.pa.FS)
+	}
+}
+
 func (e *mirrorEngine) FetchAdd(c *Ctx, ref Ref, field int, delta uint64) uint64 {
 	return e.mem.FetchAdd(&c.pa, e.cellAddr(ref, field), delta)
 }
 
 func (e *mirrorEngine) MakePersistent(c *Ctx, ref Ref, fields int) {}
+
+// Drain commits everything this context has deferred: the relaxed-line
+// registry first (which under combining already holds every buffered
+// line), then the combine buffer, whose drain then mostly elides and
+// advances the drained-ticket watermark.
+func (e *mirrorEngine) Drain(c *Ctx) {
+	e.mem.P.CommitRelaxed(&c.pa.FS)
+	if e.combine {
+		e.mem.P.CombineDrain(&c.pa.FS, pmem.DrainExplicit)
+	}
+}
 
 func (e *mirrorEngine) RootRef() Ref { return rootBase }
 
@@ -225,10 +294,23 @@ func (e *mirrorEngine) DetectBegin(c *Ctx, client int, seq, kind, key, val uint6
 }
 
 func (e *mirrorEngine) Linearized(c *Ctx, result bool) {
+	if e.combine && e.desc != nil && c.det.armed && !c.det.delivered {
+		// The verdict must never be durable before the install it
+		// testifies to — including the buffered installs of this
+		// thread's *earlier* operations, whose committed verdict chain
+		// (slot moved past seq implies committed) the Detect protocol
+		// leans on. Drain before publishing.
+		e.mem.P.CombineDrain(&c.pa.FS, pmem.DrainDetect)
+	}
 	detectLinearized(e.desc, c, &c.pa.FS, result)
 }
 
 func (e *mirrorEngine) DetectEnd(c *Ctx, result bool) {
+	if e.combine && e.desc != nil && c.det.armed && !c.det.delivered {
+		// Same pre-verdict obligation for operations whose verdict
+		// publishes here (no Linearized hook fired).
+		e.mem.P.CombineDrain(&c.pa.FS, pmem.DrainDetect)
+	}
 	detectEnd(e.desc, c, &c.pa.FS, result)
 }
 
@@ -269,6 +351,9 @@ func (e *mirrorEngine) Stats() Stats {
 		Helps: h, Retries: r,
 		ElidedFlushes: ef, ElidedFences: en,
 		PiggybackedFences: pb, RelaxedCAS: rx,
+	}
+	if e.combine {
+		s.CombinedFences, s.DrainCauses = e.mem.P.CombineCounters()
 	}
 	if e.desc != nil {
 		s.DetectAnnounces, s.DetectVerdicts = e.desc.Counters()

@@ -91,6 +91,14 @@ type Spec struct {
 	// linearize.CheckDurable is a violation like any other: shrinkable and
 	// replayable.
 	Detect bool
+	// Combine enables cross-operation fence combining (engine
+	// Config.Combine). The run then checks *buffered* durable
+	// linearizability: each worker records its combine-buffer commit
+	// ticket per operation, and a completed op whose ticket is above the
+	// worker's drained watermark at the crash may legally vanish
+	// (linearize.CheckDurableBuffered). Ops at or below the watermark were
+	// fenced and must survive — a drain that loses one is a violation.
+	Combine bool
 	// NewEngine overrides engine construction (test hook for deliberately
 	// broken engines). nil means engine.New.
 	NewEngine func(engine.Config) engine.Engine
@@ -102,6 +110,9 @@ func (s Spec) String() string {
 		s.Structure, s.Kind, s.Faults, s.Seed, s.Schedule)
 	if s.Detect {
 		str += " -detect"
+	}
+	if s.Combine {
+		str += " -combine"
 	}
 	return str
 }
@@ -278,7 +289,7 @@ func Run(spec Spec) *Result {
 	if spec.Detect {
 		clients = spec.Schedule.Workers
 	}
-	e := newEngine(engine.Config{Kind: spec.Kind, Words: words, Track: true, Clients: clients})
+	e := newEngine(engine.Config{Kind: spec.Kind, Words: words, Track: true, Clients: clients, Combine: spec.Combine})
 	fm := pmem.NewFaultModel(spec.Seed, spec.Faults)
 	devs := e.PersistentDevices()
 	for _, d := range devs {
@@ -296,6 +307,7 @@ func Run(spec Spec) *Result {
 
 	hist := linearize.NewHistory()
 	dets := make([]*detectableSet, spec.Schedule.Workers)
+	wctxs := make([]*engine.Ctx, spec.Schedule.Workers)
 	if built {
 		var wg sync.WaitGroup
 		for w := 0; w < spec.Schedule.Workers; w++ {
@@ -304,12 +316,22 @@ func Run(spec Spec) *Result {
 				defer wg.Done()
 				guard(func() {
 					c := e.NewCtx()
+					wctxs[w] = c
 					rset := set
 					if spec.Detect {
 						dets[w] = &detectableSet{Set: set, e: e, client: w}
 						rset = dets[w]
 					}
 					rec := hist.Record(rset, w)
+					if spec.Combine {
+						// Stamp each op with the worker's combine-buffer
+						// commit ticket so the post-crash check knows which
+						// completed ops were still unfenced.
+						rec.TicketFn = func() uint64 {
+							last, _ := engine.CombineTickets(c)
+							return last
+						}
+					}
 					rng := rand.New(rand.NewSource(spec.Seed*1000 + int64(w)))
 					for i := 0; i < spec.Schedule.OpsPer; i++ {
 						key := uint64(1 + rng.Intn(spec.Schedule.Keys))
@@ -339,6 +361,24 @@ func Run(spec Spec) *Result {
 	fm.CrashAfter(0)
 	for _, d := range devs {
 		res.MediaHash = res.MediaHash*fnvPrime ^ d.MediaHash()
+	}
+
+	// Snapshot each worker's drained watermark as of the crash: completed
+	// ops ticketed above it were linearized but possibly never fenced, so
+	// the buffered checker lets them vanish. The per-context tickets are
+	// plain Go state and survive the simulated power cut — which is the
+	// point: they are the *recording's* knowledge, not the media's.
+	var mayVanish func(linearize.Op) bool
+	if spec.Combine {
+		drained := make([]uint64, spec.Schedule.Workers)
+		for w, wc := range wctxs {
+			if wc != nil {
+				_, drained[w] = engine.CombineTickets(wc)
+			}
+		}
+		mayVanish = func(op linearize.Op) bool {
+			return op.Thread < len(drained) && op.Ticket > drained[op.Thread]
+		}
 	}
 
 	// Recovery must neither panic nor leave a broken structure behind.
@@ -430,8 +470,9 @@ func Run(spec Spec) *Result {
 		return final
 	}
 	final := scan()
-	// Durable linearizability of the recorded history against that state.
-	if err := linearize.CheckDurable(hist, nil, final); err != nil {
+	// Durable linearizability of the recorded history against that state
+	// (buffered variant when combining: unfenced completed ops may vanish).
+	if err := linearize.CheckDurableBuffered(hist, nil, final, mayVanish); err != nil {
 		res.addf("%v (completed=%d pending=%d state=%v)", err, len(hist.Ops), len(hist.Pending), final)
 	}
 
@@ -486,7 +527,7 @@ func Run(spec Spec) *Result {
 					}
 				})
 			final = scan()
-			if err := linearize.CheckDurable(hist, nil, final); err != nil {
+			if err := linearize.CheckDurableBuffered(hist, nil, final, mayVanish); err != nil {
 				res.addf("post-replay %v (completed=%d pending=%d state=%v)", err, len(hist.Ops), len(hist.Pending), final)
 			}
 		}

@@ -34,6 +34,12 @@ type Options struct {
 	// ablation switch for the detectability layer. Off by default, so the
 	// standard matrix is unchanged.
 	Detect bool
+	// Combine enables cross-operation fence combining on the Mirror engines
+	// (per-thread write buffers draining one fence for a batch of linearized
+	// installs). The non-durable and competitor engines ignore it. Off by
+	// default; the JSON matrix measures it through dedicated same-session
+	// ablation panels so the standard matrix stays comparable across reports.
+	Combine bool
 }
 
 func (o *Options) setDefaults() {

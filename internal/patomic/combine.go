@@ -1,0 +1,104 @@
+package patomic
+
+// Combining variants of the Figure 4 protocol (pmem/combine.go). The
+// own-install flush+fence of CompareAndSwap is the last per-operation
+// fence the elision layer cannot remove: it guards a linearization
+// point. CompareAndSwapCombined defers exactly that fence to the
+// thread's combine buffer; every other arm of the protocol — the help
+// path, the failed-install persist, the torn-view retry — keeps the full
+// discipline, because those arms make *other* threads' installs durable
+// and a helper must never publish an install it has merely buffered.
+//
+// The deferral inverts the transform's visible-implies-durable
+// invariant for the buffered cell, so the read side grows a probe:
+// LoadCombined (and the failure witness of CompareAndSwapCombined)
+// consult the device's combine-pending tags and force a foreign buffered
+// install durable before returning a value that depends on it. An
+// operation that completes on the strength of its *own* buffered install
+// instead inherits its thread's undrained ticket and may vanish with it
+// at a crash — the contract the buffered durable-linearizability checker
+// enforces.
+
+import "mirror/internal/pmem"
+
+// CompareAndSwapCombined is CompareAndSwap with the own-install
+// flush+fence deferred to the thread's combine buffer. On a
+// non-combining device it degrades to CompareAndSwap exactly.
+func (m *Mem) CompareAndSwapCombined(ctx *Ctx, off uint64, expected, newVal uint64) (bool, uint64) {
+	if !m.P.Combines() {
+		return m.CompareAndSwap(ctx, off, expected, newVal)
+	}
+	for {
+		pv, ps := m.P.LoadPair(off)
+		vv, vs := m.V.LoadPair(off)
+
+		if ps == vs+1 {
+			// Help path: full discipline, as in CompareAndSwap.
+			m.ensureDurable(ctx, off, m.P.PersistEpoch())
+			m.V.DWCAS(off, vv, vs, pv, ps)
+			m.noteHelp(ctx)
+			continue
+		}
+		if ps != vs {
+			m.noteRetry(ctx)
+			continue
+		}
+		if pv != expected {
+			// Fail without writing. The witness pv may be another
+			// thread's buffered install: an operation about to complete
+			// because of it (a failed insert observing its key present)
+			// must outlive it, so force it durable first.
+			m.P.CombineProbe(&ctx.FS, off)
+			return false, pv
+		}
+
+		ok, curV, curS := m.P.DWCAS(off, pv, ps, newVal, ps+1)
+		if ok {
+			// Buffer before the mirror: the registration must be
+			// ordered before any thread can observe the install in
+			// rep_v (same ordering contract as CompareAndSwapRelaxed).
+			drain := m.P.CombineAdd(&ctx.FS, off)
+			m.V.DWCAS(off, pv, ps, newVal, ps+1)
+			if drain {
+				m.P.CombineDrain(&ctx.FS, pmem.DrainCapacity)
+			}
+			return true, pv
+		}
+		// Failed install: persist the competing write before touching
+		// rep_v, as in the full protocol.
+		m.ensureDurable(ctx, off, m.P.PersistEpoch())
+		if curV == expected {
+			m.noteRetry(ctx)
+			continue
+		}
+		m.V.DWCAS(off, vv, vs, curV, curS)
+		return false, curV
+	}
+}
+
+// LoadCombined is Load plus the read-side conflict probe: when the value
+// just read is (or shares a line with) another thread's buffered
+// install, the probe commits the line before returning, so the caller's
+// operation never completes durably on top of a value that could still
+// vanish. The probe runs after the read — probing first would race a
+// concurrent buffering and miss it.
+func (m *Mem) LoadCombined(ctx *Ctx, off uint64) uint64 {
+	v := m.V.Load(off)
+	m.P.CombineProbe(&ctx.FS, off)
+	return v
+}
+
+// LoadAdopted is Load plus the *adopting* conflict resolution, for
+// traversal loads inside update operations: a crossed foreign buffered
+// install is enrolled into the caller's own combine buffer instead of
+// being fenced on the spot, so the walker's eventual drain commits its
+// whole witnessed path under one fence. The caller's operation then
+// either carries its own undrained ticket (and may vanish with the
+// adopted dependencies — reachability keeps the crash state consistent)
+// or must commit the witness before returning a verdict
+// (pmem.CombineWitness). Plain reads must use LoadCombined.
+func (m *Mem) LoadAdopted(ctx *Ctx, off uint64) uint64 {
+	v := m.V.Load(off)
+	m.P.CombineAdoptRead(&ctx.FS, off)
+	return v
+}

@@ -238,10 +238,48 @@ func (m *Mem) ensureDurable(ctx *Ctx, off, tag uint64) {
 // linearization point (mark, level-0 link, bst flag) must use the full
 // CompareAndSwap. Help and failure paths keep the full discipline. On a
 // non-eliding device it degrades to CompareAndSwap exactly.
+//
+// Exposure rule (combining): a relaxed write is a shortcut other threads
+// follow without loading the line it bypasses — a snip hides a marked
+// node's line, an upper-level link reaches a node without its level-0
+// install line, a bst promotion reroutes around a flagged edge. If the
+// writer's own combine buffer holds the linearization the shortcut
+// bypasses, a reader can complete — and fence — an operation whose
+// result depends on an install that may still vanish, and the conflict
+// probe never fires because the bypassed line is never loaded. So a
+// relaxed CAS drains the writer's own buffer before its install becomes
+// visible (DrainExpose). Callers that know the shortcut exposes nothing
+// of their own avoid the fence by checking CombineQuiet first, or — when
+// they can name the single bypassed line — by using
+// CompareAndSwapRelaxedExposeSafe with a CombineOwns check.
 func (m *Mem) CompareAndSwapRelaxed(ctx *Ctx, off uint64, expected, newVal uint64) (bool, uint64) {
 	if !m.P.Elides() {
 		return m.CompareAndSwap(ctx, off, expected, newVal)
 	}
+	if !ctx.FS.CombineQuiet() {
+		m.P.CombineDrain(&ctx.FS, pmem.DrainExpose)
+	}
+	return m.casRelaxed(ctx, off, expected, newVal)
+}
+
+// CompareAndSwapRelaxedExposeSafe is CompareAndSwapRelaxed minus the
+// exposure drain. The caller asserts the shortcut discharges the
+// exposure rule by construction: every linearization it makes reachable
+// without its line was loaded by this thread through the combined read
+// path — whose conflict probe committed it durable — and none sits on a
+// line this thread's own buffer still holds (the probe skips own lines,
+// so own lines must be checked with FlushSet.CombineOwns). The list's
+// snip of a foreign-marked node is the canonical caller: the snip
+// bypasses exactly one line, the snipped node's, and the mark on it was
+// probed durable by the snipping thread's own traversal load.
+func (m *Mem) CompareAndSwapRelaxedExposeSafe(ctx *Ctx, off uint64, expected, newVal uint64) (bool, uint64) {
+	if !m.P.Elides() {
+		return m.CompareAndSwap(ctx, off, expected, newVal)
+	}
+	return m.casRelaxed(ctx, off, expected, newVal)
+}
+
+func (m *Mem) casRelaxed(ctx *Ctx, off uint64, expected, newVal uint64) (bool, uint64) {
 	for {
 		pv, ps := m.P.LoadPair(off)
 		vv, vs := m.V.LoadPair(off)

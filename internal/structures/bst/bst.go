@@ -70,6 +70,7 @@ func NewAt(e engine.Engine, c *engine.Ctx, rootField int) *BST {
 		b.r = r
 		b.s = addr(e.Load(c, r, fLeft))
 		b.repairExcisions(c)
+		b.repairDeleteFlags(c)
 		return b
 	}
 	newLeaf := func(key uint64) engine.Ref {
@@ -154,6 +155,66 @@ func (b *BST) repairExcisions(c *engine.Ctx) {
 		}
 		walk(b.r, fLeft, b.s)
 		if !excised {
+			return
+		}
+	}
+}
+
+// repairDeleteFlags scrubs stray deletion bookkeeping bits from a
+// recovered image; it runs after repairExcisions' fixpoint, so every
+// reachable flagged edge has already been excised and every surviving tag
+// is by definition orphaned. An orphaned tag is not benign: a tagged edge
+// with an un-flagged sibling permanently freezes that edge (inserts and
+// deletes spin in cleanup looking for a flag that does not exist), and a
+// cleanup that guesses wrong would promote over a live leaf — data loss.
+//
+// Under the simulator's line-snapshot fault model this state is actually
+// unreachable — the flag is written before the tag on the same node's
+// cache line, and a line's crash fate is always some point-in-time
+// snapshot, so any surviving tag implies its justifying flag (see
+// DESIGN.md, "Relaxed BST delete flags"). The pass exists because the
+// combining mode's correctness argument should not lean on line-snapshot
+// atomicity: on word-granular hardware the relaxed tag CAS can reach
+// media while the buffered flag CAS vanishes, and this scrub is what
+// keeps the relaxation sound there. Defensively it also re-runs the
+// excision fixpoint if a flagged edge does survive alongside a tag.
+// Recovery is single-threaded, so plain full CASes suffice; idempotent
+// and crash-safe (a crash mid-scrub leaves fewer tags for the next one).
+func (b *BST) repairDeleteFlags(c *engine.Ctx) {
+	e := b.e
+	var cleared bool
+	var walk func(n engine.Ref)
+	walk = func(n engine.Ref) {
+		if n == 0 {
+			return
+		}
+		le := e.TraversalLoad(c, n, fLeft)
+		re := e.TraversalLoad(c, n, fRight)
+		if addr(le) == 0 && addr(re) == 0 {
+			return // leaf
+		}
+		if flagged(le) || flagged(re) {
+			// A flagged edge survived repairExcisions — only possible if
+			// the scrub itself re-exposed one; finish its excision first.
+			b.repairExcisions(c)
+			cleared = true
+			return
+		}
+		if tagged(le) {
+			e.CAS(c, n, fLeft, le, le&^tagBit)
+			cleared = true
+		}
+		if tagged(re) {
+			e.CAS(c, n, fRight, re, re&^tagBit)
+			cleared = true
+		}
+		walk(addr(le))
+		walk(addr(re))
+	}
+	for {
+		cleared = false
+		walk(b.r)
+		if !cleared {
 			return
 		}
 	}
@@ -305,9 +366,14 @@ func (b *BST) Delete(c *engine.Ctx, key uint64) bool {
 			}
 			e.MakePersistent(c, rec.parent, NodeFields)
 			e.MakePersistent(c, rec.leaf, NodeFields)
+			// The injection flag is the linearization point. Under a
+			// combining engine this CAS is the relaxed delete-flag path:
+			// its fence is deferred into the thread's combine buffer, so
+			// the completed delete may vanish wholesale at a crash until
+			// the buffer drains; repairDeleteFlags scrubs any deletion
+			// bookkeeping a crash strands without its flag.
 			if e.CAS(c, rec.parent, cf, rec.leaf, rec.leaf|flagBit) {
-				// The injection flag is the linearization point; cleanup
-				// below is physical excision only.
+				// Cleanup below is physical excision only.
 				e.Linearized(c, true)
 				doomed = rec.leaf
 				injecting = false

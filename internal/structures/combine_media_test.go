@@ -1,0 +1,139 @@
+package structures_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mirror/internal/engine"
+	"mirror/internal/pmem"
+	"mirror/internal/structures"
+)
+
+const combineEquivKeys = 48
+
+func driveOps(set structures.Set, c *engine.Ctx, seed int64, ops, keys int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < ops; i++ {
+		key := uint64(1 + rng.Intn(keys))
+		switch rng.Intn(4) {
+		case 0, 1:
+			set.Insert(c, key, key)
+		case 2:
+			set.Delete(c, key)
+		default:
+			set.Contains(c, key)
+		}
+	}
+}
+
+// TestCombineMediaEquivalence pins that fence combining changes *when*
+// installs become durable, never *what* the recovered structure holds.
+//
+// For the skiplist and bst the pin is exact: every combining deferral
+// there is a drain inserted *before* an unchanged write sequence (the
+// CASRelaxed exposure drain adds fences, not writes), so a quiesced
+// combining run leaves a bit-identical persistent image to the eager run.
+//
+// The list (and the hashtable built from it) is looser by design: its
+// exposure rule defers physical snips and unlinks to quiet moments and
+// folds marked-run excision into later inserts, so the combining image
+// legitimately carries marked-but-still-linked nodes the eager image has
+// already unlinked. There the pinned property is logical: after a full
+// drain, crash, and recovery, both images rebuild the exact same key and
+// value set. A divergence would mean a buffered install was lost or
+// reordered into a different committed value — the class of bug the
+// combining layer must not introduce.
+func TestCombineMediaEquivalence(t *testing.T) {
+	bitIdentical := map[string]bool{"skiplist": true, "bst": true}
+	for name, build := range builders() {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			type image struct {
+				hash  uint64
+				state map[uint64]uint64
+			}
+			run := func(combine bool) image {
+				e := engine.New(engine.Config{
+					Kind: engine.MirrorDRAM, Words: 1 << 18, Track: true, Combine: combine,
+				})
+				c := e.NewCtx()
+				set := build(e, c)
+				driveOps(set, c, 42, 300, combineEquivKeys)
+				e.Drain(c)
+				hash := e.PersistentDevices()[0].MediaHash()
+				e.Freeze()
+				e.Crash(pmem.CrashDropAll, nil)
+				e.Recover(set.Tracer())
+				c2 := e.NewCtx()
+				set = build(e, c2)
+				state := make(map[uint64]uint64)
+				for k := uint64(1); k <= combineEquivKeys; k++ {
+					if v, ok := set.Get(c2, k); ok {
+						state[k] = v
+					}
+				}
+				return image{hash, state}
+			}
+			with, without := run(true), run(false)
+			if bitIdentical[name] && with.hash != without.hash {
+				t.Fatalf("media images diverge: combine=%#x nocombine=%#x", with.hash, without.hash)
+			}
+			if len(with.state) != len(without.state) {
+				t.Fatalf("recovered sizes diverge: combine=%d nocombine=%d",
+					len(with.state), len(without.state))
+			}
+			for k, v := range without.state {
+				if got, ok := with.state[k]; !ok || got != v {
+					t.Fatalf("recovered state diverges at key %d: combine=(%d,%v) nocombine=%d",
+						k, got, ok, v)
+				}
+			}
+		})
+	}
+}
+
+// TestCombineMediaEquivalenceNVMM repeats the recovered-state equivalence
+// on the NVMM-backed Mirror engine for the list, covering the second
+// persistent device configuration.
+func TestCombineMediaEquivalenceNVMM(t *testing.T) {
+	build := builders()["list"]
+	run := func(combine bool) map[uint64]uint64 {
+		e := engine.New(engine.Config{
+			Kind: engine.MirrorNVMM, Words: 1 << 18, Track: true, Combine: combine,
+		})
+		c := e.NewCtx()
+		set := build(e, c)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 200; i++ {
+			key := uint64(1 + rng.Intn(24))
+			if rng.Intn(3) == 0 {
+				set.Delete(c, key)
+			} else {
+				set.Insert(c, key, key)
+			}
+		}
+		e.Drain(c)
+		e.Freeze()
+		e.Crash(pmem.CrashDropAll, nil)
+		e.Recover(set.Tracer())
+		c2 := e.NewCtx()
+		set = build(e, c2)
+		state := make(map[uint64]uint64)
+		for k := uint64(1); k <= 24; k++ {
+			if v, ok := set.Get(c2, k); ok {
+				state[k] = v
+			}
+		}
+		return state
+	}
+	with, without := run(true), run(false)
+	if len(with) != len(without) {
+		t.Fatalf("recovered sizes diverge: combine=%d nocombine=%d", len(with), len(without))
+	}
+	for k, v := range without {
+		if got, ok := with[k]; !ok || got != v {
+			t.Fatalf("recovered state diverges at key %d: combine=(%d,%v) nocombine=%d", k, got, ok, v)
+		}
+	}
+}

@@ -58,7 +58,7 @@ func NewAt(e engine.Engine, c *engine.Ctx, rootField int) *SkipList {
 	defer e.OpEnd(c)
 	if h := e.Load(c, e.RootRef(), rootField); h != 0 {
 		s.head = h
-		s.repairMarks(c)
+		s.repairLevels(c)
 		return s
 	}
 	s.head = e.Alloc(c, fNext+MaxLevel)
@@ -76,36 +76,64 @@ func NewAt(e engine.Engine, c *engine.Ctx, rootField int) *SkipList {
 // Name implements structures.Set.
 func (s *SkipList) Name() string { return "skiplist" }
 
-// repairMarks restores the top-down mark invariant on a recovered image.
-// Delete marks a node's accelerator levels with relaxed persistence (only
-// the level-0 mark — the linearization point — is fenced), so a crash can
-// surface a node durably marked at level 0 but unmarked above: a state
-// unreachable in crash-free execution, which search answers with a retry
-// that, with no live deleter to wait for, never terminates. Walking every
-// level of the quiesced image and re-marking the accelerator levels of
-// each level-0-marked node (with fully persisted CASes — this is recovery,
-// not the hot path) restores the invariant; subsequent searches then snip
-// the zombies out normally. Idempotent, and crash-safe: a crash mid-repair
-// just leaves a subset of the marks for the next repair.
-func (s *SkipList) repairMarks(c *engine.Ctx) {
+// repairLevels restores the accelerator-level invariants on a recovered
+// image. Two relaxations admit post-crash states crash-free execution
+// never produces:
+//
+//   - Delete marks the accelerator levels with relaxed persistence (only
+//     the level-0 mark — the linearization point — is fenced), so a crash
+//     can surface a node durably marked at level 0 but unmarked above; a
+//     searcher descending through it would retry forever waiting for a
+//     dead deleter to finish.
+//   - Under fence combining the level-0 *link* of an insert is buffered
+//     too, while the accelerator links persist lazily through the
+//     relaxed-line registry: a crash can persist an upper-level link to a
+//     node whose linearizing level-0 install vanished. The orphan is
+//     absent from level 0 (the insert legally vanished) yet reachable
+//     above it, and its own next pointers may reference memory the
+//     recovery allocator already reclaimed — a search descending through
+//     it walks into space a later Alloc can hand back, after which links
+//     can turn self-referential and the marked-run snip loop never exits.
+//
+// Presence is decided solely at level 0, so the pass rebuilds every
+// accelerator level from the level-0 chain: level i links exactly the
+// unmarked level-0 nodes of height > i, in level-0 order, and nothing
+// else. Orphans and level-0-marked zombies drop out of the accelerator
+// levels entirely (searches snip zombies out of level 0 as usual), and a
+// stray upper-level mark on a present node — the footprint of a delete
+// whose linearization vanished — is overwritten with the rebuilt link.
+// Idempotent and crash-safe: level 0 is never written, so a crash
+// mid-repair leaves an image the next repair rebuilds from the same
+// truth. Full CASes — this is recovery, not the hot path.
+func (s *SkipList) repairLevels(c *engine.Ctx) {
 	e := s.e
+	type entry struct {
+		ref engine.Ref
+		top int
+	}
+	var chain []entry
 	seen := map[engine.Ref]bool{s.head: true}
-	for i := 0; i < MaxLevel; i++ {
-		curr := structures.Unmark(e.TraversalLoad(c, s.head, fNext+i))
-		for curr != 0 {
-			if !seen[curr] {
-				seen[curr] = true
-				if structures.Marked(e.TraversalLoad(c, curr, fNext)) {
-					top := int(e.TraversalLoad(c, curr, fTop))
-					for j := 1; j < top; j++ {
-						v := e.TraversalLoad(c, curr, fNext+j)
-						if !structures.Marked(v) {
-							e.CAS(c, curr, fNext+j, v, structures.Mark(v))
-						}
-					}
-				}
+	for curr := structures.Unmark(e.TraversalLoad(c, s.head, fNext)); curr != 0 && !seen[curr]; {
+		seen[curr] = true
+		next := e.TraversalLoad(c, curr, fNext)
+		if !structures.Marked(next) {
+			chain = append(chain, entry{curr, int(e.TraversalLoad(c, curr, fTop))})
+		}
+		curr = structures.Unmark(next)
+	}
+	for i := 1; i < MaxLevel; i++ {
+		pred := s.head
+		for _, en := range chain {
+			if en.top <= i {
+				continue
 			}
-			curr = structures.Unmark(e.TraversalLoad(c, curr, fNext+i))
+			if cur := e.TraversalLoad(c, pred, fNext+i); cur != en.ref {
+				e.CAS(c, pred, fNext+i, cur, en.ref)
+			}
+			pred = en.ref
+		}
+		if cur := e.TraversalLoad(c, pred, fNext+i); cur != 0 {
+			e.CAS(c, pred, fNext+i, cur, 0)
 		}
 	}
 }
