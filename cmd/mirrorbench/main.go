@@ -13,6 +13,8 @@
 //	mirrorbench -json BENCH_2.json -recovery   # matrix plus recovery section
 //	mirrorbench -json BENCH_3.json -detect     # detectable-operation overhead ablation
 //	mirrorbench -json BENCH_4.json -combine    # matrix plus fence-combining ablation panels
+//	mirrorbench -json BENCH_5.json -shards 1,2,4 -numa 120  # plus sharded-substrate ablation
+//	mirrorbench -panel fig6d -shards 2 -dist zipfian -skew 0.99  # sharded, skewed panel
 //	mirrorbench -checkjson BENCH_1.json  # re-parse and validate a report
 //
 // Absolute numbers depend on the host; the shape — who wins, by what
@@ -29,6 +31,7 @@ import (
 
 	"mirror/internal/engine"
 	"mirror/internal/harness"
+	"mirror/internal/workload"
 )
 
 // parseEngines maps comma-separated engine display names (as printed in the
@@ -79,6 +82,10 @@ func main() {
 		noElide  = flag.Bool("noelide", false, "disable flush elision / fence coalescing (ablation baseline)")
 		detect   = flag.Bool("detect", false, "route every operation through a detectable bracket (descriptor-overhead ablation)")
 		combine  = flag.Bool("combine", false, "with -json: append the fence-combining ablation panels (update-only list and queue, combine on/off in the same session); with -panel/-all: run the Mirror engines with per-thread write buffers")
+		shardsF  = flag.String("shards", "", "with -json: comma-separated shard counts — append the sharded-substrate ablation panels (hash table under both Mirror engines per count; 1 = single-device baseline); with -panel/-all: run every engine sharded at the single given count")
+		numaNS   = flag.Int("numa", 0, "remote-shard latency penalty in ns for sharded runs (the NUMA preset; 0 = symmetric)")
+		distF    = flag.String("dist", "", "key distribution: uniform (default), zipfian, or hotspot")
+		skew     = flag.Float64("skew", 0, "distribution parameter: zipfian theta (default 0.99) or hotspot access fraction (default 0.9)")
 	)
 	flag.Parse()
 
@@ -125,13 +132,29 @@ func main() {
 		return
 	}
 
+	if *distF != "" {
+		known := false
+		for _, d := range workload.Dists() {
+			if d == *distF {
+				known = true
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "mirrorbench: unknown -dist %q (want one of %s)\n",
+				*distF, strings.Join(workload.Dists(), ", "))
+			os.Exit(2)
+		}
+	}
 	opts := harness.Options{
-		Duration: *duration,
-		Scale:    *scale,
-		Latency:  !*noLat && !*fast,
-		Seed:     *seed,
-		NoElide:  *noElide,
-		Detect:   *detect,
+		Duration:     *duration,
+		Scale:        *scale,
+		Latency:      !*noLat && !*fast,
+		Seed:         *seed,
+		NoElide:      *noElide,
+		Detect:       *detect,
+		NUMARemoteNS: *numaNS,
+		Dist:         *distF,
+		Skew:         *skew,
 	}
 	for _, part := range strings.Split(*threads, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -140,6 +163,10 @@ func main() {
 			os.Exit(2)
 		}
 		opts.Threads = append(opts.Threads, n)
+	}
+	var shardCounts []int
+	if *shardsF != "" {
+		shardCounts = parseInts("shards", *shardsF)
 	}
 
 	if *jsonOut != "" {
@@ -157,6 +184,9 @@ func main() {
 		report := harness.RunBenchMatrix(opts, structs, kinds, opts.Threads)
 		if *combine {
 			harness.AppendCombineAblation(report, opts, opts.Threads)
+		}
+		if len(shardCounts) > 0 {
+			harness.AppendShardAblation(report, opts, shardCounts, opts.Threads)
 		}
 		if *recovery {
 			report.Recovery = harness.RecoveryPoints(
@@ -176,9 +206,17 @@ func main() {
 	}
 
 	// Panel mode: -combine switches the Mirror engines themselves over to
-	// the combining write path. (In -json mode the flag instead appends
-	// dedicated ablation panels, keeping the base matrix comparable.)
+	// the combining write path, and -shards runs every engine-backed
+	// competitor sharded at one count. (In -json mode the flags instead
+	// append dedicated ablation panels, keeping the base matrix comparable.)
 	opts.Combine = *combine
+	if len(shardCounts) > 1 {
+		fmt.Fprintln(os.Stderr, "mirrorbench: panel mode takes a single -shards count (sweeps need -json)")
+		os.Exit(2)
+	}
+	if len(shardCounts) == 1 {
+		opts.Shards = shardCounts[0]
+	}
 
 	fmt.Println(harness.EnvironmentNote())
 	show := func(p harness.Panel) {

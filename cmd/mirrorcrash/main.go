@@ -16,6 +16,7 @@
 //	mirrorcrash -fuzz 50 -structure all -engine all -faults torn,evict,drop
 //	mirrorcrash -fuzz 50 -structure all -engine Mirror -detect
 //	mirrorcrash -fuzz 50 -structure all -engine Mirror -combine
+//	mirrorcrash -fuzz 50 -structure all -engine Mirror -shards 2
 //	mirrorcrash -structure list -engine Mirror -faults torn,drop -seed 7 -schedule w1o5k1c13
 package main
 
@@ -71,6 +72,7 @@ func main() {
 		reproOut  = flag.String("repro-out", "", "write the minimized reproducer to this file on fuzz failure")
 		detect    = flag.Bool("detect", false, "run -fuzz/-schedule with detectable operations: cross-check Detect verdicts against the linearizability checker and replay cut ops through ExactlyOnce")
 		combine   = flag.Bool("combine", false, "run -fuzz/-schedule with cross-operation fence combining: completed ops above the drained combine ticket may legally vanish at the crash")
+		shards    = flag.Int("shards", 1, "device shards: >1 runs every round on a sharded engine with per-shard independent fault injection and shard-concurrent recovery")
 	)
 	flag.Parse()
 
@@ -80,7 +82,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *schedule != "" {
-		os.Exit(replay(*structure, *engName, faults, *seed, *schedule, *detect, *combine))
+		os.Exit(replay(*structure, *engName, faults, *seed, *schedule, *detect, *combine, *shards))
 	}
 
 	var structNames, engNames []string
@@ -106,7 +108,7 @@ func main() {
 	}
 
 	if *fuzzN > 0 {
-		os.Exit(fuzz(structNames, engNames, faults, *seed, *fuzzN, *reproOut, *detect, *combine))
+		os.Exit(fuzz(structNames, engNames, faults, *seed, *fuzzN, *reproOut, *detect, *combine, *shards))
 	}
 	if *detect || *combine {
 		fmt.Fprintln(os.Stderr, "mirrorcrash: -detect/-combine require -fuzz or -schedule")
@@ -125,6 +127,7 @@ func main() {
 					Policy:    policies[r%len(policies)],
 					FreezeLag: time.Duration(rng.Intn(4000)) * time.Microsecond,
 					Seed:      rng.Int63(),
+					Shards:    *shards,
 				})
 				for _, v := range vs {
 					fmt.Printf("VIOLATION %s/%s round %d: key=%d %s (got present=%v, want %s)\n",
@@ -157,13 +160,16 @@ func crashAtFor(seed, total int64) int64 {
 // each with a calibrated mid-flight crash placement. The first failure is
 // shrunk, printed as a re-runnable reproducer, optionally written to
 // reproOut, and fails the process.
-func fuzz(structNames, engNames []string, faults pmem.FaultSpec, baseSeed int64, fuzzN int, reproOut string, detect, combine bool) int {
+func fuzz(structNames, engNames []string, faults pmem.FaultSpec, baseSeed int64, fuzzN int, reproOut string, detect, combine bool, shards int) int {
 	mode := ""
 	if detect {
 		mode = ", detectable operations"
 	}
 	if combine {
 		mode += ", fence combining"
+	}
+	if shards > 1 {
+		mode += fmt.Sprintf(", %d shards", shards)
 	}
 	fmt.Printf("fault-fuzz: faults=%s base seed %d, %d runs per combination%s\n", faults, baseSeed, fuzzN, mode)
 	for _, sn := range structNames {
@@ -179,6 +185,7 @@ func fuzz(structNames, engNames []string, faults pmem.FaultSpec, baseSeed int64,
 					Schedule:  faultfuzz.Schedule{Workers: 2, OpsPer: 8, Keys: 6},
 					Detect:    detect,
 					Combine:   combine,
+					Shards:    shards,
 				}
 				spec.Schedule.CrashAt = crashAtFor(spec.Seed, faultfuzz.Calibrate(spec))
 				res := faultfuzz.Run(spec)
@@ -214,7 +221,7 @@ func fuzz(structNames, engNames []string, faults pmem.FaultSpec, baseSeed int64,
 
 // replay re-runs one (seed, schedule) reproducer and reports the media
 // fingerprint, so a failure can be confirmed bit for bit.
-func replay(structure, engName string, faults pmem.FaultSpec, seed int64, scheduleStr string, detect, combine bool) int {
+func replay(structure, engName string, faults pmem.FaultSpec, seed int64, scheduleStr string, detect, combine bool, shards int) int {
 	kind, ok := engines[engName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "mirrorcrash: -schedule needs a single engine, got %q\n", engName)
@@ -225,7 +232,7 @@ func replay(structure, engName string, faults pmem.FaultSpec, seed int64, schedu
 		fmt.Fprintf(os.Stderr, "mirrorcrash: %v\n", err)
 		return 2
 	}
-	spec := faultfuzz.Spec{Structure: structure, Kind: kind, Faults: faults, Seed: seed, Schedule: sched, Detect: detect, Combine: combine}
+	spec := faultfuzz.Spec{Structure: structure, Kind: kind, Faults: faults, Seed: seed, Schedule: sched, Detect: detect, Combine: combine, Shards: shards}
 	res := faultfuzz.Run(spec)
 	fmt.Printf("replay %v\n  crashed at op %d of %d, media hash %#x\n",
 		spec, res.CrashedAt, res.OpsTotal, res.MediaHash)

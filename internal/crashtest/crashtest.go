@@ -36,6 +36,9 @@ type Config struct {
 	Policy    pmem.CrashPolicy
 	Seed      int64
 	Words     int // engine device capacity
+	// Shards > 1 runs the round on a sharded engine, the structure routed
+	// through structures.Sharded and recovery shard-concurrent.
+	Shards int
 }
 
 func (c *Config) setDefaults() {
@@ -75,9 +78,15 @@ func Run(kind engine.Kind, build Builder, cfg Config) []Violation {
 		panic("crashtest: engine kind is not durable")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	e := engine.New(engine.Config{Kind: kind, Words: cfg.Words, Track: true})
-	setup := e.NewCtx()
-	set := build(e, setup)
+	e := engine.New(engine.Config{Kind: kind, Words: cfg.Words, Track: true, Shards: cfg.Shards})
+	se, sharded := e.(*engine.Sharded)
+	attach := func(c *engine.Ctx) structures.Set {
+		if sharded {
+			return structures.NewSharded(se, c, build)
+		}
+		return build(e, c)
+	}
+	set := attach(e.NewCtx())
 
 	logs := make([]workerLog, cfg.Workers)
 	var wg sync.WaitGroup
@@ -144,11 +153,15 @@ func Run(kind engine.Kind, build Builder, cfg Config) []Violation {
 	rwg.Wait()
 
 	e.Crash(cfg.Policy, rng)
-	e.Recover(set.Tracer())
+	if sharded {
+		set.(*structures.Sharded).Recover(engine.RecoverOptions{})
+	} else {
+		e.Recover(set.Tracer())
+	}
 
 	// Re-attach and verify.
 	c := e.NewCtx()
-	set = build(e, c)
+	set = attach(c)
 	var violations []Violation
 	for w := 0; w < cfg.Workers; w++ {
 		lg := &logs[w]

@@ -101,6 +101,23 @@ type Ctx struct {
 
 	// det is the armed detectable-operation state (see detect.go).
 	det descState
+
+	// sub holds the per-shard contexts of a sharded engine's context (one
+	// per shard, in shard order); nil on unsharded engines. A FlushSet
+	// binds to exactly one device, so a thread on an N-shard engine needs
+	// N real contexts — the parent is a router over them. home is the
+	// thread's home shard for the NUMA latency preset.
+	sub  []*Ctx
+	home int
+}
+
+// Sub returns the per-shard context for shard i. Valid only on contexts
+// created by a sharded engine's NewCtx.
+func (c *Ctx) Sub(i int) *Ctx {
+	if c.sub == nil {
+		panic("engine: Sub on an unsharded context")
+	}
+	return c.sub[i]
 }
 
 // deferInitLine records a line dirtied by StoreInit for the next Publish;
@@ -340,6 +357,19 @@ type Config struct {
 	// disciplines fence reads or order writes and have no combinable
 	// post-linearization fence.
 	Combine bool
+	// Shards splits the engine across that many independent device
+	// shards, each a full sub-engine (own devices, allocator, descriptor
+	// region, recovery) with the keyspace hash-partitioned across them
+	// (pmem.ShardOf). Values below 2 leave the engine unsharded; New
+	// returns a *Sharded otherwise. Words then sizes each shard's
+	// devices, and Clients descriptor slots are reserved per shard (a
+	// client's slot lives on its home shard, client mod Shards).
+	Shards int
+	// NUMARemoteNS, on a sharded engine, charges the NUMA latency
+	// preset's remote-socket penalty (pmem.NUMAModel) for every
+	// operation routed off the calling thread's home shard. Zero
+	// disables the penalty.
+	NUMARemoteNS int
 }
 
 func (c *Config) setDefaults() {
@@ -455,9 +485,13 @@ func CommitWitness(e Engine, c *Ctx) {
 	}
 }
 
-// New creates an engine.
+// New creates an engine. With Config.Shards > 1 the engine is a
+// *Sharded spanning that many device shards; see sharded.go.
 func New(cfg Config) Engine {
 	cfg.setDefaults()
+	if cfg.Shards > 1 {
+		return NewSharded(cfg)
+	}
 	switch cfg.Kind {
 	case OrigDRAM, OrigNVMM, Izraelevitz, NVTraverse:
 		return newDirect(cfg)

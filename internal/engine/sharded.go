@@ -1,0 +1,365 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"mirror/internal/pmem"
+	"mirror/internal/recovery"
+)
+
+// Sharded spans N independent device shards, each a complete sub-engine of
+// the configured kind: its own devices, allocator, reclaimer, descriptor
+// slots, elision watermarks, and combine buffers. The keyspace is
+// hash-partitioned across the shards (pmem.ShardOf), and every property the
+// single-device engines establish — durable-before-visible installs, the
+// pre-free drain gate, descriptor soundness — holds per shard because each
+// shard *is* a single-device engine. The parent is a router: it owns no
+// device and no refs, so the ref-based Engine methods panic here and
+// callers route by key to a shard sub-engine instead (Route/Sub). The
+// structures.Sharded wrapper does exactly that.
+//
+// Per-shard allocators fall out of the composition: each sub-engine owns
+// its allocator, so PreFree drain gating is shard-local — a drain batch on
+// shard i commits only shard i's relaxed lines and combine buffer, never
+// stalling on another shard's device.
+type Sharded struct {
+	kind    Kind
+	shards  int
+	clients int // total logical clients across all shards
+	subs    []Engine
+	numa    *pmem.NUMA // nil without the NUMA latency preset
+
+	// nextHome deals NewCtx home shards round-robin, so a balanced thread
+	// set spreads its homes across the shard set (the NUMA preset's
+	// per-socket thread pinning).
+	nextHome atomic.Int64
+}
+
+// NewSharded builds a sharded engine with cfg.Shards sub-engines (at least
+// one). Config.Words sizes each shard's devices; Config.Clients descriptor
+// slots are dealt across the shards — client c's slot lives on shard
+// c mod Shards, at per-shard slot c div Shards.
+func NewSharded(cfg Config) *Sharded {
+	cfg.setDefaults()
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	e := &Sharded{kind: cfg.Kind, shards: n, clients: cfg.Clients}
+	if cfg.NUMARemoteNS > 0 {
+		e.numa = pmem.NUMAModel(cfg.NUMARemoteNS)
+	}
+	sub := cfg
+	sub.Shards = 0
+	sub.NUMARemoteNS = 0
+	if cfg.Clients > 0 {
+		// Every shard reserves the worst-case slot count, so the layout is
+		// identical across shards and independent of which clients run.
+		sub.Clients = (cfg.Clients + n - 1) / n
+	}
+	e.subs = make([]Engine, n)
+	for i := range e.subs {
+		e.subs[i] = New(sub)
+	}
+	return e
+}
+
+// Shards returns the shard count.
+func (e *Sharded) Shards() int { return e.shards }
+
+// Sub returns shard i's sub-engine.
+func (e *Sharded) Sub(i int) Engine { return e.subs[i] }
+
+// Map returns the engine's keyspace partition.
+func (e *Sharded) Map() pmem.ShardMap { return pmem.ShardMap{Shards: e.shards} }
+
+// Route returns the home shard of key and the per-shard context to operate
+// with, charging the NUMA preset's remote-socket penalty when the key
+// routes off the calling thread's home shard.
+func (e *Sharded) Route(c *Ctx, key uint64) (int, *Ctx) {
+	s := pmem.ShardOf(key, e.shards)
+	if s != c.home && e.numa != nil {
+		e.numa.Penalize()
+	}
+	return s, c.sub[s]
+}
+
+// Kind identifies the implementation (the sub-engines' kind).
+func (e *Sharded) Kind() Kind { return e.kind }
+
+// NewCtx creates a router context holding one real per-shard context per
+// sub-engine (a FlushSet binds to exactly one device, so each shard needs
+// its own). Home shards are dealt round-robin.
+func (e *Sharded) NewCtx() *Ctx {
+	c := &Ctx{
+		sub:  make([]*Ctx, e.shards),
+		home: int(e.nextHome.Add(1)-1) % e.shards,
+	}
+	for i, s := range e.subs {
+		c.sub[i] = s.NewCtx()
+	}
+	return c
+}
+
+// refPanic reports a ref-based call on the router. Refs are word offsets on
+// one shard's devices; the parent cannot interpret them.
+func refPanic(op string) {
+	panic(fmt.Sprintf("engine: %s on a sharded engine — route by key to a shard sub-engine (Route/Sub)", op))
+}
+
+// OpBegin is a no-op on the router: operations bracket on the shard they
+// route to (the sub-structures call the sub-engine's OpBegin/OpEnd with the
+// routed context).
+func (e *Sharded) OpBegin(c *Ctx) {}
+
+// OpEnd is a no-op on the router; see OpBegin.
+func (e *Sharded) OpEnd(c *Ctx) {}
+
+func (e *Sharded) Alloc(c *Ctx, fields int) Ref {
+	refPanic("Alloc")
+	return 0
+}
+
+func (e *Sharded) StoreInit(c *Ctx, ref Ref, field int, v uint64) { refPanic("StoreInit") }
+
+func (e *Sharded) Publish(c *Ctx, ref Ref) { refPanic("Publish") }
+
+func (e *Sharded) FreeUnpublished(c *Ctx, ref Ref, fields int) { refPanic("FreeUnpublished") }
+
+func (e *Sharded) Retire(c *Ctx, ref Ref, fields int) { refPanic("Retire") }
+
+func (e *Sharded) Load(c *Ctx, ref Ref, field int) uint64 {
+	refPanic("Load")
+	return 0
+}
+
+func (e *Sharded) TraversalLoad(c *Ctx, ref Ref, field int) uint64 {
+	refPanic("TraversalLoad")
+	return 0
+}
+
+func (e *Sharded) Store(c *Ctx, ref Ref, field int, v uint64) { refPanic("Store") }
+
+func (e *Sharded) CAS(c *Ctx, ref Ref, field int, old, new uint64) bool {
+	refPanic("CAS")
+	return false
+}
+
+func (e *Sharded) CASRelaxed(c *Ctx, ref Ref, field int, old, new uint64) bool {
+	refPanic("CASRelaxed")
+	return false
+}
+
+func (e *Sharded) FetchAdd(c *Ctx, ref Ref, field int, delta uint64) uint64 {
+	refPanic("FetchAdd")
+	return 0
+}
+
+func (e *Sharded) MakePersistent(c *Ctx, ref Ref, fields int) { refPanic("MakePersistent") }
+
+// Drain commits every shard's deferred obligations for this context.
+func (e *Sharded) Drain(c *Ctx) {
+	for i, s := range e.subs {
+		s.Drain(c.sub[i])
+	}
+}
+
+func (e *Sharded) RootRef() Ref {
+	refPanic("RootRef")
+	return 0
+}
+
+// Freeze freezes every shard's devices.
+func (e *Sharded) Freeze() {
+	for _, s := range e.subs {
+		s.Freeze()
+	}
+}
+
+// FreezeAfter arms the countdown on every shard's persistent device:
+// whichever shard reaches its n-th subsequent operation first takes the
+// freeze, so a crash can land mid-operation on any shard.
+func (e *Sharded) FreezeAfter(n int64) {
+	for _, s := range e.subs {
+		s.FreezeAfter(n)
+	}
+}
+
+// Crash freezes every shard first — no shard keeps running while another
+// has lost power — then crashes each in shard order. Per-shard fault
+// models (pmem.ShardFaultModels) keep the media damage independent.
+func (e *Sharded) Crash(policy pmem.CrashPolicy, rng *rand.Rand) {
+	e.Freeze()
+	for _, s := range e.subs {
+		s.Crash(policy, rng)
+	}
+}
+
+// Recover panics: one sequential tracer cannot trace N disjoint shard
+// structures. Use RecoverShards with the wrapper's per-shard tracers.
+func (e *Sharded) Recover(tr Tracer) {
+	panic("engine: Recover on a sharded engine — use RecoverShards with per-shard tracers (structures.Sharded.ShardTracers)")
+}
+
+// RecoverWith panics; see Recover.
+func (e *Sharded) RecoverWith(tr Tracer, opts RecoverOptions) {
+	panic("engine: RecoverWith on a sharded engine — use RecoverShards with per-shard tracers (structures.Sharded.ShardTracers)")
+}
+
+// RecoverShards rebuilds every shard after a crash, shard-concurrent:
+// shards recover in parallel (one recovery.Run task each) while each
+// shard's own trace/rebuild pipeline runs with opts.Parallelism workers,
+// exactly as an unsharded RecoverWith would. trs[i] is shard i's tracer —
+// it must trace only shard i's sub-structure. Recovery writes only
+// volatile replicas and allocator state, so the persistent media is
+// untouched and the result is independent of both the shard interleaving
+// and the per-shard worker count.
+func (e *Sharded) RecoverShards(trs []Tracer, opts RecoverOptions) {
+	if len(trs) != e.shards {
+		panic(fmt.Sprintf("engine: RecoverShards needs one tracer per shard (%d != %d)", len(trs), e.shards))
+	}
+	recovery.Run(e.shards, e.shards, func(i int) {
+		e.subs[i].RecoverWith(trs[i], RecoverOptions{Parallelism: opts.Parallelism})
+	})
+}
+
+func (e *Sharded) RecoveryLoad(ref Ref, field int) uint64 {
+	refPanic("RecoveryLoad")
+	return 0
+}
+
+// PersistentDevices returns every shard's persistent devices, concatenated
+// in shard order (the order pmem.ShardedDevice composes fingerprints in).
+func (e *Sharded) PersistentDevices() []*pmem.Device {
+	var devs []*pmem.Device
+	for _, s := range e.subs {
+		devs = append(devs, s.PersistentDevices()...)
+	}
+	return devs
+}
+
+// Clients returns the total logical client count across all shards.
+func (e *Sharded) Clients() int { return e.clients }
+
+// clientSlot maps a logical client id to its slot shard and per-shard slot.
+func (e *Sharded) clientSlot(client int) (shard, slot int) {
+	return client % e.shards, client / e.shards
+}
+
+// DetectBegin announces (client, seq) on the client's slot shard. The
+// announce fence is always eager here: a deferred announce rides the
+// operation's own publish fence, but that fence lands on the *effect*
+// shard's device, which never orders the announce line on the slot shard —
+// across shards the elision would be unsound, so it is not offered.
+func (e *Sharded) DetectBegin(c *Ctx, client int, seq, kind, key, val uint64, deferAnnounce bool) {
+	sh, slot := e.clientSlot(client)
+	e.subs[sh].DetectBegin(c.sub[sh], slot, seq, kind, key, val, false)
+	// The router remembers which client is armed so DetectEnd can find the
+	// slot shard again; the protocol state proper lives on the slot shard's
+	// sub-context.
+	c.det = descState{armed: true, client: client, seq: seq}
+}
+
+// Linearized is a no-op on the router: the operation's effect lands on a
+// shard the router cannot identify from here, so publishing the verdict now
+// could make it durable before the effect. The verdict publishes in
+// DetectEnd instead, after every shard's deferred durability has drained.
+// (A sub-structure's own Linearized call still fires on its shard; when the
+// effect shard happens to be the slot shard, that publishes the verdict
+// mid-operation exactly as an unsharded engine would.)
+func (e *Sharded) Linearized(c *Ctx, result bool) {}
+
+// DetectEnd completes the armed operation's descriptor protocol. Before the
+// verdict may persist, the operation's effect must be durable wherever it
+// landed: the direct durable engines fenced it at the sub-operation's
+// OpEnd, and Mirror installs are durable before visible — except for
+// deferred durability (relaxed lines, combine buffers), which Drain commits
+// on every shard first. Then the slot shard publishes and fences the
+// verdict.
+func (e *Sharded) DetectEnd(c *Ctx, result bool) {
+	if !c.det.armed {
+		return
+	}
+	e.Drain(c)
+	sh, _ := e.clientSlot(c.det.client)
+	e.subs[sh].DetectEnd(c.sub[sh], result)
+	c.det = descState{}
+}
+
+// Detect answers for (client, seq) from the client's slot shard.
+func (e *Sharded) Detect(client int, seq uint64) DetectResult {
+	sh, slot := e.clientSlot(client)
+	return e.subs[sh].Detect(slot, seq)
+}
+
+// Counters sums flush and fence counts across all shards.
+func (e *Sharded) Counters() (flushes, fences uint64) {
+	for _, s := range e.subs {
+		f, n := s.Counters()
+		flushes += f
+		fences += n
+	}
+	return flushes, fences
+}
+
+// ShardCounters reports each shard's cumulative (flushes, fences) — the
+// per-shard benchmark panels.
+func (e *Sharded) ShardCounters() (flushes, fences []uint64) {
+	flushes = make([]uint64, e.shards)
+	fences = make([]uint64, e.shards)
+	for i, s := range e.subs {
+		flushes[i], fences[i] = s.Counters()
+	}
+	return flushes, fences
+}
+
+// addStats accumulates b into a field-wise.
+func addStats(a *Stats, b Stats) {
+	a.Helps += b.Helps
+	a.Retries += b.Retries
+	a.ElidedFlushes += b.ElidedFlushes
+	a.ElidedFences += b.ElidedFences
+	a.PiggybackedFences += b.PiggybackedFences
+	a.RelaxedCAS += b.RelaxedCAS
+	a.DetectAnnounces += b.DetectAnnounces
+	a.DetectVerdicts += b.DetectVerdicts
+	a.CombinedFences += b.CombinedFences
+	a.DrainCauses.Capacity += b.DrainCauses.Capacity
+	a.DrainCauses.Epoch += b.DrainCauses.Epoch
+	a.DrainCauses.Conflict += b.DrainCauses.Conflict
+	a.DrainCauses.Detect += b.DrainCauses.Detect
+	a.DrainCauses.PreFree += b.DrainCauses.PreFree
+	a.DrainCauses.Expose += b.DrainCauses.Expose
+	a.DrainCauses.Explicit += b.DrainCauses.Explicit
+}
+
+// Stats rolls the shards' statistics up field-wise.
+func (e *Sharded) Stats() Stats {
+	var total Stats
+	for _, s := range e.subs {
+		addStats(&total, s.Stats())
+	}
+	return total
+}
+
+// ShardStats reports each shard's statistics separately.
+func (e *Sharded) ShardStats() []Stats {
+	out := make([]Stats, e.shards)
+	for i, s := range e.subs {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// Footprint sums live words across shards; the replica count is the
+// sub-engines' (identical on every shard).
+func (e *Sharded) Footprint() (words uint64, replicas int) {
+	for _, s := range e.subs {
+		w, r := s.Footprint()
+		words += w
+		replicas = r
+	}
+	return words, replicas
+}

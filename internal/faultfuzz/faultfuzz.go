@@ -99,6 +99,13 @@ type Spec struct {
 	// (linearize.CheckDurableBuffered). Ops at or below the watermark were
 	// fenced and must survive — a drain that loses one is a violation.
 	Combine bool
+	// Shards > 1 runs the workload on a sharded engine (engine.Sharded)
+	// with that many device shards, routed through structures.Sharded.
+	// Faults are injected independently per shard (pmem.ShardFaultModels)
+	// and the crash trigger is armed on the shard CrashAt selects, so a
+	// crash lands mid-operation on any one shard while the others keep
+	// their own damage streams. Recovery runs shard-concurrent.
+	Shards int
 	// NewEngine overrides engine construction (test hook for deliberately
 	// broken engines). nil means engine.New.
 	NewEngine func(engine.Config) engine.Engine
@@ -108,6 +115,9 @@ type Spec struct {
 func (s Spec) String() string {
 	str := fmt.Sprintf("-structure=%s -engine=%s -faults=%s -seed=%d -schedule=%s",
 		s.Structure, s.Kind, s.Faults, s.Seed, s.Schedule)
+	if s.Shards > 1 {
+		str += fmt.Sprintf(" -shards=%d", s.Shards)
+	}
 	if s.Detect {
 		str += " -detect"
 	}
@@ -289,20 +299,53 @@ func Run(spec Spec) *Result {
 	if spec.Detect {
 		clients = spec.Schedule.Workers
 	}
-	e := newEngine(engine.Config{Kind: spec.Kind, Words: words, Track: true, Clients: clients, Combine: spec.Combine})
-	fm := pmem.NewFaultModel(spec.Seed, spec.Faults)
-	devs := e.PersistentDevices()
-	for _, d := range devs {
-		d.InjectFaults(fm)
+	nsh := spec.Shards
+	if nsh < 1 {
+		nsh = 1
 	}
-	if spec.Schedule.CrashAt > 0 {
-		fm.CrashAfter(spec.Schedule.CrashAt)
+	e := newEngine(engine.Config{Kind: spec.Kind, Words: words, Track: true, Clients: clients, Combine: spec.Combine, Shards: spec.Shards})
+	var se *engine.Sharded
+	if nsh > 1 {
+		se = e.(*engine.Sharded)
+	}
+	devs := e.PersistentDevices()
+	var fms []*pmem.FaultModel
+	var trig *pmem.FaultModel // the model carrying the crash trigger
+	if se != nil {
+		// One independent adversary per shard; the crash trigger is armed
+		// on the shard CrashAt selects, at a per-shard op count scaled by
+		// the shard count (every shard's clock advances at ~1/nsh the
+		// aggregate rate).
+		fms = pmem.ShardFaultModels(spec.Seed, spec.Faults, nsh)
+		(&pmem.ShardedDevice{Devs: devs}).InjectFaults(fms)
+		if spec.Schedule.CrashAt > 0 {
+			per := spec.Schedule.CrashAt / int64(nsh)
+			if per < 1 {
+				per = 1
+			}
+			trig = fms[spec.Schedule.CrashAt%int64(nsh)]
+			trig.CrashAfter(per)
+		}
+	} else {
+		fm := pmem.NewFaultModel(spec.Seed, spec.Faults)
+		for _, d := range devs {
+			d.InjectFaults(fm)
+		}
+		fms = []*pmem.FaultModel{fm}
+		trig = fm
+		if spec.Schedule.CrashAt > 0 {
+			fm.CrashAfter(spec.Schedule.CrashAt)
+		}
 	}
 
 	// Construction is inside the crash window: the trigger may cut it.
 	var set structures.Set
 	built := guard(func() {
-		set = tgt.build(e, e.NewCtx())
+		if se != nil {
+			set = structures.NewSharded(se, e.NewCtx(), tgt.build)
+		} else {
+			set = tgt.build(e, e.NewCtx())
+		}
 	})
 
 	hist := linearize.NewHistory()
@@ -323,7 +366,7 @@ func Run(spec Spec) *Result {
 						rset = dets[w]
 					}
 					rec := hist.Record(rset, w)
-					if spec.Combine {
+					if spec.Combine && se == nil {
 						// Stamp each op with the worker's combine-buffer
 						// commit ticket so the post-crash check knows which
 						// completed ops were still unfenced.
@@ -335,6 +378,18 @@ func Run(spec Spec) *Result {
 					rng := rand.New(rand.NewSource(spec.Seed*1000 + int64(w)))
 					for i := 0; i < spec.Schedule.OpsPer; i++ {
 						key := uint64(1 + rng.Intn(spec.Schedule.Keys))
+						if spec.Combine && se != nil {
+							// Per-shard ticket spaces are incomparable, so
+							// stamp each op with its routed shard's ticket.
+							// TicketFn is called synchronously after each op
+							// by this worker's recorder, so reassigning it
+							// per op is race-free.
+							sc := c.Sub(pmem.ShardOf(key, nsh))
+							rec.TicketFn = func() uint64 {
+								last, _ := engine.CombineTickets(sc)
+								return last
+							}
+						}
 						switch rng.Intn(4) {
 						case 0, 1: // insert-heavy so state accumulates
 							rec.Insert(c, key, key)
@@ -354,11 +409,17 @@ func Run(spec Spec) *Result {
 	// dirty line's fate (the policy argument is superseded by the model).
 	e.Freeze()
 	e.Crash(pmem.CrashDropAll, nil)
-	res.CrashedAt = fm.CrashedAt()
-	res.OpsTotal = fm.Ops()
+	if trig != nil {
+		res.CrashedAt = trig.CrashedAt()
+	}
 	// The crash has been taken (or its moment passed un-hit): disarm the
 	// trigger so recovery and verification run under eviction stress only.
-	fm.CrashAfter(0)
+	// OpsTotal aggregates every shard's device-op clock so fuzzers can
+	// still sample CrashAt from [1, OpsTotal].
+	for _, m := range fms {
+		res.OpsTotal += m.Ops()
+		m.CrashAfter(0)
+	}
 	for _, d := range devs {
 		res.MediaHash = res.MediaHash*fnvPrime ^ d.MediaHash()
 	}
@@ -369,7 +430,25 @@ func Run(spec Spec) *Result {
 	// plain Go state and survive the simulated power cut — which is the
 	// point: they are the *recording's* knowledge, not the media's.
 	var mayVanish func(linearize.Op) bool
-	if spec.Combine {
+	if spec.Combine && se != nil {
+		// One watermark per (worker, shard): ops were ticketed in their
+		// routed shard's ticket space, so each compares against that
+		// shard's drained watermark (recomputed from the op's key).
+		drained := make([][]uint64, spec.Schedule.Workers)
+		for w, wc := range wctxs {
+			drained[w] = make([]uint64, nsh)
+			if wc == nil {
+				continue
+			}
+			for s := 0; s < nsh; s++ {
+				_, drained[w][s] = engine.CombineTickets(wc.Sub(s))
+			}
+		}
+		mayVanish = func(op linearize.Op) bool {
+			return op.Thread < len(drained) &&
+				op.Ticket > drained[op.Thread][pmem.ShardOf(op.Key, nsh)]
+		}
+	} else if spec.Combine {
 		drained := make([]uint64, spec.Schedule.Workers)
 		for w, wc := range wctxs {
 			if wc != nil {
@@ -382,30 +461,72 @@ func Run(spec Spec) *Result {
 	}
 
 	// Recovery must neither panic nor leave a broken structure behind.
-	if !guard(func() { e.Recover(tgt.tracer(e)) }) {
+	// Sharded engines recover shard-concurrent, one tracer per shard.
+	if !guard(func() {
+		if se != nil {
+			trs := make([]engine.Tracer, nsh)
+			for i := range trs {
+				trs[i] = tgt.tracer(se.Sub(i))
+			}
+			se.RecoverShards(trs, engine.RecoverOptions{})
+		} else {
+			e.Recover(tgt.tracer(e))
+		}
+	}) {
 		res.addf("recovery crashed (froze) — recovery must not touch the crash trigger")
 		return res
 	}
 	c := e.NewCtx()
-	if !guard(func() { set = tgt.build(e, c) }) {
+	if !guard(func() {
+		if se != nil {
+			set = structures.NewSharded(se, c, tgt.build)
+		} else {
+			set = tgt.build(e, c)
+		}
+	}) {
 		res.addf("re-attach after recovery froze the device")
 		return res
 	}
 
-	// Structural fsck.
-	if rep := tgt.fsck(e, c); !rep.Ok() {
-		for _, p := range rep.Problems {
-			res.addf("fsck: %s", p)
+	// Per-shard check surfaces: on an unsharded run these collapse to the
+	// single engine and context, keeping violation strings unchanged.
+	shardEngines := []engine.Engine{e}
+	shardCtx := func(int) *engine.Ctx { return c }
+	shardTag := func(int) string { return "" }
+	if se != nil {
+		shardEngines = shardEngines[:0]
+		for i := 0; i < nsh; i++ {
+			shardEngines = append(shardEngines, se.Sub(i))
+		}
+		shardCtx = func(i int) *engine.Ctx { return c.Sub(i) }
+		shardTag = func(i int) string { return fmt.Sprintf(" shard %d", i) }
+	}
+	fsckAll := func(prefix string) {
+		for i, sub := range shardEngines {
+			if rep := tgt.fsck(sub, shardCtx(i)); !rep.Ok() {
+				for _, p := range rep.Problems {
+					res.addf("%sfsck%s: %s", prefix, shardTag(i), p)
+				}
+			}
 		}
 	}
-	// Lemma 5.3–5.5 replica invariants on every reachable object.
-	tgt.tracer(e)(
-		func(ref engine.Ref, field int) uint64 { return e.TraversalLoad(c, ref, field) },
-		func(ref engine.Ref, fields int) {
-			if msg := engine.CheckMirrorInvariants(e, ref, fields); msg != "" {
-				res.addf("replica invariant: %s", msg)
-			}
-		})
+	invariantsAll := func(prefix string) {
+		for i, sub := range shardEngines {
+			sub, sc := sub, shardCtx(i)
+			tgt.tracer(sub)(
+				func(ref engine.Ref, field int) uint64 { return sub.TraversalLoad(sc, ref, field) },
+				func(ref engine.Ref, fields int) {
+					if msg := engine.CheckMirrorInvariants(sub, ref, fields); msg != "" {
+						res.addf("%sreplica invariant: %s", prefix, msg)
+					}
+				})
+		}
+	}
+
+	// Structural fsck, then the Lemma 5.3–5.5 replica invariants on every
+	// reachable object.
+	fsckAll("")
+	invariantsAll("")
 
 	// Detectability: every verdict must agree with the recorded history,
 	// and the crash-cut operation is resolved by its verdict *before* the
@@ -514,18 +635,8 @@ func Run(spec Spec) *Result {
 			}
 		}
 		if replayed {
-			if rep := tgt.fsck(e, c); !rep.Ok() {
-				for _, p := range rep.Problems {
-					res.addf("post-replay fsck: %s", p)
-				}
-			}
-			tgt.tracer(e)(
-				func(ref engine.Ref, field int) uint64 { return e.TraversalLoad(c, ref, field) },
-				func(ref engine.Ref, fields int) {
-					if msg := engine.CheckMirrorInvariants(e, ref, fields); msg != "" {
-						res.addf("post-replay replica invariant: %s", msg)
-					}
-				})
+			fsckAll("post-replay ")
+			invariantsAll("post-replay ")
 			final = scan()
 			if err := linearize.CheckDurableBuffered(hist, nil, final, mayVanish); err != nil {
 				res.addf("post-replay %v (completed=%d pending=%d state=%v)", err, len(hist.Ops), len(hist.Pending), final)

@@ -145,32 +145,62 @@ func buildEngineTarget(kind engine.Kind, structure string, o Options, keyRange i
 			clients = 1
 		}
 	}
+	// Per-shard device sizing: the hash partition spreads the key range
+	// about evenly, so each shard's device holds keyRange/Shards keys plus
+	// 25% slack for partition imbalance. Config.Words is per shard.
+	sizeRange := keyRange
+	if o.Shards > 1 {
+		sizeRange = keyRange/o.Shards + keyRange/(4*o.Shards)
+		if sizeRange < 64 {
+			sizeRange = 64
+		}
+	}
 	e := engine.New(engine.Config{
-		Kind:    kind,
-		Words:   deviceWords(structure, kind, keyRange),
-		Latency: o.Latency,
-		Track:   false, // benchmarks never crash
-		NoElide: o.NoElide,
-		Combine: o.Combine,
-		Clients: clients,
+		Kind:         kind,
+		Words:        deviceWords(structure, kind, sizeRange),
+		Latency:      o.Latency,
+		Track:        false, // benchmarks never crash
+		NoElide:      o.NoElide,
+		Combine:      o.Combine,
+		Clients:      clients,
+		Shards:       o.Shards,
+		NUMARemoteNS: o.NUMARemoteNS,
 	})
 	setup := e.NewCtx()
 	var mk func(c *engine.Ctx) structures.Set
-	switch structure {
-	case StList:
-		l := list.New(e, 0)
-		mk = func(*engine.Ctx) structures.Set { return l }
-	case StHash:
-		h := hashtable.New(e, setup, bucketsFor(keyRange))
-		mk = func(*engine.Ctx) structures.Set { return h }
-	case StBST:
-		b := bst.New(e, setup)
-		mk = func(*engine.Ctx) structures.Set { return b }
-	case StSkipList:
-		s := skiplist.New(e, setup)
-		mk = func(*engine.Ctx) structures.Set { return s }
-	default:
-		panic("harness: unknown structure " + structure)
+	if se, ok := e.(*engine.Sharded); ok {
+		sh := structures.NewSharded(se, setup, func(sub engine.Engine, sc *engine.Ctx) structures.Set {
+			switch structure {
+			case StList:
+				return list.New(sub, 0)
+			case StHash:
+				return hashtable.New(sub, sc, bucketsFor(sizeRange))
+			case StBST:
+				return bst.New(sub, sc)
+			case StSkipList:
+				return skiplist.New(sub, sc)
+			default:
+				panic("harness: unknown structure " + structure)
+			}
+		})
+		mk = func(*engine.Ctx) structures.Set { return sh }
+	} else {
+		switch structure {
+		case StList:
+			l := list.New(e, 0)
+			mk = func(*engine.Ctx) structures.Set { return l }
+		case StHash:
+			h := hashtable.New(e, setup, bucketsFor(keyRange))
+			mk = func(*engine.Ctx) structures.Set { return h }
+		case StBST:
+			b := bst.New(e, setup)
+			mk = func(*engine.Ctx) structures.Set { return b }
+		case StSkipList:
+			s := skiplist.New(e, setup)
+			mk = func(*engine.Ctx) structures.Set { return s }
+		default:
+			panic("harness: unknown structure " + structure)
+		}
 	}
 	var workerIDs atomic.Uint64
 	seqs := make([]atomic.Uint64, clients)

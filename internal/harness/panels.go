@@ -40,6 +40,20 @@ type Options struct {
 	// default; the JSON matrix measures it through dedicated same-session
 	// ablation panels so the standard matrix stays comparable across reports.
 	Combine bool
+	// Shards > 1 spreads every engine-backed structure across that many
+	// device shards (engine.Sharded): hash-partitioned keyspace, one
+	// allocator and descriptor region per shard, shard-concurrent recovery.
+	// The competitor engines (Zuriel, Cmap, queue) ignore it. Zero or one
+	// runs the classic single-device engines.
+	Shards int
+	// NUMARemoteNS charges an extra spin-calibrated latency penalty (in
+	// nanoseconds) on every operation routed off its context's home shard —
+	// the NUMA preset for sharded runs. Ignored unless Shards > 1.
+	NUMARemoteNS int
+	// Dist selects the workload key distribution (workload.DistUniform /
+	// DistZipfian / DistHotspot; "" means uniform) and Skew its parameter.
+	Dist string
+	Skew float64
 }
 
 func (o *Options) setDefaults() {
@@ -170,6 +184,8 @@ func (p Panel) Run(o Options) *Table {
 			Threads:  threads,
 			Duration: o.Duration,
 			Seed:     o.Seed,
+			Dist:     o.Dist,
+			Skew:     o.Skew,
 		}).MopsPerSec()
 	}
 	switch p.Sweep {

@@ -1,0 +1,113 @@
+package pmem
+
+// Keyspace sharding over multiple devices. A sharded engine spans N
+// independent Devices, one per shard; keys are partitioned by a stable
+// hash so that a key's home shard never depends on history, thread, or
+// shard-internal state — the property that makes per-shard recovery
+// tracing and per-shard fault injection sound. The helpers here are the
+// substrate half of that design: the hash partition (ShardOf, ShardMap),
+// the grouping of a shard set into one logical device for crash tooling
+// (ShardedDevice), and the independent per-shard fault-model derivation
+// (ShardFaultModels).
+
+// shardMix is a splitmix64 finalizer: a full-avalanche 64-bit mixer, so
+// consecutive keys land on unrelated shards and a skewed keyspace still
+// spreads across the shard set.
+func shardMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// ShardOf returns the home shard of a key under the stable hash
+// partition. It is a pure function of (key, shards): every layer —
+// routing, recovery, fault injection, tests — computes the same answer
+// with no shared state.
+func ShardOf(key uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(shardMix(key) % uint64(shards))
+}
+
+// ShardMap is the keyspace partition of one sharded engine: a fixed
+// shard count plus the stable hash. It exists so code that routes many
+// keys can hold the partition as a value instead of re-passing the
+// count.
+type ShardMap struct {
+	Shards int
+}
+
+// Of returns the home shard of key.
+func (m ShardMap) Of(key uint64) int { return ShardOf(key, m.Shards) }
+
+// ShardedDevice groups the per-shard devices of one sharded engine into
+// a single logical persistent device for the crash tooling: one composed
+// media fingerprint, one freeze/crash surface, and per-shard independent
+// fault injection. The slice order is the shard order and must not
+// change between hash and replay — the composed fingerprint folds the
+// shards in order.
+type ShardedDevice struct {
+	Devs []*Device
+}
+
+// fnvPrime folds per-shard hashes; the offset basis keeps the composed
+// hash of an all-zero shard set nonzero and shard-count dependent.
+const (
+	shardFNVPrime  = 1099511628211
+	shardFNVOffset = 14695981039346656037
+)
+
+// MediaHash composes the shards' media fingerprints in shard order. Two
+// shard sets hash equal iff every shard's media image hashes equal, so a
+// single-threaded replay of a sharded run reproduces the composed hash
+// bit for bit.
+func (s *ShardedDevice) MediaHash() uint64 {
+	h := uint64(shardFNVOffset)
+	for _, d := range s.Devs {
+		h = h*shardFNVPrime ^ d.MediaHash()
+	}
+	return h
+}
+
+// InjectFaults installs one fault model per shard (models[i] on shard
+// i). The models must be independent — see ShardFaultModels — so the
+// adversary's choices on one shard never leak into another's.
+func (s *ShardedDevice) InjectFaults(models []*FaultModel) {
+	if len(models) != len(s.Devs) {
+		panic("pmem: sharded fault injection needs exactly one model per shard")
+	}
+	for i, d := range s.Devs {
+		d.InjectFaults(models[i])
+	}
+}
+
+// Freeze freezes every shard.
+func (s *ShardedDevice) Freeze() {
+	for _, d := range s.Devs {
+		d.Freeze()
+	}
+}
+
+// FreezeAfter arms the freeze countdown on every shard: whichever shard
+// reaches its n-th subsequent operation first takes the freeze, so a
+// crash can land mid-operation on any shard.
+func (s *ShardedDevice) FreezeAfter(n int64) {
+	for _, d := range s.Devs {
+		d.FreezeAfter(n)
+	}
+}
+
+// ShardFaultModels derives one independent fault model per shard from a
+// base seed: shard i's stream is seeded with a full-avalanche mix of
+// (seed, i), so the per-shard adversaries share no structure while the
+// whole set stays reproducible from the base seed alone.
+func ShardFaultModels(seed int64, spec FaultSpec, shards int) []*FaultModel {
+	models := make([]*FaultModel, shards)
+	for i := range models {
+		models[i] = NewFaultModel(int64(shardMix(uint64(seed)^uint64(i)*0x9e3779b97f4a7c15)), spec)
+	}
+	return models
+}

@@ -71,3 +71,12 @@ func TestBSTDeleteToEmptyAndReuse(t *testing.T) {
 		}
 	}
 }
+
+func TestBSTShardedConformance(t *testing.T) {
+	settest.RunSharded(t, settest.Factory{
+		New: func(e engine.Engine, c *engine.Ctx) structures.Set {
+			return bst.New(e, c)
+		},
+		Words: 1 << 21,
+	})
+}

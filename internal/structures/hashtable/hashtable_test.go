@@ -62,3 +62,12 @@ func TestHashTableBadBucketCount(t *testing.T) {
 	}()
 	hashtable.New(e, c, 3)
 }
+
+func TestHashTableShardedConformance(t *testing.T) {
+	settest.RunSharded(t, settest.Factory{
+		New: func(e engine.Engine, c *engine.Ctx) structures.Set {
+			return hashtable.New(e, c, 256)
+		},
+		Words: 1 << 21,
+	})
+}

@@ -62,3 +62,11 @@ func TestTwoListsIndependentRootFields(t *testing.T) {
 		t.Error("lists with different root fields share state")
 	}
 }
+
+func TestListShardedConformance(t *testing.T) {
+	settest.RunSharded(t, settest.Factory{
+		New: func(e engine.Engine, c *engine.Ctx) structures.Set {
+			return list.New(e, 0)
+		},
+	})
+}

@@ -1,0 +1,82 @@
+package structures
+
+import "mirror/internal/engine"
+
+// Sharded routes one logical set across the shards of an engine.Sharded:
+// one complete sub-structure per shard, each living entirely on its
+// shard's sub-engine, with keys partitioned by the engine's stable hash
+// (pmem.ShardOf). Because a key's home shard is a pure function of the
+// key, every operation on a key — including recovery tracing and fault
+// injection — lands on the same sub-structure, and the composition is
+// linearizable iff the sub-structures are: operations on different shards
+// touch disjoint state, and operations on the same shard serialize
+// through that shard's own lock-free protocol.
+type Sharded struct {
+	e    *engine.Sharded
+	subs []Set
+}
+
+// NewSharded builds one sub-structure per shard. build constructs the
+// structure for one shard from its sub-engine and a setup context on that
+// shard; c is a router context from e.NewCtx() used only during setup.
+func NewSharded(e *engine.Sharded, c *engine.Ctx, build func(sub engine.Engine, sc *engine.Ctx) Set) *Sharded {
+	s := &Sharded{e: e, subs: make([]Set, e.Shards())}
+	for i := range s.subs {
+		s.subs[i] = build(e.Sub(i), c.Sub(i))
+	}
+	return s
+}
+
+// Sub returns shard i's sub-structure (tests and per-shard probes).
+func (s *Sharded) Sub(i int) Set { return s.subs[i] }
+
+// Insert implements Set, routed to the key's home shard.
+func (s *Sharded) Insert(c *engine.Ctx, key, val uint64) bool {
+	sh, sc := s.e.Route(c, key)
+	return s.subs[sh].Insert(sc, key, val)
+}
+
+// Delete implements Set, routed to the key's home shard.
+func (s *Sharded) Delete(c *engine.Ctx, key uint64) bool {
+	sh, sc := s.e.Route(c, key)
+	return s.subs[sh].Delete(sc, key)
+}
+
+// Contains implements Set, routed to the key's home shard.
+func (s *Sharded) Contains(c *engine.Ctx, key uint64) bool {
+	sh, sc := s.e.Route(c, key)
+	return s.subs[sh].Contains(sc, key)
+}
+
+// Get implements Set, routed to the key's home shard.
+func (s *Sharded) Get(c *engine.Ctx, key uint64) (uint64, bool) {
+	sh, sc := s.e.Route(c, key)
+	return s.subs[sh].Get(sc, key)
+}
+
+// Tracer panics: one sequential tracer cannot trace N disjoint shard
+// structures. Recovery goes through ShardTracers + RecoverShards (or the
+// Recover convenience below).
+func (s *Sharded) Tracer() engine.Tracer {
+	panic("structures: Tracer on a sharded set — use ShardTracers with engine.Sharded.RecoverShards")
+}
+
+// ShardTracers returns one tracer per shard, in shard order; trs[i] traces
+// shard i's sub-structure on shard i's sub-engine.
+func (s *Sharded) ShardTracers() []engine.Tracer {
+	trs := make([]engine.Tracer, len(s.subs))
+	for i, sub := range s.subs {
+		trs[i] = sub.Tracer()
+	}
+	return trs
+}
+
+// Recover rebuilds every shard after a crash (shard-concurrent, with
+// opts.Parallelism workers inside each shard's pipeline).
+func (s *Sharded) Recover(opts engine.RecoverOptions) {
+	s.e.RecoverShards(s.ShardTracers(), opts)
+}
+
+// Name implements Set: the sub-structures' name, so benchmark series keep
+// their structure label across shard counts.
+func (s *Sharded) Name() string { return s.subs[0].Name() }

@@ -68,3 +68,12 @@ func TestSkipListEmptyAfterDeletes(t *testing.T) {
 		}
 	}
 }
+
+func TestSkipListShardedConformance(t *testing.T) {
+	settest.RunSharded(t, settest.Factory{
+		New: func(e engine.Engine, c *engine.Ctx) structures.Set {
+			return skiplist.New(e, c)
+		},
+		Words: 1 << 21,
+	})
+}

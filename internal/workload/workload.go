@@ -6,6 +6,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"runtime"
 	"sort"
@@ -82,6 +83,123 @@ type Spec struct {
 	// Result carries latency percentiles (sampling keeps the timer
 	// overhead out of the measured throughput).
 	SampleLatency int
+	// Dist selects the key distribution: "" or DistUniform draws keys
+	// uniformly from [1, KeyRange]; DistZipfian draws ranks from the Gray
+	// et al. scrambled zipfian with parameter Skew; DistHotspot sends a
+	// Skew fraction of accesses to a scrambled 10% hot set. Both skewed
+	// distributions scramble ranks across the keyspace, so the hot keys
+	// stress shard routing and structure hot paths rather than one dense
+	// key region.
+	Dist string
+	// Skew parameterizes Dist: the zipfian theta in (0, 1) (default 0.99)
+	// or the hotspot access fraction in (0, 1] (default 0.9). Ignored for
+	// the uniform distribution.
+	Skew float64
+}
+
+// Key distribution names.
+const (
+	DistUniform = "uniform"
+	DistZipfian = "zipfian"
+	DistHotspot = "hotspot"
+)
+
+// Dists lists the supported key distributions.
+func Dists() []string { return []string{DistUniform, DistZipfian, DistHotspot} }
+
+// KeyFn maps one 64-bit PRNG draw to a key in [1, KeyRange].
+type KeyFn func(r uint64) uint64
+
+// mixKey is a splitmix64 finalizer used to scramble ranks across the
+// keyspace (the "scrambled" in scrambled zipfian).
+func mixKey(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// zetaCache memoizes the zipfian normalization sums, which cost O(n) to
+// compute and are shared by every thread and every run at the same
+// (n, theta).
+var zetaCache sync.Map // "n/theta" -> float64
+
+func zetaN(n uint64, theta float64) float64 {
+	k := fmt.Sprintf("%d/%g", n, theta)
+	if v, ok := zetaCache.Load(k); ok {
+		return v.(float64)
+	}
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	zetaCache.Store(k, sum)
+	return sum
+}
+
+// KeyGen builds the spec's key generator. The returned function is pure
+// (all state is in the caller's PRNG draw), so one generator is safely
+// shared by every worker thread.
+func (s Spec) KeyGen() KeyFn {
+	n := s.KeyRange
+	switch s.Dist {
+	case "", DistUniform:
+		return func(r uint64) uint64 { return r%n + 1 }
+	case DistZipfian:
+		// Gray et al.'s bounded zipfian generator (the YCSB one): ranks
+		// follow P(rank=i) ∝ 1/i^theta, then a full-avalanche scramble
+		// maps rank popularity onto pseudo-random keys.
+		theta := s.Skew
+		if theta <= 0 {
+			theta = 0.99
+		}
+		if theta >= 1 {
+			theta = 0.999 // the closed form needs theta != 1
+		}
+		zetan := zetaN(n, theta)
+		alpha := 1 / (1 - theta)
+		eta := (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zetaN(2, theta)/zetan)
+		halfPow := 1 + math.Pow(0.5, theta)
+		return func(r uint64) uint64 {
+			u := float64(r>>11) / (1 << 53)
+			uz := u * zetan
+			var rank uint64
+			switch {
+			case uz < 1:
+				rank = 1
+			case uz < halfPow:
+				rank = 2
+			default:
+				rank = 1 + uint64(float64(n)*math.Pow(eta*u-eta+1, alpha))
+			}
+			if rank > n {
+				rank = n
+			}
+			return mixKey(rank)%n + 1
+		}
+	case DistHotspot:
+		frac := s.Skew
+		if frac <= 0 || frac > 1 {
+			frac = 0.9
+		}
+		hot := n / 10
+		if hot < 1 {
+			hot = 1
+		}
+		cut := uint64(frac * float64(1<<32))
+		return func(r uint64) uint64 {
+			// Low 32 bits decide hot/cold; high bits pick the key, so the
+			// two choices stay independent. The hot set is the fixed
+			// scrambled image of [0, hot), spread across the keyspace.
+			if uint64(uint32(r)) < cut {
+				return mixKey((r>>32)%hot)%n + 1
+			}
+			return (r>>32)%n + 1
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown key distribution %q (want %v)", s.Dist, Dists()))
+	}
 }
 
 // Result is the outcome of a run.
@@ -179,6 +297,7 @@ func Run(t Target, spec Spec) Result {
 		panic("workload: empty key range")
 	}
 	var stop atomic.Bool
+	gen := spec.KeyGen()
 	yield := spec.Threads > runtime.GOMAXPROCS(0)
 	counts := make([][4]uint64, spec.Threads) // ops, reads, inserts, deletes
 	samples := make([][]time.Duration, spec.Threads)
@@ -198,8 +317,8 @@ func Run(t Target, spec Spec) Result {
 			var lats []time.Duration
 			for !stop.Load() {
 				r := splitmix64(&state)
-				key := r%spec.KeyRange + 1
-				op := int((r >> 32) % 1000)
+				key := gen(r)
+				op := int((splitmix64(&state)) % 1000)
 				var t0 time.Time
 				timed := spec.SampleLatency > 0 && ops%uint64(spec.SampleLatency) == 0
 				if timed {
