@@ -14,6 +14,7 @@
 //	mirrorbench -json BENCH_3.json -detect     # detectable-operation overhead ablation
 //	mirrorbench -json BENCH_4.json -combine    # matrix plus fence-combining ablation panels
 //	mirrorbench -json BENCH_5.json -shards 1,2,4 -numa 120  # plus sharded-substrate ablation
+//	mirrorbench -json BENCH_6.json -serving 1,4,8 -workloads A  # plus serving-tier panels (wire YCSB, p50/p99/p999, batch ablation)
 //	mirrorbench -panel fig6d -shards 2 -dist zipfian -skew 0.99  # sharded, skewed panel
 //	mirrorbench -checkjson BENCH_1.json  # re-parse and validate a report
 //
@@ -86,6 +87,8 @@ func main() {
 		numaNS   = flag.Int("numa", 0, "remote-shard latency penalty in ns for sharded runs (the NUMA preset; 0 = symmetric)")
 		distF    = flag.String("dist", "", "key distribution: uniform (default), zipfian, or hotspot")
 		skew     = flag.Float64("skew", 0, "distribution parameter: zipfian theta (default 0.99) or hotspot access fraction (default 0.9)")
+		servingF = flag.String("serving", "", "with -json: comma-separated connection counts — append the serving-tier panels (wire-protocol YCSB through an in-process mirrord with latency percentiles, batch on/off per cell)")
+		workls   = flag.String("workloads", "A", "comma-separated YCSB letters (A..F) for -serving")
 	)
 	flag.Parse()
 
@@ -100,7 +103,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mirrorbench: %s: %v\n", *checkIn, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: ok (%d points, schema %s)\n", *checkIn, len(r.Points), r.Schema)
+		fmt.Printf("%s: ok (%d points, %d serving points, schema %s)\n", *checkIn, len(r.Points), len(r.Serving), r.Schema)
 		return
 	}
 
@@ -188,6 +191,35 @@ func main() {
 		if len(shardCounts) > 0 {
 			harness.AppendShardAblation(report, opts, shardCounts, opts.Threads)
 		}
+		if *servingF != "" {
+			var letters []byte
+			for _, part := range strings.Split(*workls, ",") {
+				part = strings.TrimSpace(part)
+				if len(part) != 1 {
+					fmt.Fprintf(os.Stderr, "mirrorbench: bad -workloads entry %q (want single letters A..F)\n", part)
+					os.Exit(2)
+				}
+				letters = append(letters, part[0])
+			}
+			// Serving panels run the durable subset of the engine filter
+			// (an acknowledgement from a volatile server would be a lie);
+			// with no filter, all durable kinds.
+			var durable []engine.Kind
+			for _, k := range kinds {
+				if k.Durable() {
+					durable = append(durable, k)
+				}
+			}
+			err := harness.AppendServingAblation(report, opts, harness.ServingConfig{
+				Conns:     parseInts("serving", *servingF),
+				Workloads: letters,
+				Kinds:     durable,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mirrorbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if *recovery {
 			report.Recovery = harness.RecoveryPoints(
 				harness.MeasureRecovery(parseInts("sizes", *sizesF), parseInts("par", *parsF)))
@@ -201,7 +233,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mirrorbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d points)\n", *jsonOut, len(report.Points))
+		if len(report.Serving) > 0 {
+			fmt.Printf("wrote %s (%d points, %d serving points)\n", *jsonOut, len(report.Points), len(report.Serving))
+		} else {
+			fmt.Printf("wrote %s (%d points)\n", *jsonOut, len(report.Points))
+		}
 		return
 	}
 

@@ -1,0 +1,96 @@
+// mirrord serves a durable key-value set and FIFO queue over TCP, backed by
+// one of the repository's durable persistence engines. See internal/server
+// for the protocol and the cross-client fence-batching write path.
+//
+// With -media the fenced image lives in a file-backed mapping: kill -9 the
+// process, start it again with the same flags, and it attaches to the image,
+// runs recovery, and serves the pre-crash state — unresolved clients ask
+// DETECT for the fate of their cut operations.
+//
+// Example:
+//
+//	mirrord -addr 127.0.0.1:7070 -engine mirror -media /tmp/mirror.img
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mirror/internal/engine"
+	"mirror/internal/server"
+)
+
+func engineKind(name string) (engine.Kind, bool) {
+	switch name {
+	case "izraelevitz":
+		return engine.Izraelevitz, true
+	case "nvtraverse":
+		return engine.NVTraverse, true
+	case "mirror":
+		return engine.MirrorDRAM, true
+	case "mirrornvmm":
+		return engine.MirrorNVMM, true
+	}
+	return 0, false
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		kindName  = flag.String("engine", "mirror", "izraelevitz|nvtraverse|mirror|mirrornvmm")
+		media     = flag.String("media", "", "media image file (empty: in-memory, dies with the process)")
+		words     = flag.Int("words", 1<<20, "device capacity in 8-byte words")
+		buckets   = flag.Int("buckets", 1024, "hash table buckets (power of two)")
+		clients   = flag.Int("clients", 64, "descriptor slots (max client id + 1)")
+		workers   = flag.Int("workers", 2, "batcher goroutines")
+		combine   = flag.Bool("combine", false, "enable cross-operation fence combining")
+		nobatch   = flag.Bool("nobatch", false, "ablation: one fence per mutation (no cross-client batching)")
+		maxBatch  = flag.Int("maxbatch", 128, "max operations per drain batch")
+		batchWait = flag.Duration("batchwait", 25*time.Microsecond, "group-commit window")
+	)
+	flag.Parse()
+
+	kind, ok := engineKind(*kindName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mirrord: unknown engine %q\n", *kindName)
+		os.Exit(2)
+	}
+	s, err := server.New(server.Config{
+		Kind:      kind,
+		Words:     *words,
+		Buckets:   *buckets,
+		Clients:   *clients,
+		Workers:   *workers,
+		MediaPath: *media,
+		Combine:   *combine,
+		NoBatch:   *nobatch,
+		MaxBatch:  *maxBatch,
+		BatchWait: *batchWait,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mirrord:", err)
+		os.Exit(1)
+	}
+	if err := s.Listen(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "mirrord:", err)
+		os.Exit(1)
+	}
+	mode := "fresh"
+	if s.Attached() {
+		mode = "attached"
+	}
+	// The "serving" line is the readiness signal test harnesses wait for.
+	fmt.Printf("mirrord: serving %s on %s (engine %s, %s)\n", mode, s.Addr(), kind, *kindName)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	s.Close()
+	st := s.Stats()
+	fmt.Printf("mirrord: served %d ops (%d mutations, %d replays) in %d batches, %d flushes, %d fences\n",
+		st.Ops, st.Mutations, st.Replays, st.Batches, st.Flushes, st.Fences)
+}

@@ -1,13 +1,17 @@
-// ycsb runs the YCSB-style workloads of §6.1 (A: 50% reads, B: 95% reads,
-// C: read-only, plus the 80/10/10 mix) on a chosen structure under every
-// persistence engine, printing a throughput comparison — a miniature
-// interactive version of the paper's evaluation.
+// ycsb runs the YCSB core suite (A: 50% reads, B: 95% reads, C: read-only,
+// D: read-latest, E: scan-heavy, F: read-modify-write, plus the paper's
+// 80/10/10 mix) on a chosen structure under every persistence engine,
+// printing a throughput comparison — a miniature interactive version of
+// the paper's evaluation. Each YCSB letter runs its suite-default zipfian
+// request distribution unless -dist overrides it; scans fall back to point
+// reads on structures without ordered iteration (see workload.Scanner).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mirror"
@@ -21,18 +25,35 @@ func main() {
 		threads   = flag.Int("threads", 4, "worker goroutines")
 		duration  = flag.Duration("duration", 300*time.Millisecond, "window per cell")
 		latency   = flag.Bool("latency", true, "apply DRAM/NVMM latency models")
+		letters   = flag.String("workloads", "A,B,C", "comma-separated YCSB letters (A..F)")
+		distF     = flag.String("dist", "", "override the suite's request distribution (uniform|zipfian|hotspot)")
+		skew      = flag.Float64("skew", 0, "distribution parameter (zipfian theta / hotspot fraction)")
 	)
 	flag.Parse()
 
-	mixes := []struct {
+	type column struct {
 		name string
 		mix  workload.Mix
-	}{
-		{"YCSB-A", workload.YCSBA},
-		{"YCSB-B", workload.YCSBB},
-		{"YCSB-C", workload.YCSBC},
-		{"80/10/10", workload.Mix801010},
+		dist string
 	}
+	var mixes []column
+	for _, part := range strings.Split(*letters, ",") {
+		part = strings.TrimSpace(part)
+		if len(part) != 1 {
+			fmt.Fprintf(os.Stderr, "bad -workloads entry %q (want single letters A..F)\n", part)
+			os.Exit(2)
+		}
+		mix, dist, ok := workload.YCSBMix(part[0])
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown YCSB workload %q\n", part)
+			os.Exit(2)
+		}
+		if *distF != "" {
+			dist = *distF
+		}
+		mixes = append(mixes, column{"YCSB-" + strings.ToUpper(part), mix, dist})
+	}
+	mixes = append(mixes, column{"80/10/10", workload.Mix801010, *distF})
 	kinds := []mirror.Kind{
 		mirror.OrigDRAM, mirror.OrigNVMM, mirror.Izraelevitz,
 		mirror.NVTraverse, mirror.MirrorDRAM, mirror.MirrorNVMM,
@@ -84,6 +105,8 @@ func main() {
 				Threads:  *threads,
 				Duration: *duration,
 				Seed:     1,
+				Dist:     m.dist,
+				Skew:     *skew,
 			})
 			fmt.Printf("%10.3f", res.MopsPerSec())
 		}

@@ -325,8 +325,18 @@ func (r *DescRegion) Counters() (announces, verdicts uint64) {
 type descState struct {
 	armed     bool
 	delivered bool
+	deferred  bool // batched-verdict mode: publication waits for DetectDrain
 	client    int
 	seq       uint64
+}
+
+// pendingVerdict is one deferred verdict awaiting its context's next
+// DetectDrain.
+type pendingVerdict struct {
+	client int
+	seq    uint64
+	result bool
+	rval   uint64
 }
 
 // detectBegin arms the descriptor protocol for one operation on c.
@@ -346,7 +356,10 @@ func detectBegin(r *DescRegion, c *Ctx, fs *pmem.FlushSet, client int, seq, kind
 // effect is already durable). A no-op when nothing is armed, so structures
 // call it unconditionally.
 func detectLinearized(r *DescRegion, c *Ctx, fs *pmem.FlushSet, result bool) {
-	if r == nil || !c.det.armed || c.det.delivered {
+	if r == nil || !c.det.armed || c.det.delivered || c.det.deferred {
+		// In batched-verdict mode nothing publishes mid-operation: the
+		// verdict is recorded by detectEndDeferred and persists at the
+		// next drain, after the batch's effects.
 		return
 	}
 	r.Publish(fs, c.det.client, c.det.seq, result, 0)
@@ -365,6 +378,53 @@ func detectEnd(r *DescRegion, c *Ctx, fs *pmem.FlushSet, result bool) {
 	}
 	r.End(fs)
 	c.det = descState{}
+}
+
+// detectBeginDeferred arms the descriptor protocol in batched-verdict mode.
+// A pending verdict for the same client forces a drain first: the Detect
+// inference "slot moved past seq implies seq committed" is sound only if
+// the earlier operation's effect and verdict are durable before the
+// successor's announce can be, and the successor's announce persists no
+// later than the batch's next fence.
+func detectBeginDeferred(r *DescRegion, c *Ctx, fs *pmem.FlushSet, drain func(),
+	client int, seq, kind, key, val uint64, deferAnnounce bool) {
+	for _, pv := range c.detPending {
+		if pv.client == client {
+			drain()
+			break
+		}
+	}
+	detectBegin(r, c, fs, client, seq, kind, key, val, deferAnnounce)
+	c.det.deferred = true
+}
+
+// detectEndDeferred records the armed operation's verdict (with its
+// auxiliary return word) for the next drain and disarms the context.
+func detectEndDeferred(r *DescRegion, c *Ctx, result bool, rval uint64) {
+	if r == nil || !c.det.armed {
+		return
+	}
+	if !c.det.deferred {
+		panic("engine: DetectEndDeferred on an operation armed with DetectBegin")
+	}
+	c.detPending = append(c.detPending, pendingVerdict{
+		client: c.det.client, seq: c.det.seq, result: result, rval: rval,
+	})
+	c.det = descState{}
+}
+
+// publishPending flushes every pending verdict and commits them under one
+// End fence. The caller must already have made the batch's effects durable
+// (the drain fence); see the engines' detectDrain methods.
+func publishPending(r *DescRegion, c *Ctx, fs *pmem.FlushSet) {
+	if c.det.armed {
+		panic("engine: DetectDrain while a detectable operation is armed")
+	}
+	for _, pv := range c.detPending {
+		r.Publish(fs, pv.client, pv.seq, pv.result, pv.rval)
+	}
+	c.detPending = c.detPending[:0]
+	r.End(fs)
 }
 
 // DetectOp describes one detectable operation for ExactlyOnce.

@@ -40,6 +40,9 @@ func newDirect(cfg Config) *directEngine {
 			model = pmem.NVMMModel()
 		}
 	}
+	if cfg.MediaPath != "" && !persistent {
+		panic("engine: Config.MediaPath on a non-durable engine")
+	}
 	dev := pmem.New(pmem.Config{
 		Name:       cfg.Kind.String(),
 		Words:      cfg.Words,
@@ -47,7 +50,18 @@ func newDirect(cfg Config) *directEngine {
 		Track:      cfg.Track,
 		Elide:      !cfg.NoElide,
 		Model:      model,
+		MediaPath:  cfg.MediaPath,
 	})
+	if cfg.Attach {
+		// Adopt the media image of a previous incarnation: reset the cache
+		// view from it and let the caller's Recover rebuild the allocator.
+		// (The direct engines write nothing at construction, so there is no
+		// init to skip.)
+		if !persistent || !cfg.Track {
+			panic("engine: Attach requires a durable engine with Config.Track")
+		}
+		dev.ResetFromMedia()
+	}
 	e := &directEngine{
 		kind:       cfg.Kind,
 		dev:        dev,
@@ -360,6 +374,35 @@ func (e *directEngine) Linearized(c *Ctx, result bool) {
 
 func (e *directEngine) DetectEnd(c *Ctx, result bool) {
 	detectEnd(e.desc, c, &c.fs, result)
+}
+
+func (e *directEngine) detectBeginDeferred(c *Ctx, client int, seq, kind, key, val uint64, deferAnnounce bool) {
+	detectBeginDeferred(e.desc, c, &c.fs, func() { e.detectDrain(c) },
+		client, seq, kind, key, val, deferAnnounce)
+}
+
+func (e *directEngine) detectEndDeferred(c *Ctx, result bool, rval uint64) {
+	detectEndDeferred(e.desc, c, result, rval)
+}
+
+// detectDrain publishes c's deferred verdicts. The direct durable engines
+// fence at every OpEnd, so the batch's effects are already durable here —
+// except flushed-but-unfenced lines (the Izraelevitz install window) and
+// the eliding engine's relaxed-line registry, which must commit under
+// their own fence before any verdict line can persist.
+func (e *directEngine) detectDrain(c *Ctx) {
+	if len(c.detPending) == 0 {
+		return
+	}
+	if e.durable() {
+		if e.elides() {
+			e.dev.CommitRelaxed(&c.fs)
+		}
+		if c.fs.Pending() > 0 {
+			e.dev.Fence(&c.fs)
+		}
+	}
+	publishPending(e.desc, c, &c.fs)
 }
 
 func (e *directEngine) Detect(client int, seq uint64) DetectResult {

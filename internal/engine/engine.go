@@ -99,8 +99,11 @@ type Ctx struct {
 	initLines []uint64
 	initCells int
 
-	// det is the armed detectable-operation state (see detect.go).
-	det descState
+	// det is the armed detectable-operation state (see detect.go);
+	// detPending holds verdicts deferred to the next DetectDrain (the
+	// batched-verdict protocol of the serving tier).
+	det        descState
+	detPending []pendingVerdict
 
 	// sub holds the per-shard contexts of a sharded engine's context (one
 	// per shard, in shard order); nil on unsharded engines. A FlushSet
@@ -370,6 +373,19 @@ type Config struct {
 	// operation routed off the calling thread's home shard. Zero
 	// disables the penalty.
 	NUMARemoteNS int
+	// MediaPath backs the persistent device's media image with a
+	// MAP_SHARED mmap of this file (pmem.Config.MediaPath), so the fenced
+	// image survives abrupt process death — the serving tier's substrate.
+	// Durable engines only; requires Track; unsharded only.
+	MediaPath string
+	// Attach adopts an existing media image instead of initializing a
+	// fresh engine: construction skips the root-cell initialization
+	// writes and resets the device's cache view from the media, leaving
+	// the engine in the same state as immediately after Crash. The
+	// caller must run Recover (or RecoverWith) before using it. Requires
+	// Track; normally paired with MediaPath pointing at the previous
+	// incarnation's file.
+	Attach bool
 }
 
 func (c *Config) setDefaults() {
@@ -485,11 +501,68 @@ func CommitWitness(e Engine, c *Ctx) {
 	}
 }
 
+// deferredDetector is implemented by engines supporting the batched-verdict
+// detectability protocol of the serving tier: verdicts of a run of
+// operations (across clients) are recorded in the context and published
+// under two trailing fences — one drain fence committing every deferred
+// effect, then the verdict flushes and one End fence — instead of one End
+// fence per operation.
+type deferredDetector interface {
+	detectBeginDeferred(c *Ctx, client int, seq, kind, key, val uint64, deferAnnounce bool)
+	detectEndDeferred(c *Ctx, result bool, rval uint64)
+	detectDrain(c *Ctx)
+}
+
+// DetectBeginDeferred is DetectBegin in batched-verdict mode: the
+// operation's verdict will be recorded by DetectEndDeferred and published
+// at the next DetectDrain on the same context. If the context already
+// holds a pending verdict for the same client, the buffer drains first —
+// the slot-moved-past-seq inference of Detect requires the earlier
+// operation's effect and verdict to be durable before its successor's
+// announce can be. Falls back to plain DetectBegin on engines without the
+// deferred protocol.
+func DetectBeginDeferred(e Engine, c *Ctx, client int, seq, kind, key, val uint64, deferAnnounce bool) {
+	if d, ok := e.(deferredDetector); ok {
+		d.detectBeginDeferred(c, client, seq, kind, key, val, deferAnnounce)
+		return
+	}
+	e.DetectBegin(c, client, seq, kind, key, val, deferAnnounce)
+}
+
+// DetectEndDeferred records the armed operation's verdict — including the
+// auxiliary return word rval (a dequeued value), which the per-operation
+// DetectEnd cannot carry — for publication at the next DetectDrain. The
+// operation's response must not be released to the client before that
+// drain. Falls back to DetectEnd (dropping rval) on engines without the
+// deferred protocol.
+func DetectEndDeferred(e Engine, c *Ctx, result bool, rval uint64) {
+	if d, ok := e.(deferredDetector); ok {
+		d.detectEndDeferred(c, result, rval)
+		return
+	}
+	e.DetectEnd(c, result)
+}
+
+// DetectDrain publishes every verdict deferred on c: one drain fence
+// commits the batched effects (combine buffers, relaxed lines, pending
+// flushes), then all verdict lines flush under a single End fence. After
+// it returns, every response recorded by DetectEndDeferred on c may be
+// released. No-op when nothing is pending or the engine lacks the
+// deferred protocol.
+func DetectDrain(e Engine, c *Ctx) {
+	if d, ok := e.(deferredDetector); ok {
+		d.detectDrain(c)
+	}
+}
+
 // New creates an engine. With Config.Shards > 1 the engine is a
 // *Sharded spanning that many device shards; see sharded.go.
 func New(cfg Config) Engine {
 	cfg.setDefaults()
 	if cfg.Shards > 1 {
+		if cfg.MediaPath != "" || cfg.Attach {
+			panic("engine: file-backed media attach is unsharded-only")
+		}
 		return NewSharded(cfg)
 	}
 	switch cfg.Kind {

@@ -46,6 +46,7 @@ func newMirror(cfg Config) *mirrorEngine {
 		Elide:      !cfg.NoElide,
 		Combine:    cfg.Combine,
 		Model:      pModel,
+		MediaPath:  cfg.MediaPath,
 	})
 	v := pmem.New(pmem.Config{
 		Name:  cfg.Kind.String() + "-rep_v",
@@ -72,6 +73,18 @@ func newMirror(cfg Config) *mirrorEngine {
 		Base: allocBase,
 		End:  uint64(p.Size()),
 	})
+	if cfg.Attach {
+		// Adopting a previous incarnation's media: its root cells are
+		// already initialized there, and any construction-time write would
+		// clobber surviving state. Reset the cache view from the media and
+		// leave the engine crashed-but-unfrozen; the caller's Recover
+		// rebuilds rep_v and the allocator.
+		if !cfg.Track {
+			panic("engine: Attach requires Config.Track")
+		}
+		p.ResetFromMedia()
+		return e
+	}
 	// Root cells start initialized so the sequence-number invariants hold
 	// from the first operation.
 	var ctx patomic.Ctx
@@ -294,7 +307,7 @@ func (e *mirrorEngine) DetectBegin(c *Ctx, client int, seq, kind, key, val uint6
 }
 
 func (e *mirrorEngine) Linearized(c *Ctx, result bool) {
-	if e.combine && e.desc != nil && c.det.armed && !c.det.delivered {
+	if e.combine && e.desc != nil && c.det.armed && !c.det.delivered && !c.det.deferred {
 		// The verdict must never be durable before the install it
 		// testifies to — including the buffered installs of this
 		// thread's *earlier* operations, whose committed verdict chain
@@ -312,6 +325,33 @@ func (e *mirrorEngine) DetectEnd(c *Ctx, result bool) {
 		e.mem.P.CombineDrain(&c.pa.FS, pmem.DrainDetect)
 	}
 	detectEnd(e.desc, c, &c.pa.FS, result)
+}
+
+func (e *mirrorEngine) detectBeginDeferred(c *Ctx, client int, seq, kind, key, val uint64, deferAnnounce bool) {
+	detectBeginDeferred(e.desc, c, &c.pa.FS, func() { e.detectDrain(c) },
+		client, seq, kind, key, val, deferAnnounce)
+}
+
+func (e *mirrorEngine) detectEndDeferred(c *Ctx, result bool, rval uint64) {
+	detectEndDeferred(e.desc, c, result, rval)
+}
+
+// detectDrain publishes c's deferred verdicts: first a drain commits every
+// effect whose durability was deferred — the relaxed-line registry and
+// (under combining) the combine buffer — then all verdict lines flush and
+// one End fence commits them. Effects never ride the verdicts' End fence:
+// they are either durable before visibility (plain Mirror installs) or
+// committed by the drain fence that precedes the publishes, so a crash
+// can never persist a verdict whose effect vanished.
+func (e *mirrorEngine) detectDrain(c *Ctx) {
+	if len(c.detPending) == 0 {
+		return
+	}
+	e.mem.P.CommitRelaxed(&c.pa.FS)
+	if e.combine {
+		e.mem.P.CombineDrain(&c.pa.FS, pmem.DrainDetect)
+	}
+	publishPending(e.desc, c, &c.pa.FS)
 }
 
 func (e *mirrorEngine) Detect(client int, seq uint64) DetectResult {

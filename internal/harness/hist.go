@@ -1,0 +1,127 @@
+package harness
+
+import "math/bits"
+
+// Hist is an HDR-style latency histogram: logarithmic buckets of 2^histSubBits
+// linear sub-buckets each, so any recorded value lands in a bucket whose
+// width is at most 1/2^histSubBits of its magnitude (~3.1% relative error
+// with 32 sub-buckets). Recording is O(1) with no allocation, so the
+// serving tier can record every operation rather than sampling, and the
+// tail percentiles (p99, p999) come from actual counts instead of a
+// subsample. The zero value is ready to use. Not safe for concurrent use;
+// give each worker its own Hist and Merge them.
+type Hist struct {
+	counts [histSlots]uint64
+	total  uint64
+	min    uint64
+	max    uint64
+}
+
+const (
+	histSubBits = 5 // 32 sub-buckets per power of two
+	histSubs    = 1 << histSubBits
+	histSlots   = (64 - histSubBits + 1) * histSubs
+)
+
+// histIndex maps a value to its slot. Values below histSubs are exact
+// (bucket 0); above, the top histSubBits+1 bits select the slot.
+func histIndex(v uint64) int {
+	if v>>histSubBits == 0 {
+		return int(v)
+	}
+	shift := bits.Len64(v) - 1 - histSubBits
+	sub := int(v>>uint(shift)) - histSubs // [0, histSubs)
+	return (shift+1)*histSubs + sub
+}
+
+// histRange returns the inclusive value range [lo, hi] a slot covers.
+func histRange(idx int) (lo, hi uint64) {
+	bucket, sub := idx>>histSubBits, uint64(idx&(histSubs-1))
+	if bucket == 0 {
+		return sub, sub
+	}
+	shift := uint(bucket - 1)
+	lo = (sub + histSubs) << shift
+	return lo, lo + (1 << shift) - 1
+}
+
+// Record adds one sample.
+func (h *Hist) Record(v uint64) {
+	h.counts[histIndex(v)]++
+	h.total++
+	if h.total == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.total }
+
+// Min and Max return the exact extreme recorded values (0 when empty).
+func (h *Hist) Min() uint64 { return h.min }
+func (h *Hist) Max() uint64 { return h.max }
+
+// Merge folds o's samples into h.
+func (h *Hist) Merge(o *Hist) {
+	if o.total == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+}
+
+// Percentile returns the nearest-rank p-th percentile (0 < p <= 100) with
+// linear interpolation inside the target slot: the rank's position within
+// the slot's count selects a proportional point in the slot's value range.
+// The answer is within one slot width of the exact sorted-slice
+// nearest-rank percentile (~3.1% relative). An empty histogram returns 0.
+func (h *Hist) Percentile(p float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	// Nearest-rank target, 1-based: ceil(p/100 * total), clamped to [1, total].
+	target := uint64(float64(h.total) * p / 100)
+	if float64(target) < float64(h.total)*p/100 {
+		target++
+	}
+	if target < 1 {
+		target = 1
+	}
+	if target > h.total {
+		target = h.total
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo, hi := histRange(i)
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi > h.max {
+				hi = h.max
+			}
+			if hi <= lo {
+				return lo
+			}
+			// Interpolate the rank's position within this slot.
+			frac := float64(target-cum-1) / float64(c)
+			return lo + uint64(frac*float64(hi-lo+1))
+		}
+		cum += c
+	}
+	return h.max
+}

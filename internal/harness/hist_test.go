@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// oraclePercentile is the nearest-rank percentile on a sorted slice — the
+// reference the histogram math is pinned against.
+func oraclePercentile(sorted []uint64, p float64) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// checkAgainstOracle records samples into a Hist and asserts every queried
+// percentile is within one sub-bucket width (~3.2% relative, +1 absolute
+// for integer rounding) of the sorted-slice oracle.
+func checkAgainstOracle(t *testing.T, name string, samples []uint64) {
+	t.Helper()
+	var h Hist
+	for _, v := range samples {
+		h.Record(v)
+	}
+	sorted := append([]uint64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 99.9, 100} {
+		want := oraclePercentile(sorted, p)
+		got := h.Percentile(p)
+		tol := uint64(float64(want)/histSubs) + 1
+		if got+tol < want || got > want+tol {
+			t.Errorf("%s: p%v = %d, oracle %d (tolerance %d)", name, p, got, want, tol)
+		}
+	}
+	if h.Count() != uint64(len(samples)) {
+		t.Errorf("%s: count %d, want %d", name, h.Count(), len(samples))
+	}
+	if len(samples) > 0 {
+		if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+			t.Errorf("%s: min/max %d/%d, want %d/%d",
+				name, h.Min(), h.Max(), sorted[0], sorted[len(sorted)-1])
+		}
+	}
+}
+
+func TestHistAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	uniform := make([]uint64, 10000)
+	for i := range uniform {
+		uniform[i] = uint64(rng.Intn(5_000_000))
+	}
+	// Log-normal-ish latency shape: a tight body with a heavy tail, the
+	// distribution p999 exists to characterize.
+	tail := make([]uint64, 10000)
+	for i := range tail {
+		v := 800 + rng.Intn(400)
+		if rng.Intn(100) == 0 {
+			v *= 50 + rng.Intn(200)
+		}
+		tail[i] = uint64(v)
+	}
+	small := []uint64{3, 1, 2, 0, 31, 30, 7} // all in the exact bucket
+	big := make([]uint64, 1000)
+	for i := range big {
+		big[i] = uint64(rng.Int63n(1 << 40))
+	}
+	checkAgainstOracle(t, "uniform", uniform)
+	checkAgainstOracle(t, "tail", tail)
+	checkAgainstOracle(t, "small-exact", small)
+	checkAgainstOracle(t, "big", big)
+}
+
+func TestHistEdgeCases(t *testing.T) {
+	var h Hist
+	if h.Percentile(50) != 0 || h.Count() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must answer zero everywhere")
+	}
+	h.Record(777)
+	for _, p := range []float64{0.001, 50, 99.9, 100} {
+		got := h.Percentile(p)
+		if got < 752 || got > 777 { // one sub-bucket width below 777
+			t.Fatalf("one sample, p%v = %d, want ~777", p, got)
+		}
+	}
+	// Values below histSubs are exact, regardless of percentile.
+	var h2 Hist
+	h2.Record(5)
+	if got := h2.Percentile(50); got != 5 {
+		t.Fatalf("exact-bucket sample: p50 = %d, want 5", got)
+	}
+	// Identical samples: every percentile is that value.
+	var h3 Hist
+	for i := 0; i < 100; i++ {
+		h3.Record(1 << 20)
+	}
+	for _, p := range []float64{1, 50, 99.9} {
+		got := h3.Percentile(p)
+		if got != 1<<20 {
+			t.Fatalf("constant samples: p%v = %d, want %d", p, got, 1<<20)
+		}
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var all []uint64
+	var merged Hist
+	for w := 0; w < 4; w++ {
+		var h Hist
+		for i := 0; i < 2500; i++ {
+			v := uint64(rng.Intn(1_000_000))
+			h.Record(v)
+			all = append(all, v)
+		}
+		merged.Merge(&h)
+	}
+	var direct Hist
+	for _, v := range all {
+		direct.Record(v)
+	}
+	if merged.Count() != direct.Count() || merged.Min() != direct.Min() || merged.Max() != direct.Max() {
+		t.Fatal("merge lost samples or extremes")
+	}
+	for _, p := range []float64{50, 99, 99.9} {
+		if merged.Percentile(p) != direct.Percentile(p) {
+			t.Fatalf("p%v: merged %d != direct %d", p, merged.Percentile(p), direct.Percentile(p))
+		}
+	}
+	// Merging an empty histogram must not disturb min.
+	before := merged.Min()
+	merged.Merge(&Hist{})
+	if merged.Min() != before {
+		t.Fatal("empty merge clobbered min")
+	}
+}
+
+func TestHistIndexRanges(t *testing.T) {
+	// Every slot's range must be contiguous with its neighbors and map
+	// back to itself.
+	lastHi := ^uint64(0)
+	for idx := 0; idx < histSlots; idx++ {
+		lo, hi := histRange(idx)
+		if lo != lastHi+1 {
+			t.Fatalf("slot %d starts at %d, want %d", idx, lo, lastHi+1)
+		}
+		if histIndex(lo) != idx || histIndex(hi) != idx {
+			t.Fatalf("slot %d range [%d,%d] does not map back to itself", idx, lo, hi)
+		}
+		lastHi = hi
+		if hi == 1<<63-1+1<<63 { // ^uint64(0)
+			break
+		}
+		if idx == histSlots-1 && hi < ^uint64(0) {
+			t.Fatalf("last slot ends at %d, not covering uint64 range", hi)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package harness
+
+// This file measures the serving tier end to end: YCSB mixes driven through
+// mirrord's wire protocol by concurrent synchronous clients, with every
+// round trip recorded in an HDR-style histogram so the report carries real
+// tail percentiles (p50/p99/p999) instead of throughput alone. The same
+// driver backs cmd/mirrorload (against an external mirrord address) and the
+// BENCH_6-style serving panels (against an in-process server, where the
+// engine's fence counters are in reach for the batching ablation).
+//
+// Serving sessions run the engines at native substrate speed (no DRAM/NVMM
+// latency model): a wire round trip costs tens of microseconds, two orders
+// above the modeled media latencies, so the model would vanish in the noise
+// while making every session slower. What the serving panels isolate is the
+// protocol cost — fences per mutation with and without cross-client
+// batching — and the client-visible latency distribution.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mirror/internal/engine"
+	"mirror/internal/server"
+	"mirror/internal/workload"
+)
+
+// Serving-panel defaults. The key range is deliberately small (the serving
+// bottleneck is the wire and the fence discipline, not structure depth),
+// and the group-commit window is set above a loopback round trip so
+// concurrently in-flight clients actually land in one batch.
+const (
+	ServingKeyRange  = 4096
+	ServingBatchWait = 100 * time.Microsecond
+)
+
+// ServingSpec describes one client-side load session against a serving
+// address (in-process or remote).
+type ServingSpec struct {
+	Addr     string
+	Workload byte   // YCSB letter 'A'..'F'
+	Conns    int    // concurrent clients, one connection each
+	BaseID   uint32 // first client id; the session uses [BaseID, BaseID+Conns)
+	KeyRange uint64
+	Duration time.Duration
+	Seed     int64
+}
+
+// ServingLoad is the client-side outcome of a load session.
+type ServingLoad struct {
+	Ops     uint64
+	Elapsed time.Duration
+	// Hist holds every operation's wire round-trip time in nanoseconds.
+	Hist Hist
+}
+
+// Kops returns throughput in thousand operations per second — the honest
+// unit for a wire-protocol tier, where each operation pays a round trip.
+func (l ServingLoad) Kops() float64 {
+	if l.Elapsed <= 0 {
+		return 0
+	}
+	return float64(l.Ops) / l.Elapsed.Seconds() / 1e3
+}
+
+// wireWorker adapts one synchronous wire client to the workload driver,
+// timing every round trip. Scans and read-modify-writes have no wire
+// opcodes, so workload.Run's documented fallbacks apply (scan → GET of the
+// start key, RMW → GET then INSERT); YCSB-E/F over the wire measure point
+// operations, not range semantics.
+type wireWorker struct {
+	cl *server.Client
+	h  *Hist
+}
+
+func (w *wireWorker) Insert(key, val uint64) bool {
+	t0 := time.Now()
+	ok, err := w.cl.Insert(key, val)
+	w.record(t0, err)
+	return ok
+}
+
+func (w *wireWorker) Delete(key uint64) bool {
+	t0 := time.Now()
+	ok, err := w.cl.Delete(key)
+	w.record(t0, err)
+	return ok
+}
+
+func (w *wireWorker) Contains(key uint64) bool {
+	t0 := time.Now()
+	_, ok, err := w.cl.Get(key)
+	w.record(t0, err)
+	return ok
+}
+
+func (w *wireWorker) record(t0 time.Time, err error) {
+	if err != nil {
+		panic(fmt.Sprintf("serving load: client %d: %v", w.cl.ID(), err))
+	}
+	w.h.Record(uint64(time.Since(t0)))
+}
+
+// ServingPrefill loads the deterministic half-range prefill through the
+// wire as the given client id, so a measured session starts from the same
+// steady state as the in-memory benchmarks.
+func ServingPrefill(addr string, id uint32, keyRange uint64, seed int64) (int, error) {
+	cl, err := server.Dial(addr, id)
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Close()
+	n := workload.PrefillHalf(workload.Target{
+		Name:      "wire-prefill",
+		NewWorker: func() workload.Worker { return &wireWorker{cl: cl, h: &Hist{}} },
+	}, keyRange, seed)
+	return n, nil
+}
+
+// RunServingLoad drives one YCSB workload through the wire protocol with
+// Conns concurrent synchronous clients and returns the merged latency
+// histogram. Each client gets its own connection and client id; a client
+// that loses the server mid-run panics (the load driver has no story for a
+// vanishing peer — crash resolution is the server test battery's job).
+func RunServingLoad(spec ServingSpec) (ServingLoad, error) {
+	mix, dist, ok := workload.YCSBMix(spec.Workload)
+	if !ok {
+		return ServingLoad{}, fmt.Errorf("serving: unknown YCSB workload %q (want A..F)", spec.Workload)
+	}
+	if spec.Conns <= 0 {
+		return ServingLoad{}, fmt.Errorf("serving: need at least one connection")
+	}
+	var (
+		mu      sync.Mutex
+		hists   []*Hist
+		clients []*server.Client
+		nextID  atomic.Uint32
+	)
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+	target := workload.Target{
+		Name: fmt.Sprintf("wire-ycsb-%c", spec.Workload),
+		NewWorker: func() workload.Worker {
+			id := spec.BaseID + nextID.Add(1) - 1
+			cl, err := server.Dial(spec.Addr, id)
+			if err != nil {
+				panic(fmt.Sprintf("serving load: dial as client %d: %v", id, err))
+			}
+			h := &Hist{}
+			mu.Lock()
+			hists = append(hists, h)
+			clients = append(clients, cl)
+			mu.Unlock()
+			return &wireWorker{cl: cl, h: h}
+		},
+	}
+	res := workload.Run(target, workload.Spec{
+		KeyRange: spec.KeyRange,
+		Mix:      mix,
+		Threads:  spec.Conns,
+		Duration: spec.Duration,
+		Seed:     spec.Seed,
+		Dist:     dist,
+	})
+	load := ServingLoad{Ops: res.Ops, Elapsed: res.Elapsed}
+	for _, h := range hists {
+		load.Hist.Merge(h)
+	}
+	return load, nil
+}
+
+// ServingConfig parameterizes the serving ablation panels.
+type ServingConfig struct {
+	// Conns is the connection sweep; each count is measured separately.
+	Conns []int
+	// Workloads are YCSB letters ('A'..'F'); default {'A'}.
+	Workloads []byte
+	// Kinds are the engines to serve; default all durable kinds.
+	Kinds []engine.Kind
+	// KeyRange overrides ServingKeyRange.
+	KeyRange uint64
+	// Workers overrides the server's batcher count (default 2).
+	Workers int
+	// BatchWait overrides ServingBatchWait for the batched sessions.
+	BatchWait time.Duration
+}
+
+func (sc *ServingConfig) setDefaults() {
+	if len(sc.Conns) == 0 {
+		sc.Conns = []int{1, 4}
+	}
+	if len(sc.Workloads) == 0 {
+		sc.Workloads = []byte{'A'}
+	}
+	if len(sc.Kinds) == 0 {
+		for _, k := range engine.Kinds() {
+			if k.Durable() {
+				sc.Kinds = append(sc.Kinds, k)
+			}
+		}
+	}
+	if sc.KeyRange == 0 {
+		sc.KeyRange = ServingKeyRange
+	}
+	if sc.Workers <= 0 {
+		sc.Workers = 2
+	}
+	if sc.BatchWait == 0 {
+		sc.BatchWait = ServingBatchWait
+	}
+}
+
+// RunServingSession builds an in-process server, prefills it through the
+// wire, drives one YCSB load session, and returns the measured point with
+// the server's counter deltas attached. batch toggles cross-client fence
+// batching (false runs the per-mutation-fence ablation baseline).
+func RunServingSession(o Options, sc ServingConfig, kind engine.Kind, letter byte, conns int, batch bool) (ServingPoint, error) {
+	sc.setDefaults()
+	o.setDefaults()
+	s, err := server.New(server.Config{
+		Kind:      kind,
+		Buckets:   1024,
+		Clients:   conns + 2,
+		Workers:   sc.Workers,
+		NoBatch:   !batch,
+		BatchWait: sc.BatchWait,
+	})
+	if err != nil {
+		return ServingPoint{}, err
+	}
+	defer s.Close()
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		return ServingPoint{}, err
+	}
+	if _, err := ServingPrefill(s.Addr().String(), 0, sc.KeyRange, o.Seed); err != nil {
+		return ServingPoint{}, err
+	}
+	st0 := s.Stats()
+	load, err := RunServingLoad(ServingSpec{
+		Addr:     s.Addr().String(),
+		Workload: letter,
+		Conns:    conns,
+		BaseID:   1,
+		KeyRange: sc.KeyRange,
+		Duration: o.Duration,
+		Seed:     o.Seed,
+	})
+	if err != nil {
+		return ServingPoint{}, err
+	}
+	st1 := s.Stats()
+	p := ServingPoint{
+		Engine:    kind.String(),
+		Workload:  fmt.Sprintf("YCSB-%c", letter&^0x20),
+		Conns:     conns,
+		Batch:     batch,
+		KeyRange:  int(sc.KeyRange),
+		Ops:       load.Ops,
+		Kops:      load.Kops(),
+		P50NS:     load.Hist.Percentile(50),
+		P99NS:     load.Hist.Percentile(99),
+		P999NS:    load.Hist.Percentile(99.9),
+		MaxNS:     load.Hist.Max(),
+		Mutations: st1.Mutations - st0.Mutations,
+		Batches:   st1.Batches - st0.Batches,
+		Flushes:   st1.Flushes - st0.Flushes,
+		Fences:    st1.Fences - st0.Fences,
+	}
+	if batch {
+		p.BatchWaitNS = sc.BatchWait.Nanoseconds()
+	}
+	if p.Mutations > 0 {
+		p.FencesPerMutation = float64(p.Fences) / float64(p.Mutations)
+	}
+	return p, nil
+}
+
+// AppendServingAblation appends the serving-tier panels to a report: each
+// requested engine × YCSB workload × connection count, measured twice in
+// the same process — cross-client batching on, then off (one fence per
+// mutation) — so the committed fences-per-mutation pair is the direct
+// group-commit ablation. Latency percentiles come from per-operation
+// histograms over every wire round trip, not a subsample.
+func AppendServingAblation(r *BenchReport, o Options, sc ServingConfig) error {
+	sc.setDefaults()
+	o.setDefaults()
+	r.Options.ServingConns = sc.Conns
+	r.Options.ServingWorkloads = string(sc.Workloads)
+	r.Options.ServingBatchWaitNS = sc.BatchWait.Nanoseconds()
+	for _, kind := range sc.Kinds {
+		for _, letter := range sc.Workloads {
+			for _, conns := range sc.Conns {
+				for _, batch := range []bool{true, false} {
+					p, err := RunServingSession(o, sc, kind, letter, conns, batch)
+					if err != nil {
+						return err
+					}
+					r.Serving = append(r.Serving, p)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -73,6 +73,13 @@ type Config struct {
 	Elide      bool         // maintain the persisted-epoch watermark (elide.go)
 	Combine    bool         // per-thread fence combining (combine.go; implies Elide)
 	Model      LatencyModel // injected access costs
+
+	// MediaPath backs the media image with a MAP_SHARED mmap of this file
+	// instead of an anonymous slice (mediafile.go), so the fenced image
+	// survives abrupt process death. Requires Persistent && Track. An
+	// existing file of the right size is adopted as-is; a new one starts
+	// zeroed.
+	MediaPath string
 }
 
 // Packed state-word bits. state == 0 is the latency-free running steady
@@ -194,7 +201,17 @@ func New(cfg Config) *Device {
 	}
 	d.syncGate()
 	if d.track {
-		d.media = alignedWords(words)
+		if cfg.MediaPath != "" {
+			m, err := mapMediaFile(cfg.MediaPath, words)
+			if err != nil {
+				panic(err)
+			}
+			d.media = m
+		} else {
+			d.media = alignedWords(words)
+		}
+	} else if cfg.MediaPath != "" {
+		panic("pmem: Config.MediaPath requires Persistent && Track")
 	}
 	d.elide = cfg.Elide && cfg.Persistent
 	d.lineTrack = d.track || d.elide

@@ -1,0 +1,77 @@
+//go:build linux || darwin
+
+package pmem
+
+// File-backed media: the persistent device's media image can live in a
+// MAP_SHARED mmap of a regular file instead of an anonymous Go slice. The
+// semantics line up with the crash model exactly:
+//
+//   - Words reach the media only through commitFence (explicit flush+fence)
+//     or PersistRange, so the file always holds precisely the fenced image.
+//   - A SIGKILL — or any abrupt process death — loses the current (cache)
+//     view, which is process-private, but every store already made into the
+//     shared mapping stays visible to the next process that opens the file
+//     (the OS page cache does not die with the process). The file after a
+//     kill therefore equals the media after a simulated Crash with the
+//     drop-all policy, with per-word persist granularity for a fence that
+//     was mid-commit — the same atomicity the crash model grants.
+//   - Unfenced writes never touch the file, so they can never survive: the
+//     eviction adversary degenerates to "drop", the sound baseline.
+//
+// A fresh file is created zeroed at the device size; an existing file of
+// the right size is adopted as-is, which is how a restarted process attaches
+// to the previous incarnation's fenced state (engine.Config.Attach).
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mapMediaFile opens (creating if needed) path, sizes it to hold words
+// 8-byte words, and maps it shared so stores into the returned slice land
+// in the OS page cache immediately. The mapping is page-aligned, so the
+// 16-byte DWCAS alignment requirement holds.
+func mapMediaFile(path string, words int) ([]uint64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pmem: media file: %w", err)
+	}
+	defer f.Close()
+	size := int64(words) * 8
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("pmem: media file: %w", err)
+	}
+	if st.Size() != size {
+		if st.Size() != 0 {
+			return nil, fmt.Errorf("pmem: media file %s holds %d bytes, want %d (different device config?)",
+				path, st.Size(), size)
+		}
+		if err := f.Truncate(size); err != nil {
+			return nil, fmt.Errorf("pmem: media file: %w", err)
+		}
+	}
+	buf, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("pmem: mmap %s: %w", path, err)
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&buf[0])), words), nil
+}
+
+// ResetFromMedia replaces the device's current (cache) view with its media
+// image — the state a power failure would leave after the adversary ran.
+// It is the attach path for a device whose media was adopted from a file:
+// the previous process's unfenced writes are already absent from the file,
+// so no crash policy applies. The device must be quiesced.
+func (d *Device) ResetFromMedia() {
+	if !d.track {
+		panic("pmem: ResetFromMedia on a device that is not tracking its media")
+	}
+	copy(d.words, d.media)
+	d.gen.Add(1)
+	d.state.Store(d.baseState)
+	d.syncGate()
+}

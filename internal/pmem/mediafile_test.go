@@ -1,0 +1,85 @@
+//go:build linux || darwin
+
+package pmem
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestMediaFilePersistsFencedImage opens two devices over one file in
+// sequence, simulating a process that dies (first device dropped without any
+// crash call) and a successor that attaches. Only fenced writes may appear
+// in the successor's media.
+func TestMediaFilePersistsFencedImage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "media.img")
+	cfg := Config{Name: "nvmm", Words: 4 * WordsPerLine, Persistent: true, Track: true, MediaPath: path}
+
+	d1 := New(cfg)
+	var fs FlushSet
+	d1.Store(8, 111) // line 1: flushed and fenced -> must survive
+	d1.Flush(&fs, 8)
+	d1.Fence(&fs)
+	d1.Store(16, 222) // line 2: flushed, never fenced -> must not survive
+	d1.Flush(&fs, 16)
+	d1.Store(24, 333) // line 3: never even flushed -> must not survive
+	// d1 is simply abandoned: no Crash, no Fence — the process "died".
+
+	d2 := New(cfg)
+	if got := d2.PersistedWord(8); got != 111 {
+		t.Fatalf("fenced word: media = %d, want 111", got)
+	}
+	if got := d2.PersistedWord(16); got != 0 {
+		t.Fatalf("flushed-unfenced word leaked into media: %d", got)
+	}
+	if got := d2.PersistedWord(24); got != 0 {
+		t.Fatalf("unflushed word leaked into media: %d", got)
+	}
+
+	// The fresh device's cache view starts zeroed; ResetFromMedia installs
+	// the persisted image as the current view, like the tail of Crash.
+	if got := d2.Load(8); got != 0 {
+		t.Fatalf("pre-reset cache view = %d, want 0", got)
+	}
+	d2.ResetFromMedia()
+	if got := d2.Load(8); got != 111 {
+		t.Fatalf("post-reset cache view = %d, want 111", got)
+	}
+	if got := d2.Load(16); got != 0 {
+		t.Fatalf("post-reset cache view of unfenced word = %d, want 0", got)
+	}
+}
+
+// TestMediaFileSizeMismatch pins the config-mismatch guard: adopting an
+// existing file under a different device size must fail loudly, not
+// silently reinterpret offsets.
+func TestMediaFileSizeMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "media.img")
+	New(Config{Name: "a", Words: 4 * WordsPerLine, Persistent: true, Track: true, MediaPath: path})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size-mismatched media file adopted without panic")
+		}
+	}()
+	New(Config{Name: "b", Words: 8 * WordsPerLine, Persistent: true, Track: true, MediaPath: path})
+}
+
+// TestMediaFileCrashStillWorks ensures the simulated Crash path (eviction
+// adversary + view reset) operates identically over a file-backed media.
+func TestMediaFileCrashStillWorks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "media.img")
+	d := New(Config{Name: "nvmm", Words: 4 * WordsPerLine, Persistent: true, Track: true, MediaPath: path})
+	var fs FlushSet
+	d.Store(8, 7)
+	d.Flush(&fs, 8)
+	d.Fence(&fs)
+	d.Store(9, 9) // unfenced: dropped by CrashDropAll
+	d.Freeze()
+	d.Crash(CrashDropAll, nil)
+	if got := d.Load(8); got != 7 {
+		t.Fatalf("fenced word after crash = %d, want 7", got)
+	}
+	if got := d.Load(9); got != 0 {
+		t.Fatalf("unfenced word survived crash: %d", got)
+	}
+}

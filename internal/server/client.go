@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+
+	"mirror/internal/wire"
+)
+
+// Client is a synchronous wire-protocol client: one connection, one client
+// id, one outstanding operation (the descriptor-slot contract). It tracks
+// the per-client sequence number; after a reconnect, restore it with
+// SetSeq before resolving or replaying the cut operation.
+//
+// Not safe for concurrent use — the serving tier's concurrency unit is many
+// clients, not many goroutines on one client.
+type Client struct {
+	nc   net.Conn
+	rd   *bufio.Reader
+	id   uint32
+	seq  uint64
+	wbuf []byte
+	rbuf []byte
+}
+
+// Dial connects to a mirrord server as the given client id.
+func Dial(addr string, id uint32) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{nc: nc, rd: bufio.NewReader(nc), id: id, rbuf: make([]byte, 64)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// ID returns the client id.
+func (c *Client) ID() uint32 { return c.id }
+
+// Seq returns the sequence number of the most recently issued mutating
+// operation (0 before the first).
+func (c *Client) Seq() uint64 { return c.seq }
+
+// SetSeq restores the sequence counter after a reconnect, so the next
+// mutation continues the per-client strictly-increasing series.
+func (c *Client) SetSeq(seq uint64) { c.seq = seq }
+
+// Do sends one request frame and reads its response. A StatusError response
+// is returned as a *wire.ProtocolError (the server closes the connection
+// after sending one).
+func (c *Client) Do(req wire.Request) (wire.Response, error) {
+	c.wbuf = wire.AppendRequest(c.wbuf[:0], req)
+	if _, err := c.nc.Write(c.wbuf); err != nil {
+		return wire.Response{}, err
+	}
+	resp, err := wire.ReadResponse(c.rd, c.rbuf)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	if resp.Status == wire.StatusError {
+		return resp, &wire.ProtocolError{Reason: resp.Err}
+	}
+	return resp, nil
+}
+
+// mutate issues op with the next sequence number.
+func (c *Client) mutate(op wire.Op, key, val uint64) (wire.Response, error) {
+	c.seq++
+	return c.Do(wire.Request{Op: op, Client: c.id, Seq: c.seq, Key: key, Val: val})
+}
+
+// Insert adds key→val to the served set.
+func (c *Client) Insert(key, val uint64) (bool, error) {
+	r, err := c.mutate(wire.OpInsert, key, val)
+	return r.Result, err
+}
+
+// Delete removes key from the served set.
+func (c *Client) Delete(key uint64) (bool, error) {
+	r, err := c.mutate(wire.OpDelete, key, 0)
+	return r.Result, err
+}
+
+// Get looks key up in the served set.
+func (c *Client) Get(key uint64) (val uint64, ok bool, err error) {
+	r, err := c.Do(wire.Request{Op: wire.OpGet, Client: c.id, Key: key})
+	return r.Rval, r.Result, err
+}
+
+// Enqueue appends v to the served queue.
+func (c *Client) Enqueue(v uint64) error {
+	_, err := c.mutate(wire.OpEnqueue, 0, v)
+	return err
+}
+
+// Dequeue removes the oldest element of the served queue.
+func (c *Client) Dequeue() (v uint64, ok bool, err error) {
+	r, err := c.mutate(wire.OpDequeue, 0, 0)
+	return r.Rval, r.Result, err
+}
+
+// Detect asks the server for the durable fate of this client's seq.
+func (c *Client) Detect(seq uint64) (wire.Response, error) {
+	return c.Do(wire.Request{Op: wire.OpDetect, Client: c.id, Seq: seq})
+}
+
+// Replay re-sends a mutating frame with an explicit (already consumed)
+// sequence number — the reconnect path resolving a cut operation. The
+// client's own counter is advanced past seq if behind.
+func (c *Client) Replay(op wire.Op, seq, key, val uint64) (wire.Response, error) {
+	if c.seq < seq {
+		c.seq = seq
+	}
+	return c.Do(wire.Request{Op: op, Client: c.id, Seq: seq, Key: key, Val: val})
+}
+
+// ErrClosed reports whether err looks like the peer vanishing mid-exchange —
+// the expected outcome of a server kill: a clean EOF, a reset, or a framing
+// error from a half-written frame.
+func ErrClosed(err error) bool {
+	if err == nil {
+		return false
+	}
+	var pe *wire.ProtocolError
+	var oe *net.OpError
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.As(err, &oe) || errors.As(err, &pe)
+}

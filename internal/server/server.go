@@ -1,0 +1,602 @@
+// Package server implements mirrord's serving tier: a TCP front end over
+// one durable persistence engine, exposing a keyed set (the lock-free hash
+// table) and a FIFO queue through the wire protocol of internal/wire.
+//
+// The interesting part is the write path. Every mutating frame carries the
+// engine's detectability identity (client, seq), and the server runs it
+// under the batched-verdict descriptor protocol: per-connection readers
+// parse frames and route them to a worker goroutine chosen by client id, the
+// worker executes a batch of operations from many clients with their
+// verdicts deferred (engine.DetectBeginDeferred / DetectEndDeferred), and a
+// single engine.DetectDrain then makes the whole batch durable — one
+// trailing fence commits every client's operation — before any response is
+// released. Cross-client fence batching turns k concurrent commits into one
+// fence without weakening the contract: a client holds no acknowledgement
+// until its operation is persistent, and after a crash the descriptor
+// region resolves every unacknowledged frame via DETECT.
+//
+// Routing by client id (client mod workers) keeps each descriptor slot
+// single-writer and keeps one client's frames in order, which the Detect
+// truth table requires ("the slot moved past seq" implies seq committed).
+//
+// With Config.MediaPath the engine's fenced image lives in a file-backed
+// mapping, so the whole thing survives kill -9: a restarted server attaches
+// to the image (engine.Config.Attach), replays recovery, and serves the
+// pre-crash state. A sidecar meta file records the engine geometry; it is
+// written only after a fresh initialization completes, so a crash during
+// init leaves no meta and the next start wipes the partial image instead of
+// attaching to it.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mirror/internal/engine"
+	"mirror/internal/structures"
+	"mirror/internal/structures/hashtable"
+	"mirror/internal/structures/queue"
+	"mirror/internal/wire"
+)
+
+// Root fields used by the served structures. The hash table owns root
+// fields 0 and 1; the queue owns 4 and 5 (its head/tail pair).
+const (
+	tableRoot = 0
+	queueRoot = 4
+)
+
+// Config describes a server instance.
+type Config struct {
+	// Kind selects the durable engine; New rejects non-durable kinds
+	// (an acknowledgement from a volatile server would be a lie).
+	Kind engine.Kind
+	// Words sizes each engine device (default 1<<20).
+	Words int
+	// Buckets is the hash table's bucket count (power of two, default 1024).
+	Buckets int
+	// Clients is the descriptor-slot count — the exclusive upper bound on
+	// client ids the server accepts (default 64, max wire.MaxClients).
+	Clients int
+	// Workers is the number of batcher goroutines (default 2). Frames are
+	// routed by client id modulo Workers.
+	Workers int
+	// MediaPath backs the engine's fenced image with a file so it survives
+	// process death. Empty keeps the image in process memory (tests,
+	// benchmarks). A sidecar file MediaPath+".meta" records the geometry.
+	MediaPath string
+	// Combine enables the engine's cross-operation fence combining.
+	Combine bool
+	// NoBatch is the ablation switch: drain and respond after every
+	// operation instead of per batch, so each mutation pays its own fence.
+	NoBatch bool
+	// MaxBatch bounds operations drained under one fence (default 128).
+	MaxBatch int
+	// BatchWait is the group-commit window: after the first frame of a
+	// batch arrives, the worker keeps collecting until the window closes
+	// (or MaxBatch fills) before draining, so concurrently in-flight
+	// clients land under one fence. It trades that much first-frame
+	// latency for fences; zero means drain as soon as the channel is
+	// momentarily empty. Default 25µs — under a loopback round trip.
+	BatchWait time.Duration
+}
+
+func (c *Config) setDefaults() error {
+	if !c.Kind.Durable() {
+		return fmt.Errorf("server: engine kind %v is not durable", c.Kind)
+	}
+	if c.Words == 0 {
+		c.Words = 1 << 20
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 1024
+	}
+	if c.Buckets < 0 || c.Buckets&(c.Buckets-1) != 0 {
+		return fmt.Errorf("server: buckets %d not a power of two", c.Buckets)
+	}
+	if c.Clients == 0 {
+		c.Clients = 64
+	}
+	if c.Clients < 1 || c.Clients > wire.MaxClients {
+		return fmt.Errorf("server: clients %d outside [1, %d]", c.Clients, wire.MaxClients)
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 128
+	}
+	if c.BatchWait == 0 {
+		c.BatchWait = 25 * time.Microsecond
+	}
+	if c.NoBatch {
+		c.BatchWait = 0
+	}
+	return nil
+}
+
+// meta is the sidecar record distinguishing a reattachable image from
+// garbage. Every field participates in the engine's word layout, so a
+// mismatch means the image cannot be interpreted.
+type meta struct {
+	Kind    int  `json:"kind"`
+	Words   int  `json:"words"`
+	Buckets int  `json:"buckets"`
+	Clients int  `json:"clients"`
+	Combine bool `json:"combine"`
+}
+
+func metaPath(mediaPath string) string { return mediaPath + ".meta" }
+
+// Stats is a snapshot of the server's serving counters plus the engine's
+// persistence counters, for the fences-per-operation ablation.
+type Stats struct {
+	Ops       uint64 // frames executed (including GET and DETECT)
+	Mutations uint64 // frames that ran a mutating operation body
+	Replays   uint64 // mutating frames short-circuited by a committed descriptor
+	Batches   uint64 // drain batches released
+	Flushes   uint64 // engine cumulative flushes
+	Fences    uint64 // engine cumulative fences
+}
+
+// Server is one mirrord instance.
+type Server struct {
+	cfg      Config
+	e        engine.Engine
+	table    *hashtable.Table
+	q        *queue.Queue
+	attached bool
+
+	ln      net.Listener
+	workers []*worker
+	wg      sync.WaitGroup // accept loop + connection readers
+	wwg     sync.WaitGroup // workers
+
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	closed bool
+
+	ops       atomic.Uint64
+	mutations atomic.Uint64
+	replays   atomic.Uint64
+	batches   atomic.Uint64
+}
+
+// New builds the engine and its structures — attaching to an existing media
+// image when the sidecar meta proves one is present and compatible — but
+// does not listen yet.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	want := meta{
+		Kind: int(cfg.Kind), Words: cfg.Words, Buckets: cfg.Buckets,
+		Clients: cfg.Clients, Combine: cfg.Combine,
+	}
+	attach := false
+	if cfg.MediaPath != "" {
+		raw, err := os.ReadFile(metaPath(cfg.MediaPath))
+		switch {
+		case err == nil:
+			var have meta
+			if json.Unmarshal(raw, &have) != nil || have != want {
+				return nil, fmt.Errorf("server: media %s was written with a different configuration", cfg.MediaPath)
+			}
+			attach = true
+		case errors.Is(err, os.ErrNotExist):
+			// No meta: either a first start or a crash during init. Either
+			// way the image (if any) is uninitialized garbage — wipe it.
+			if err := os.Remove(cfg.MediaPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return nil, err
+			}
+		default:
+			return nil, err
+		}
+	}
+	e := engine.New(engine.Config{
+		Kind:      cfg.Kind,
+		Words:     cfg.Words,
+		Track:     cfg.MediaPath != "",
+		Clients:   cfg.Clients,
+		Combine:   cfg.Combine,
+		MediaPath: cfg.MediaPath,
+		Attach:    attach,
+	})
+	s := &Server{cfg: cfg, e: e, attached: attach, conns: make(map[*conn]struct{})}
+	c := e.NewCtx()
+	if attach {
+		e.Recover(s.tracer())
+	}
+	// NewAt both adopts (attach: the roots are non-zero after recovery) and
+	// initializes (fresh: it writes the root cells).
+	s.table = hashtable.NewAt(e, c, cfg.Buckets, tableRoot)
+	s.q = queue.NewAt(e, c, queueRoot)
+	e.Drain(c)
+	if attach {
+		if err := s.verify(c); err != nil {
+			return nil, err
+		}
+	} else if cfg.MediaPath != "" {
+		// Initialization is durable (Drain above); only now may a future
+		// incarnation trust the image.
+		raw, err := json.Marshal(want)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(metaPath(cfg.MediaPath), raw, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers = append(s.workers, &worker{
+			s: s, c: e.NewCtx(), ch: make(chan reqItem, 1024),
+		})
+	}
+	return s, nil
+}
+
+// tracer walks both served structures; their reachable sets are disjoint
+// (every object hangs off exactly one root), so each object is visited once.
+func (s *Server) tracer() engine.Tracer {
+	ht := hashtable.TracerAt(s.e, tableRoot)
+	qt := queue.TracerAt(s.e, queueRoot)
+	return func(read func(engine.Ref, int) uint64, visit func(engine.Ref, int)) {
+		ht(read, visit)
+		qt(read, visit)
+	}
+}
+
+// verify is the post-attach fsck: full read-only walks of both structures.
+// A corrupt image (dangling reference, cycle, unreadable node) panics or
+// hangs inside the engine; reaching the counts proves every reachable node
+// was traced, rebuilt, and is consistent enough to traverse.
+func (s *Server) verify(c *engine.Ctx) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: post-attach verification failed: %v", r)
+		}
+	}()
+	if n := s.table.Len(c); n < 0 {
+		return fmt.Errorf("server: table walk returned %d", n)
+	}
+	if n := s.q.Len(c); n < 0 {
+		return fmt.Errorf("server: queue walk returned %d", n)
+	}
+	return nil
+}
+
+// Attached reports whether New adopted an existing media image.
+func (s *Server) Attached() bool { return s.attached }
+
+// Engine exposes the underlying engine for in-process benchmarks and tests.
+func (s *Server) Engine() engine.Engine { return s.e }
+
+// Stats snapshots the serving and persistence counters.
+func (s *Server) Stats() Stats {
+	fl, fe := s.e.Counters()
+	return Stats{
+		Ops:       s.ops.Load(),
+		Mutations: s.mutations.Load(),
+		Replays:   s.replays.Load(),
+		Batches:   s.batches.Load(),
+		Flushes:   fl,
+		Fences:    fe,
+	}
+}
+
+// Listen binds addr and starts the accept loop and workers.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	for _, w := range s.workers {
+		s.wwg.Add(1)
+		go w.run()
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listener address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every connection, drains the workers (any
+// staged batch is committed before they exit), and returns when all
+// goroutines are done. The media image stays valid for a later attach.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for cn := range s.conns {
+		cn.nc.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait() // accept loop + readers: no further sends to workers
+	for _, w := range s.workers {
+		close(w.ch)
+	}
+	s.wwg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		cn := &conn{nc: nc}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[cn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.readLoop(cn)
+	}
+}
+
+// conn is one client connection. Workers write responses under wmu — a
+// single connection's frames can land in different workers' batches when it
+// multiplexes several client ids.
+type conn struct {
+	nc  net.Conn
+	wmu sync.Mutex
+}
+
+func (cn *conn) write(b []byte) {
+	cn.wmu.Lock()
+	cn.nc.Write(b) // a dead connection just drops the response
+	cn.wmu.Unlock()
+}
+
+// readLoop parses frames off one connection and routes them to workers. A
+// malformed frame is answered with a terminal error response: framing
+// cannot resynchronize, so the connection closes.
+func (s *Server) readLoop(cn *conn) {
+	defer s.wg.Done()
+	defer func() {
+		cn.nc.Close()
+		s.mu.Lock()
+		delete(s.conns, cn)
+		s.mu.Unlock()
+	}()
+	rd := bufio.NewReader(cn.nc)
+	buf := make([]byte, 64)
+	for {
+		req, err := wire.ReadRequest(rd, buf)
+		if err != nil {
+			var pe *wire.ProtocolError
+			if errors.As(err, &pe) {
+				cn.write(wire.AppendResponse(nil, wire.Response{
+					Status: wire.StatusError, Err: pe.Reason,
+				}))
+			}
+			return
+		}
+		if int(req.Client) >= s.cfg.Clients {
+			cn.write(wire.AppendResponse(nil, wire.Response{
+				Status: wire.StatusError,
+				Err:    fmt.Sprintf("client id %d outside [0, %d)", req.Client, s.cfg.Clients),
+			}))
+			return
+		}
+		s.workers[int(req.Client)%len(s.workers)].ch <- reqItem{cn: cn, req: req}
+	}
+}
+
+// reqItem is one routed frame.
+type reqItem struct {
+	cn  *conn
+	req wire.Request
+}
+
+// respItem is one staged response awaiting its batch's drain.
+type respItem struct {
+	cn   *conn
+	resp wire.Response
+}
+
+// worker executes one partition of the client-id space. It owns one engine
+// context, so every descriptor slot it serves is single-writer and one
+// client's operations execute in arrival order.
+type worker struct {
+	s      *Server
+	c      *engine.Ctx
+	ch     chan reqItem
+	staged []respItem
+}
+
+func (w *worker) run() {
+	defer w.finish()
+	batch := make([]reqItem, 0, w.s.cfg.MaxBatch)
+	for {
+		it, ok := <-w.ch
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], it)
+		// Coalesce frames from any client this worker serves, up to
+		// MaxBatch: first whatever already arrived, then — group commit —
+		// whatever lands within the BatchWait window.
+	fill:
+		for len(batch) < w.s.cfg.MaxBatch {
+			select {
+			case it, ok := <-w.ch:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, it)
+			default:
+				break fill
+			}
+		}
+		if n := w.s.cfg.BatchWait; n > 0 && len(batch) < w.s.cfg.MaxBatch {
+			// Group-commit window. A timer wait here would round the
+			// window up to the runtime timer's granularity (a millisecond
+			// or more on some hosts) — a 25µs window must not cost 1ms of
+			// tail latency. A yield-spin against the deadline keeps the
+			// window honest; each Gosched hands the processor to the
+			// connection readers whose frames the window exists to catch.
+			deadline := time.Now().Add(n)
+		window:
+			for len(batch) < w.s.cfg.MaxBatch {
+				select {
+				case it, ok := <-w.ch:
+					if !ok {
+						break window
+					}
+					batch = append(batch, it)
+				default:
+					if !time.Now().Before(deadline) {
+						break window
+					}
+					runtime.Gosched()
+				}
+			}
+		}
+		for _, it := range batch {
+			w.exec(it)
+			if w.s.cfg.NoBatch {
+				w.release()
+			}
+		}
+		w.release()
+	}
+}
+
+func (w *worker) finish() {
+	// Commit any verdicts staged after the channel closed mid-batch.
+	w.release()
+	w.s.wwg.Done()
+}
+
+// release drains the batch's deferred verdicts under one fence, then writes
+// the staged responses — grouped per connection into single writes, in
+// execution order. No response escapes before its operation is durable.
+func (w *worker) release() {
+	if len(w.staged) == 0 {
+		return
+	}
+	engine.DetectDrain(w.s.e, w.c)
+	w.s.batches.Add(1)
+	// Group consecutive frames per connection, preserving order.
+	var bufs []*connBuf
+	byConn := make(map[*conn]*connBuf, 4)
+	for _, st := range w.staged {
+		cb := byConn[st.cn]
+		if cb == nil {
+			cb = &connBuf{cn: st.cn}
+			byConn[st.cn] = cb
+			bufs = append(bufs, cb)
+		}
+		cb.b = wire.AppendResponse(cb.b, st.resp)
+	}
+	for _, cb := range bufs {
+		cb.cn.write(cb.b)
+	}
+	w.staged = w.staged[:0]
+}
+
+type connBuf struct {
+	cn *conn
+	b  []byte
+}
+
+// exec runs one frame and stages its response. Mutating frames consult the
+// descriptor first: a committed (client, seq) is answered from its recorded
+// verdict instead of re-running — the server half of exactly-once replay.
+func (w *worker) exec(it reqItem) {
+	s, c, r := w.s, w.c, it.req
+	s.ops.Add(1)
+	var resp wire.Response
+	if (r.Op == wire.OpGet || r.Op == wire.OpInsert || r.Op == wire.OpDelete) &&
+		(r.Key == 0 || r.Key > structures.KeyMax) {
+		// Keyed frames address the set, whose usable keys are
+		// [1, structures.KeyMax]. A bad key is the client's error, not a
+		// connection fault: answer it and keep serving.
+		w.staged = append(w.staged, respItem{cn: it.cn, resp: wire.Response{
+			Status: wire.StatusError,
+			Err:    fmt.Sprintf("key %d outside usable range", r.Key),
+		}})
+		return
+	}
+	switch r.Op {
+	case wire.OpGet:
+		v, ok := s.table.Get(c, r.Key)
+		resp = wire.Response{Status: wire.StatusOK, Result: ok, Known: true, Rval: v}
+	case wire.OpDetect:
+		// Commit this worker's pending verdicts first: the asked-about slot
+		// belongs to this worker's partition, so after the drain the answer
+		// is durable truth.
+		engine.DetectDrain(s.e, c)
+		d := s.e.Detect(int(r.Client), r.Seq)
+		resp = wire.Response{
+			Status: wire.StatusOK, Result: d.Result, Known: d.KnownResult,
+			Verdict: uint8(d.Verdict), Rval: d.Rval,
+		}
+	default: // mutating
+		if d := s.e.Detect(int(r.Client), r.Seq); d.Verdict == engine.Committed {
+			s.replays.Add(1)
+			resp = wire.Response{
+				Status: wire.StatusOK, Result: d.Result, Known: d.KnownResult,
+				Verdict: uint8(engine.Committed), Rval: d.Rval,
+			}
+			break
+		}
+		s.mutations.Add(1)
+		client := int(r.Client)
+		var result bool
+		var rval uint64
+		switch r.Op {
+		case wire.OpInsert:
+			// The insert's publish barrier fences before the linearizing
+			// install, so the announce rides it (deferAnnounce).
+			engine.DetectBeginDeferred(s.e, c, client, r.Seq, engine.DetectInsert, r.Key, r.Val, true)
+			result = s.table.Insert(c, r.Key, r.Val)
+		case wire.OpDelete:
+			engine.DetectBeginDeferred(s.e, c, client, r.Seq, engine.DetectDelete, r.Key, 0, false)
+			result = s.table.Delete(c, r.Key)
+		case wire.OpEnqueue:
+			engine.DetectBeginDeferred(s.e, c, client, r.Seq, engine.DetectEnqueue, 0, r.Val, true)
+			s.q.Enqueue(c, r.Val)
+			result = true
+		case wire.OpDequeue:
+			engine.DetectBeginDeferred(s.e, c, client, r.Seq, engine.DetectDequeue, 0, 0, false)
+			rval, result = s.q.Dequeue(c)
+		}
+		engine.DetectEndDeferred(s.e, c, result, rval)
+		resp = wire.Response{
+			Status: wire.StatusOK, Result: result, Known: true,
+			Verdict: uint8(engine.Committed), Rval: rval,
+		}
+	}
+	w.staged = append(w.staged, respItem{cn: it.cn, resp: resp})
+}

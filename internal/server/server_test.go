@@ -1,0 +1,385 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mirror/internal/engine"
+	"mirror/internal/wire"
+)
+
+func durableKinds() []engine.Kind {
+	return []engine.Kind{engine.Izraelevitz, engine.NVTraverse, engine.MirrorDRAM, engine.MirrorNVMM}
+}
+
+// startServer builds and listens a server on a loopback port.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func dial(t *testing.T, s *Server, id uint32) *Client {
+	t.Helper()
+	c, err := Dial(s.Addr().String(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestServeBasicOps drives the full op set through one client on every
+// durable engine.
+func TestServeBasicOps(t *testing.T) {
+	for _, kind := range durableKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			s := startServer(t, Config{Kind: kind, Workers: 2})
+			c := dial(t, s, 3)
+
+			if ok, err := c.Insert(10, 100); err != nil || !ok {
+				t.Fatalf("insert: %v %v", ok, err)
+			}
+			if ok, _ := c.Insert(10, 100); ok {
+				t.Fatal("duplicate insert succeeded")
+			}
+			if v, ok, _ := c.Get(10); !ok || v != 100 {
+				t.Fatalf("get = %d,%v want 100,true", v, ok)
+			}
+			if ok, _ := c.Delete(10); !ok {
+				t.Fatal("delete failed")
+			}
+			if _, ok, _ := c.Get(10); ok {
+				t.Fatal("get after delete")
+			}
+			if err := c.Enqueue(7); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Enqueue(8); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok, _ := c.Dequeue(); !ok || v != 7 {
+				t.Fatalf("dequeue = %d,%v want 7,true", v, ok)
+			}
+			if v, ok, _ := c.Dequeue(); !ok || v != 8 {
+				t.Fatalf("dequeue = %d,%v want 8,true", v, ok)
+			}
+			if _, ok, _ := c.Dequeue(); ok {
+				t.Fatal("dequeue on empty queue succeeded")
+			}
+		})
+	}
+}
+
+// TestServeConcurrentClients hammers the batcher from many clients at once
+// and checks global accounting: every acknowledged enqueue is eventually
+// dequeued or still queued, and per-client inserts are all visible.
+func TestServeConcurrentClients(t *testing.T) {
+	s := startServer(t, Config{Kind: engine.MirrorDRAM, Workers: 3, Clients: 16})
+	const clients, opsEach = 8, 200
+	var wg sync.WaitGroup
+	var enqAcks, deqAcks [clients]uint64
+	errs := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr().String(), uint32(id))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < opsEach; i++ {
+				key := uint64(id+1)<<32 | uint64(i+1)
+				if ok, err := c.Insert(key, key+1); err != nil || !ok {
+					errs <- fmt.Errorf("client %d insert %d: %v %v", id, i, ok, err)
+					return
+				}
+				if err := c.Enqueue(key); err != nil {
+					errs <- err
+					return
+				}
+				enqAcks[id]++
+				if v, ok, err := c.Dequeue(); err != nil {
+					errs <- err
+					return
+				} else if ok && v == 0 {
+					errs <- fmt.Errorf("dequeued zero value")
+					return
+				} else if ok {
+					deqAcks[id]++
+				}
+			}
+			errs <- nil
+		}(id)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All inserts visible.
+	c := dial(t, s, clients)
+	for id := 0; id < clients; id++ {
+		for i := 0; i < opsEach; i++ {
+			key := uint64(id+1)<<32 | uint64(i+1)
+			if v, ok, err := c.Get(key); err != nil || !ok || v != key+1 {
+				t.Fatalf("get %d = %d,%v,%v", key, v, ok, err)
+			}
+		}
+	}
+	// Queue conservation: acknowledged enqueues minus acknowledged dequeues
+	// equals what remains.
+	var enq, deq uint64
+	for id := 0; id < clients; id++ {
+		enq += enqAcks[id]
+		deq += deqAcks[id]
+	}
+	remaining := uint64(0)
+	for {
+		_, ok, err := c.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		remaining++
+	}
+	if enq != deq+remaining {
+		t.Fatalf("queue leak: %d enqueued, %d dequeued + %d remaining", enq, deq, remaining)
+	}
+	if st := s.Stats(); st.Batches == 0 || st.Mutations == 0 {
+		t.Fatalf("stats not accounted: %+v", st)
+	}
+}
+
+// TestServeReplayIsExactlyOnce re-sends an acknowledged frame and checks the
+// server answers from the descriptor instead of re-running the operation.
+func TestServeReplayIsExactlyOnce(t *testing.T) {
+	s := startServer(t, Config{Kind: engine.MirrorDRAM})
+	c := dial(t, s, 1)
+	if ok, err := c.Insert(5, 50); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	seq := c.Seq()
+	before := s.Stats()
+	r, err := c.Replay(wire.OpInsert, seq, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Result || !r.Known || r.Verdict != uint8(engine.Committed) {
+		t.Fatalf("replay response %+v, want known committed true", r)
+	}
+	after := s.Stats()
+	if after.Mutations != before.Mutations {
+		t.Fatal("replay re-ran the operation body")
+	}
+	if after.Replays != before.Replays+1 {
+		t.Fatalf("replay not accounted: %+v -> %+v", before, after)
+	}
+	// A replayed enqueue must not duplicate the element.
+	if err := c.Enqueue(77); err != nil {
+		t.Fatal(err)
+	}
+	eseq := c.Seq()
+	if _, err := c.Replay(wire.OpEnqueue, eseq, 0, 77); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := c.Dequeue(); !ok || v != 77 {
+		t.Fatalf("dequeue = %d,%v", v, ok)
+	}
+	if _, ok, _ := c.Dequeue(); ok {
+		t.Fatal("replayed enqueue duplicated the element")
+	}
+}
+
+// TestServeDetect checks the DETECT answer for committed, unknown-seq, and
+// never-issued operations.
+func TestServeDetect(t *testing.T) {
+	s := startServer(t, Config{Kind: engine.MirrorNVMM})
+	c := dial(t, s, 2)
+	if ok, err := c.Insert(9, 90); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	r, err := c.Detect(c.Seq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != uint8(engine.Committed) || !r.Known || !r.Result {
+		t.Fatalf("detect committed op: %+v", r)
+	}
+	if r, _ = c.Detect(c.Seq() + 5); r.Verdict != uint8(engine.NotCommitted) {
+		t.Fatalf("detect future seq: %+v", r)
+	}
+}
+
+// TestServeErrorFrames checks malformed frames produce an error response
+// and a closed connection, and that a fresh connection still works.
+func TestServeErrorFrames(t *testing.T) {
+	s := startServer(t, Config{Kind: engine.MirrorDRAM, Clients: 4})
+	for name, frame := range map[string][]byte{
+		"bad op":        wire.AppendRequest(nil, wire.Request{Op: 99, Client: 1, Seq: 1}),
+		"client range":  wire.AppendRequest(nil, wire.Request{Op: wire.OpGet, Client: 7}),
+		"huge length":   binary.LittleEndian.AppendUint32(nil, 1<<20),
+		"short payload": append(binary.LittleEndian.AppendUint32(nil, 5), 1, 2, 3, 4, 5),
+	} {
+		nc, err := net.Dial("tcp", s.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nc.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := wire.ReadResponse(nc, nil)
+		if err == nil && resp.Status != wire.StatusError {
+			t.Fatalf("%s: response %+v, want an error", name, resp)
+		}
+		// The connection is terminal after a framing error.
+		if _, err := wire.ReadResponse(nc, nil); err == nil {
+			t.Fatalf("%s: connection still open after error response", name)
+		}
+		nc.Close()
+	}
+	// The server survives all of that.
+	c := dial(t, s, 1)
+	if ok, err := c.Insert(1, 2); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+}
+
+// TestServeAttachRestart writes through one server incarnation, closes it,
+// and attaches a second over the same media file: data, queue contents, and
+// descriptor state must all survive, on every durable engine.
+func TestServeAttachRestart(t *testing.T) {
+	for _, kind := range durableKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			media := filepath.Join(t.TempDir(), "media")
+			cfg := Config{Kind: kind, MediaPath: media, Words: 1 << 18, Buckets: 256}
+			s1 := startServer(t, cfg)
+			if s1.Attached() {
+				t.Fatal("fresh server claims attach")
+			}
+			c := dial(t, s1, 4)
+			for i := uint64(1); i <= 50; i++ {
+				if ok, err := c.Insert(i, i*10); err != nil || !ok {
+					t.Fatal(i, ok, err)
+				}
+			}
+			if err := c.Enqueue(123); err != nil {
+				t.Fatal(err)
+			}
+			lastSeq := c.Seq()
+			c.Close()
+			s1.Close()
+
+			s2 := startServer(t, cfg)
+			if !s2.Attached() {
+				t.Fatal("second incarnation did not attach")
+			}
+			c2 := dial(t, s2, 4)
+			c2.SetSeq(lastSeq)
+			for i := uint64(1); i <= 50; i++ {
+				if v, ok, err := c2.Get(i); err != nil || !ok || v != i*10 {
+					t.Fatalf("get %d after attach = %d,%v,%v", i, v, ok, err)
+				}
+			}
+			// The descriptor region survived: the last pre-restart op reads
+			// Committed across incarnations.
+			r, err := c2.Detect(lastSeq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Verdict != uint8(engine.Committed) {
+				t.Fatalf("detect across restart: %+v", r)
+			}
+			if v, ok, _ := c2.Dequeue(); !ok || v != 123 {
+				t.Fatalf("queue after attach = %d,%v want 123", v, ok)
+			}
+			// And the engine keeps serving new mutations.
+			if ok, err := c2.Insert(1000, 1); err != nil || !ok {
+				t.Fatal(ok, err)
+			}
+		})
+	}
+}
+
+// TestServeMetaMismatch refuses to attach an image written under different
+// geometry.
+func TestServeMetaMismatch(t *testing.T) {
+	media := filepath.Join(t.TempDir(), "media")
+	s1, err := New(Config{Kind: engine.MirrorDRAM, MediaPath: media, Words: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s1
+	if _, err := New(Config{Kind: engine.MirrorDRAM, MediaPath: media, Words: 1 << 19}); err == nil {
+		t.Fatal("attach with different Words succeeded")
+	}
+	if _, err := New(Config{Kind: engine.Izraelevitz, MediaPath: media, Words: 1 << 18}); err == nil {
+		t.Fatal("attach with different Kind succeeded")
+	}
+}
+
+// TestServeBatchingSavesFences runs the same load with and without
+// cross-client batching and checks batching spends measurably fewer fences
+// per mutation — the ablation the serving tier exists for.
+func TestServeBatchingSavesFences(t *testing.T) {
+	run := func(noBatch bool) (fences uint64, muts uint64) {
+		// A wide group-commit window makes coalescing deterministic under
+		// CI scheduling noise: all four in-flight clients land per batch.
+		s, err := New(Config{Kind: engine.MirrorDRAM, Workers: 1, NoBatch: noBatch,
+			BatchWait: 2 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		const clients = 4
+		var wg sync.WaitGroup
+		for id := 0; id < clients; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				c, err := Dial(s.Addr().String(), uint32(id))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer c.Close()
+				for i := 0; i < 100; i++ {
+					c.Insert(uint64(id+1)<<32|uint64(i+1), 1)
+				}
+			}(id)
+		}
+		wg.Wait()
+		st := s.Stats()
+		return st.Fences, st.Mutations
+	}
+	bf, bm := run(false)
+	nf, nm := run(true)
+	if bm != nm {
+		t.Fatalf("runs did different work: %d vs %d mutations", bm, nm)
+	}
+	batched, unbatched := float64(bf)/float64(bm), float64(nf)/float64(nm)
+	t.Logf("fences/mutation: batched %.2f, unbatched %.2f", batched, unbatched)
+	if batched >= unbatched {
+		t.Fatalf("batching saved nothing: %.2f >= %.2f fences/mutation", batched, unbatched)
+	}
+}

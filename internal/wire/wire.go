@@ -1,0 +1,264 @@
+// Package wire defines mirrord's length-prefixed binary protocol. A
+// connection carries a stream of frames in each direction; every frame is a
+// uint32 little-endian length followed by that many payload bytes.
+//
+// Request payload (fixed 29 bytes):
+//
+//	op     uint8    operation code (Op*)
+//	client uint32   client id — the engine descriptor slot
+//	seq    uint64   per-client sequence number, strictly increasing from 1
+//	key    uint64
+//	val    uint64
+//
+// Response payload (11 bytes + optional error text):
+//
+//	status  uint8   StatusOK | StatusError
+//	flags   uint8   bit 0 result, bit 1 known-result
+//	verdict uint8   Detect answer: 0 unknown, 1 committed, 2 not committed
+//	rval    uint64  value returned by GET/DEQ (and Detect's recorded rval)
+//	err     []byte  UTF-8 message; present iff status == StatusError
+//
+// Every mutating frame carries (client, seq), which is exactly the
+// detectability identity of the engine's descriptor protocol: a client that
+// loses its connection mid-operation reconnects and sends DETECT (or replays
+// the frame with the same seq) to resolve the cut operation exactly once.
+//
+// Decoding is strict: an unknown op, a bad payload length, a zero seq on a
+// mutating op, an out-of-range length prefix, or trailing error text on a
+// non-error response each produce a *ProtocolError. Garbage must never
+// panic or decode into a plausible request.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op is a request operation code.
+type Op uint8
+
+// Operation codes. GET and DETECT are non-mutating (seq 0 allowed); the
+// rest must carry a nonzero per-client sequence number.
+const (
+	OpGet Op = iota + 1
+	OpInsert
+	OpDelete
+	OpEnqueue
+	OpDequeue
+	OpDetect
+	opMax
+)
+
+// String names the op as it appears in the protocol table.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpInsert:
+		return "INSERT"
+	case OpDelete:
+		return "DELETE"
+	case OpEnqueue:
+		return "ENQ"
+	case OpDequeue:
+		return "DEQ"
+	case OpDetect:
+		return "DETECT"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Mutating reports whether the op changes durable state (and therefore
+// must carry a nonzero seq and run under a descriptor).
+func (o Op) Mutating() bool {
+	switch o {
+	case OpInsert, OpDelete, OpEnqueue, OpDequeue:
+		return true
+	}
+	return false
+}
+
+// Response status codes.
+const (
+	StatusOK    uint8 = 1
+	StatusError uint8 = 2
+)
+
+// Frame size limits. MaxFrame bounds any length prefix the reader will
+// honor, so a garbage prefix cannot trigger a huge allocation.
+const (
+	requestLen  = 29
+	responseMin = 11
+	MaxFrame    = 512
+)
+
+// MaxClients bounds the client id space a server will accept; it matches a
+// practical engine descriptor-region size and keeps a garbage frame from
+// addressing an absurd slot.
+const MaxClients = 1 << 16
+
+// ProtocolError describes a malformed frame. It is a terminal connection
+// error: framing cannot resynchronize after a bad length prefix.
+type ProtocolError struct{ Reason string }
+
+func (e *ProtocolError) Error() string { return "wire: " + e.Reason }
+
+func protoErrf(format string, args ...any) error {
+	return &ProtocolError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// Request is one decoded client frame.
+type Request struct {
+	Op     Op
+	Client uint32
+	Seq    uint64
+	Key    uint64
+	Val    uint64
+}
+
+// Response is one decoded server frame.
+type Response struct {
+	Status  uint8
+	Result  bool
+	Known   bool
+	Verdict uint8
+	Rval    uint64
+	Err     string
+}
+
+// AppendRequest appends r's frame (length prefix included) to dst.
+func AppendRequest(dst []byte, r Request) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, requestLen)
+	dst = append(dst, byte(r.Op))
+	dst = binary.LittleEndian.AppendUint32(dst, r.Client)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Key)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Val)
+	return dst
+}
+
+// AppendResponse appends r's frame (length prefix included) to dst.
+func AppendResponse(dst []byte, r Response) []byte {
+	if r.Status != StatusError && r.Err != "" {
+		panic("wire: error text on a non-error response")
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(responseMin+len(r.Err)))
+	dst = append(dst, r.Status)
+	var flags byte
+	if r.Result {
+		flags |= 1
+	}
+	if r.Known {
+		flags |= 2
+	}
+	dst = append(dst, flags, r.Verdict)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Rval)
+	return append(dst, r.Err...)
+}
+
+// DecodeRequest decodes one request payload (the bytes after the length
+// prefix).
+func DecodeRequest(p []byte) (Request, error) {
+	if len(p) != requestLen {
+		return Request{}, protoErrf("request payload %d bytes, want %d", len(p), requestLen)
+	}
+	r := Request{
+		Op:     Op(p[0]),
+		Client: binary.LittleEndian.Uint32(p[1:]),
+		Seq:    binary.LittleEndian.Uint64(p[5:]),
+		Key:    binary.LittleEndian.Uint64(p[13:]),
+		Val:    binary.LittleEndian.Uint64(p[21:]),
+	}
+	if r.Op == 0 || r.Op >= opMax {
+		return Request{}, protoErrf("unknown op %d", uint8(r.Op))
+	}
+	if r.Client >= MaxClients {
+		return Request{}, protoErrf("client id %d out of range", r.Client)
+	}
+	if r.Mutating() && r.Seq == 0 {
+		return Request{}, protoErrf("%s frame with seq 0", r.Op)
+	}
+	return r, nil
+}
+
+// Mutating reports whether the request mutates durable state.
+func (r Request) Mutating() bool { return r.Op.Mutating() }
+
+// DecodeResponse decodes one response payload (the bytes after the length
+// prefix).
+func DecodeResponse(p []byte) (Response, error) {
+	if len(p) < responseMin {
+		return Response{}, protoErrf("response payload %d bytes, want >= %d", len(p), responseMin)
+	}
+	r := Response{
+		Status:  p[0],
+		Result:  p[1]&1 != 0,
+		Known:   p[1]&2 != 0,
+		Verdict: p[2],
+		Rval:    binary.LittleEndian.Uint64(p[3:]),
+	}
+	if r.Status != StatusOK && r.Status != StatusError {
+		return Response{}, protoErrf("unknown status %d", r.Status)
+	}
+	if p[1]&^byte(3) != 0 {
+		return Response{}, protoErrf("reserved flag bits set: %#x", p[1])
+	}
+	if r.Verdict > 2 {
+		return Response{}, protoErrf("unknown verdict %d", r.Verdict)
+	}
+	if len(p) > responseMin {
+		if r.Status != StatusError {
+			return Response{}, protoErrf("trailing bytes on OK response")
+		}
+		r.Err = string(p[responseMin:])
+	}
+	return r, nil
+}
+
+// ReadFrame reads one length-prefixed frame payload from rd into buf
+// (grown as needed) and returns the payload slice. io.EOF is returned
+// cleanly only at a frame boundary; a prefix beyond MaxFrame or a
+// truncated payload is a *ProtocolError (wrapping io.ErrUnexpectedEOF for
+// mid-payload truncation).
+func ReadFrame(rd io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, protoErrf("truncated length prefix")
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, protoErrf("frame length %d outside (0, %d]", n, MaxFrame)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(rd, buf); err != nil {
+		return nil, protoErrf("truncated frame payload: %d of %d bytes", 0, n)
+	}
+	return buf, nil
+}
+
+// ReadRequest reads and decodes one request frame.
+func ReadRequest(rd io.Reader, buf []byte) (Request, error) {
+	p, err := ReadFrame(rd, buf)
+	if err != nil {
+		return Request{}, err
+	}
+	return DecodeRequest(p)
+}
+
+// ReadResponse reads and decodes one response frame.
+func ReadResponse(rd io.Reader, buf []byte) (Response, error) {
+	p, err := ReadFrame(rd, buf)
+	if err != nil {
+		return Response{}, err
+	}
+	return DecodeResponse(p)
+}

@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpGet, Client: 0, Seq: 0, Key: 42},
+		{Op: OpInsert, Client: 3, Seq: 1, Key: 7, Val: 70},
+		{Op: OpDelete, Client: 9, Seq: 1 << 40, Key: ^uint64(0)},
+		{Op: OpEnqueue, Client: MaxClients - 1, Seq: 2, Val: 5},
+		{Op: OpDequeue, Client: 1, Seq: 3},
+		{Op: OpDetect, Client: 1, Seq: 3},
+	}
+	var stream []byte
+	for _, r := range reqs {
+		stream = AppendRequest(stream, r)
+	}
+	rd := bytes.NewReader(stream)
+	var buf []byte
+	for i, want := range reqs {
+		got, err := ReadRequest(rd, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("frame %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := ReadRequest(rd, buf); err != io.EOF {
+		t.Fatalf("stream end: %v, want io.EOF", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{Status: StatusOK, Result: true, Known: true, Rval: 99},
+		{Status: StatusOK},
+		{Status: StatusOK, Verdict: 1, Known: true, Result: true, Rval: 7},
+		{Status: StatusError, Err: "bad op"},
+	}
+	var stream []byte
+	for _, r := range resps {
+		stream = AppendResponse(stream, r)
+	}
+	rd := bytes.NewReader(stream)
+	for i, want := range resps {
+		got, err := ReadResponse(rd, nil)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("frame %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+func TestDecodeRequestRejects(t *testing.T) {
+	valid := AppendRequest(nil, Request{Op: OpInsert, Client: 1, Seq: 1, Key: 2, Val: 3})
+	payload := valid[4:]
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"short payload", func(p []byte) []byte { return p[:len(p)-1] }},
+		{"long payload", func(p []byte) []byte { return append(p, 0) }},
+		{"zero op", func(p []byte) []byte { p[0] = 0; return p }},
+		{"unknown op", func(p []byte) []byte { p[0] = byte(opMax); return p }},
+		{"mutating seq 0", func(p []byte) []byte {
+			for i := 5; i < 13; i++ {
+				p[i] = 0
+			}
+			return p
+		}},
+		{"client out of range", func(p []byte) []byte {
+			binary.LittleEndian.PutUint32(p[1:], MaxClients)
+			return p
+		}},
+	}
+	for _, tc := range cases {
+		p := tc.mutate(append([]byte(nil), payload...))
+		if _, err := DecodeRequest(p); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		} else {
+			var pe *ProtocolError
+			if !errors.As(err, &pe) {
+				t.Errorf("%s: error %T, want *ProtocolError", tc.name, err)
+			}
+		}
+	}
+}
+
+func TestDecodeResponseRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"short":             make([]byte, responseMin-1),
+		"zero status":       append([]byte{0, 0, 0}, make([]byte, 8)...),
+		"unknown status":    append([]byte{9, 0, 0}, make([]byte, 8)...),
+		"reserved flags":    append([]byte{StatusOK, 8, 0}, make([]byte, 8)...),
+		"unknown verdict":   append([]byte{StatusOK, 0, 3}, make([]byte, 8)...),
+		"trailing after OK": append([]byte{StatusOK, 0, 0}, make([]byte, 9)...),
+	}
+	for name, p := range cases {
+		if _, err := DecodeResponse(p); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	// Oversized length prefix: must error before allocating the payload.
+	big := binary.LittleEndian.AppendUint32(nil, MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(big), nil); err == nil {
+		t.Error("oversized prefix accepted")
+	}
+	// Zero-length frame.
+	zero := binary.LittleEndian.AppendUint32(nil, 0)
+	if _, err := ReadFrame(bytes.NewReader(zero), nil); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+	// Truncated mid-prefix and mid-payload.
+	if _, err := ReadFrame(strings.NewReader("\x05"), nil); err == nil {
+		t.Error("truncated prefix accepted")
+	}
+	trunc := binary.LittleEndian.AppendUint32(nil, 10)
+	trunc = append(trunc, 1, 2, 3)
+	if _, err := ReadFrame(bytes.NewReader(trunc), nil); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	// Clean EOF only at a frame boundary.
+	if _, err := ReadFrame(bytes.NewReader(nil), nil); err != io.EOF {
+		t.Errorf("empty stream: %v, want io.EOF", err)
+	}
+}

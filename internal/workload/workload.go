@@ -16,41 +16,86 @@ import (
 )
 
 // Mix is an operation mix in per-mille (so 95.5% reads is representable).
+// Scans and read-modify-writes are optional op classes (YCSB-E/F); targets
+// without native support fall back per the Scanner/RMWer interface docs.
 type Mix struct {
 	ReadPM   int
 	InsertPM int
 	DeletePM int
+	ScanPM   int
+	RMWPM    int
 }
 
 func (m Mix) validate() {
-	if m.ReadPM+m.InsertPM+m.DeletePM != 1000 {
+	if m.ReadPM+m.InsertPM+m.DeletePM+m.ScanPM+m.RMWPM != 1000 {
 		panic(fmt.Sprintf("workload: mix %+v does not sum to 1000 per-mille", m))
 	}
 }
 
-// String renders the mix as the paper writes it.
+// String renders the mix as the paper writes it, with scan/RMW components
+// only when present.
 func (m Mix) String() string {
-	return fmt.Sprintf("%g%%r/%g%%i/%g%%d",
+	s := fmt.Sprintf("%g%%r/%g%%i/%g%%d",
 		float64(m.ReadPM)/10, float64(m.InsertPM)/10, float64(m.DeletePM)/10)
+	if m.ScanPM > 0 {
+		s += fmt.Sprintf("/%g%%s", float64(m.ScanPM)/10)
+	}
+	if m.RMWPM > 0 {
+		s += fmt.Sprintf("/%g%%m", float64(m.RMWPM)/10)
+	}
+	return s
 }
 
-// The standard mixes of §6.1.
+// The standard mixes of §6.1, extended to the full YCSB core suite. The
+// set-structure mapping is documented per workload: YCSB "update" on a
+// keyed set splits evenly between inserts and deletes (A, B), so the
+// structure size stays in steady state around the prefill.
 var (
 	// Mix801010 is 80% lookups, 10% inserts, 10% deletes.
-	Mix801010 = Mix{800, 100, 100}
+	Mix801010 = Mix{ReadPM: 800, InsertPM: 100, DeletePM: 100}
 	// YCSBA is 50% reads, updates split between inserts and deletes.
-	YCSBA = Mix{500, 250, 250}
+	YCSBA = Mix{ReadPM: 500, InsertPM: 250, DeletePM: 250}
 	// YCSBB is 95% reads.
-	YCSBB = Mix{950, 25, 25}
+	YCSBB = Mix{ReadPM: 950, InsertPM: 25, DeletePM: 25}
 	// YCSBC is read-only.
-	YCSBC = Mix{1000, 0, 0}
+	YCSBC = Mix{ReadPM: 1000}
+	// YCSBD is 95% reads, 5% inserts. YCSB's "latest" request
+	// distribution (reads skewed to recent inserts) is approximated by
+	// running it under the scrambled zipfian — honest caveat in
+	// EXPERIMENTS.md: the skew is toward a fixed hot set, not the
+	// insertion frontier.
+	YCSBD = Mix{ReadPM: 950, InsertPM: 50}
+	// YCSBE is 95% short range scans, 5% inserts.
+	YCSBE = Mix{ScanPM: 950, InsertPM: 50}
+	// YCSBF is 50% reads, 50% read-modify-writes.
+	YCSBF = Mix{ReadPM: 500, RMWPM: 500}
 )
+
+// YCSBMix returns workload letter ('A'..'F', case-insensitive) as its mix
+// plus the suite's default request distribution for it.
+func YCSBMix(letter byte) (Mix, string, bool) {
+	switch letter | 0x20 {
+	case 'a':
+		return YCSBA, DistZipfian, true
+	case 'b':
+		return YCSBB, DistZipfian, true
+	case 'c':
+		return YCSBC, DistZipfian, true
+	case 'd':
+		return YCSBD, DistZipfian, true // "latest" approximated by zipfian
+	case 'e':
+		return YCSBE, DistZipfian, true
+	case 'f':
+		return YCSBF, DistZipfian, true
+	}
+	return Mix{}, "", false
+}
 
 // UpdateMix returns the mix with the given percentage of updates (split
 // evenly between inserts and deletes), as used in the update sweeps.
 func UpdateMix(updatePct int) Mix {
 	u := updatePct * 10
-	return Mix{1000 - u, u / 2, u - u/2}
+	return Mix{ReadPM: 1000 - u, InsertPM: u / 2, DeletePM: u - u/2}
 }
 
 // Worker is one thread's handle onto the structure under test. Adapters
@@ -59,6 +104,22 @@ type Worker interface {
 	Insert(key, val uint64) bool
 	Delete(key uint64) bool
 	Contains(key uint64) bool
+}
+
+// Scanner is an optional Worker extension for range scans (YCSB-E): count
+// the keys present in [from, to]. Workers without it serve a Mix.ScanPM
+// operation as a Contains of the scan's start key (still counted as a
+// scan in the Result), so scan mixes run — without scan semantics — on
+// structures that cannot iterate in key order.
+type Scanner interface {
+	Scan(from, to uint64) int
+}
+
+// RMWer is an optional Worker extension for read-modify-write (YCSB-F).
+// Workers without it serve a Mix.RMWPM operation as Contains followed by
+// Insert of the same key — the closest composite a set API offers.
+type RMWer interface {
+	RMW(key, val uint64) bool
 }
 
 // Target is a freshly built structure under test.
@@ -95,6 +156,12 @@ type Spec struct {
 	// or the hotspot access fraction in (0, 1] (default 0.9). Ignored for
 	// the uniform distribution.
 	Skew float64
+	// ScanMax bounds the span of a Mix.ScanPM range scan: each scan
+	// covers [key, key+span] with span drawn uniformly from [1, 2*ScanMax]
+	// (the prefill holds roughly every other key, so the expected result
+	// size is ~ScanMax/2 keys, matching YCSB-E's uniform scan lengths).
+	// Zero defaults to 100.
+	ScanMax int
 }
 
 // Key distribution names.
@@ -208,6 +275,8 @@ type Result struct {
 	Reads   uint64
 	Inserts uint64
 	Deletes uint64
+	Scans   uint64
+	RMWs    uint64
 	Elapsed time.Duration
 
 	// Latencies holds the sampled per-operation latencies, sorted,
@@ -299,7 +368,11 @@ func Run(t Target, spec Spec) Result {
 	var stop atomic.Bool
 	gen := spec.KeyGen()
 	yield := spec.Threads > runtime.GOMAXPROCS(0)
-	counts := make([][4]uint64, spec.Threads) // ops, reads, inserts, deletes
+	scanMax := uint64(spec.ScanMax)
+	if scanMax == 0 {
+		scanMax = 100
+	}
+	counts := make([][6]uint64, spec.Threads) // ops, reads, inserts, deletes, scans, rmws
 	samples := make([][]time.Duration, spec.Threads)
 	var wg sync.WaitGroup
 	var ready sync.WaitGroup
@@ -310,11 +383,17 @@ func Run(t Target, spec Spec) Result {
 		go func(id int) {
 			defer wg.Done()
 			w := t.NewWorker()
+			scanner, _ := w.(Scanner)
+			rmwer, _ := w.(RMWer)
 			state := uint64(spec.Seed)*0x9e3779b97f4a7c15 + uint64(id+1)*0x123456789
 			ready.Done()
 			<-start
-			var ops, reads, inserts, deletes uint64
+			var ops, reads, inserts, deletes, scans, rmws uint64
 			var lats []time.Duration
+			rPM := spec.Mix.ReadPM
+			iPM := rPM + spec.Mix.InsertPM
+			dPM := iPM + spec.Mix.DeletePM
+			sPM := dPM + spec.Mix.ScanPM
 			for !stop.Load() {
 				r := splitmix64(&state)
 				key := gen(r)
@@ -325,15 +404,35 @@ func Run(t Target, spec Spec) Result {
 					t0 = time.Now()
 				}
 				switch {
-				case op < spec.Mix.ReadPM:
+				case op < rPM:
 					w.Contains(key)
 					reads++
-				case op < spec.Mix.ReadPM+spec.Mix.InsertPM:
+				case op < iPM:
 					w.Insert(key, key)
 					inserts++
-				default:
+				case op < dPM:
 					w.Delete(key)
 					deletes++
+				case op < sPM:
+					if scanner != nil {
+						span := splitmix64(&state)%(2*scanMax) + 1
+						to := key + span
+						if to > spec.KeyRange {
+							to = spec.KeyRange
+						}
+						scanner.Scan(key, to)
+					} else {
+						w.Contains(key)
+					}
+					scans++
+				default:
+					if rmwer != nil {
+						rmwer.RMW(key, key)
+					} else {
+						w.Contains(key)
+						w.Insert(key, key)
+					}
+					rmws++
 				}
 				if timed {
 					lats = append(lats, time.Since(t0))
@@ -349,7 +448,7 @@ func Run(t Target, spec Spec) Result {
 					runtime.Gosched()
 				}
 			}
-			counts[id] = [4]uint64{ops, reads, inserts, deletes}
+			counts[id] = [6]uint64{ops, reads, inserts, deletes, scans, rmws}
 			samples[id] = lats
 		}(i)
 	}
@@ -366,6 +465,8 @@ func Run(t Target, spec Spec) Result {
 		res.Reads += c[1]
 		res.Inserts += c[2]
 		res.Deletes += c[3]
+		res.Scans += c[4]
+		res.RMWs += c[5]
 	}
 	res.Elapsed = elapsed
 	if spec.SampleLatency > 0 {

@@ -48,7 +48,7 @@ func newMapTarget() (*mapTarget, Target) {
 }
 
 func TestMixValidate(t *testing.T) {
-	for _, m := range []Mix{Mix801010, YCSBA, YCSBB, YCSBC} {
+	for _, m := range []Mix{Mix801010, YCSBA, YCSBB, YCSBC, YCSBD, YCSBE, YCSBF} {
 		m.validate()
 	}
 	defer func() {
@@ -56,7 +56,7 @@ func TestMixValidate(t *testing.T) {
 			t.Error("invalid mix should panic")
 		}
 	}()
-	Mix{1, 2, 3}.validate()
+	Mix{ReadPM: 1, InsertPM: 2, DeletePM: 3}.validate()
 }
 
 func TestUpdateMix(t *testing.T) {

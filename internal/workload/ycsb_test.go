@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countingWorker records what the driver asked of it — op classes and key
+// frequencies — implementing every optional interface so no fallback
+// rewriting blurs the mix.
+type countingWorker struct {
+	mu       *sync.Mutex
+	keyFreq  map[uint64]int
+	scanSpan *[]uint64
+}
+
+func (w countingWorker) touch(key uint64) {
+	w.mu.Lock()
+	w.keyFreq[key]++
+	w.mu.Unlock()
+}
+
+func (w countingWorker) Insert(key, val uint64) bool { w.touch(key); return true }
+func (w countingWorker) Delete(key uint64) bool      { w.touch(key); return true }
+func (w countingWorker) Contains(key uint64) bool    { w.touch(key); return true }
+func (w countingWorker) RMW(key, val uint64) bool    { w.touch(key); return true }
+func (w countingWorker) Scan(from, to uint64) int {
+	w.touch(from)
+	w.mu.Lock()
+	*w.scanSpan = append(*w.scanSpan, to-from)
+	w.mu.Unlock()
+	return 0
+}
+
+func countingTarget() (Target, map[uint64]int, *[]uint64, *sync.Mutex) {
+	var mu sync.Mutex
+	freq := make(map[uint64]int)
+	spans := new([]uint64)
+	t := Target{
+		Name: "counting",
+		NewWorker: func() Worker {
+			return countingWorker{mu: &mu, keyFreq: freq, scanSpan: spans}
+		},
+	}
+	return t, freq, spans, &mu
+}
+
+// TestYCSBConformance runs each of workloads A–F through the real driver
+// and asserts the produced op mix matches its documented per-mille split
+// within statistical tolerance, and that the request distribution shows
+// the zipfian signature the suite prescribes.
+func TestYCSBConformance(t *testing.T) {
+	const keyRange = 1000
+	for _, letter := range []byte{'A', 'B', 'C', 'D', 'E', 'F'} {
+		t.Run(string(letter), func(t *testing.T) {
+			mix, dist, ok := YCSBMix(letter)
+			if !ok {
+				t.Fatalf("YCSBMix(%c) unknown", letter)
+			}
+			target, freq, spans, mu := countingTarget()
+			res := Run(target, Spec{
+				KeyRange: keyRange,
+				Mix:      mix,
+				Threads:  2,
+				Duration: 40 * time.Millisecond,
+				Seed:     int64(letter),
+				Dist:     dist,
+				Skew:     0.99,
+			})
+			if res.Ops < 10000 {
+				t.Fatalf("only %d ops; too few for a statistical pin", res.Ops)
+			}
+			total := float64(res.Ops)
+			check := func(name string, got uint64, pm int) {
+				want := float64(pm) / 1000
+				frac := float64(got) / total
+				// Binomial std dev at these counts is < 0.5%; 1.5% absolute
+				// tolerance gives a wide margin without hiding a swapped
+				// branch (the smallest mix component is 2.5%).
+				if math.Abs(frac-want) > 0.015 {
+					t.Errorf("%s fraction %.3f, want %.3f (mix %v)", name, frac, want, mix)
+				}
+			}
+			check("read", res.Reads, mix.ReadPM)
+			check("insert", res.Inserts, mix.InsertPM)
+			check("delete", res.Deletes, mix.DeletePM)
+			check("scan", res.Scans, mix.ScanPM)
+			check("rmw", res.RMWs, mix.RMWPM)
+			if got := res.Reads + res.Inserts + res.Deletes + res.Scans + res.RMWs; got != res.Ops {
+				t.Errorf("op classes sum to %d, total %d", got, res.Ops)
+			}
+
+			// Request-distribution signature: zipfian theta .99 over 1000
+			// keys concentrates >5% of draws on the hottest key; uniform
+			// would put ~0.1% there.
+			mu.Lock()
+			max, draws := 0, 0
+			for _, c := range freq {
+				draws += c
+				if c > max {
+					max = c
+				}
+			}
+			mu.Unlock()
+			if hottest := float64(max) / float64(draws); hottest < 0.05 {
+				t.Errorf("hottest key holds %.2f%% of requests; zipfian signature missing", 100*hottest)
+			}
+
+			// Scan spans must honor ScanMax's default bound (span in
+			// [1, 200], clipped at the keyrange edge).
+			if letter == 'E' {
+				mu.Lock()
+				if len(*spans) == 0 {
+					t.Error("workload E produced no scans")
+				}
+				for _, s := range *spans {
+					if s > 200 {
+						t.Errorf("scan span %d exceeds 2*ScanMax", s)
+						break
+					}
+				}
+				mu.Unlock()
+			}
+		})
+	}
+}
+
+// TestYCSBFallbacks pins the documented degradation: a worker without
+// Scanner/RMWer still completes scan and RMW mixes via the fallback ops.
+func TestYCSBFallbacks(t *testing.T) {
+	var mu sync.Mutex
+	calls := map[string]int{}
+	base := fallbackWorker{mu: &mu, calls: calls}
+	res := Run(Target{Name: "fallback", NewWorker: func() Worker { return base }}, Spec{
+		KeyRange: 100,
+		Mix:      Mix{ScanPM: 500, RMWPM: 500},
+		Threads:  1,
+		Duration: 10 * time.Millisecond,
+		Seed:     1,
+	})
+	if res.Scans == 0 || res.RMWs == 0 {
+		t.Fatalf("fallback run produced scans=%d rmws=%d", res.Scans, res.RMWs)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls["contains"] == 0 || calls["insert"] == 0 {
+		t.Fatalf("fallbacks did not decompose into set ops: %v", calls)
+	}
+	// Every RMW is Contains+Insert; every scan is one Contains.
+	if got, want := calls["insert"], int(res.RMWs); got != want {
+		t.Errorf("insert calls %d, want one per RMW (%d)", got, want)
+	}
+	if got, want := calls["contains"], int(res.Scans+res.RMWs); got != want {
+		t.Errorf("contains calls %d, want one per scan+RMW (%d)", got, want)
+	}
+}
+
+type fallbackWorker struct {
+	mu    *sync.Mutex
+	calls map[string]int
+}
+
+func (w fallbackWorker) note(k string) {
+	w.mu.Lock()
+	w.calls[k]++
+	w.mu.Unlock()
+}
+
+func (w fallbackWorker) Insert(key, val uint64) bool { w.note("insert"); return true }
+func (w fallbackWorker) Delete(key uint64) bool      { w.note("delete"); return true }
+func (w fallbackWorker) Contains(key uint64) bool    { w.note("contains"); return true }
