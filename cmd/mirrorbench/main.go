@@ -89,6 +89,7 @@ func main() {
 		skew     = flag.Float64("skew", 0, "distribution parameter: zipfian theta (default 0.99) or hotspot access fraction (default 0.9)")
 		servingF = flag.String("serving", "", "with -json: comma-separated connection counts — append the serving-tier panels (wire-protocol YCSB through an in-process mirrord with latency percentiles, batch on/off per cell)")
 		workls   = flag.String("workloads", "A", "comma-separated YCSB letters (A..F) for -serving")
+		pipesF   = flag.String("pipelines", "1", "comma-separated per-client pipeline depths for -serving (1 = synchronous)")
 	)
 	flag.Parse()
 
@@ -212,6 +213,7 @@ func main() {
 			}
 			err := harness.AppendServingAblation(report, opts, harness.ServingConfig{
 				Conns:     parseInts("serving", *servingF),
+				Pipelines: parseInts("pipelines", *pipesF),
 				Workloads: letters,
 				Kinds:     durable,
 			})

@@ -44,8 +44,8 @@ func main() {
 		kindName  = flag.String("engine", "mirror", "izraelevitz|nvtraverse|mirror|mirrornvmm")
 		media     = flag.String("media", "", "media image file (empty: in-memory, dies with the process)")
 		words     = flag.Int("words", 1<<20, "device capacity in 8-byte words")
-		buckets   = flag.Int("buckets", 1024, "hash table buckets (power of two)")
-		clients   = flag.Int("clients", 64, "descriptor slots (max client id + 1)")
+		ring      = flag.Int("ring", 0, "per-client descriptor-ring depth (0: engine default)")
+		clients   = flag.Int("clients", 64, "descriptor rings (max client id + 1)")
 		workers   = flag.Int("workers", 2, "batcher goroutines")
 		combine   = flag.Bool("combine", false, "enable cross-operation fence combining")
 		nobatch   = flag.Bool("nobatch", false, "ablation: one fence per mutation (no cross-client batching)")
@@ -62,7 +62,7 @@ func main() {
 	s, err := server.New(server.Config{
 		Kind:      kind,
 		Words:     *words,
-		Buckets:   *buckets,
+		Ring:      *ring,
 		Clients:   *clients,
 		Workers:   *workers,
 		MediaPath: *media,

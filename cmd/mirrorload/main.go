@@ -1,19 +1,22 @@
 // mirrorload drives YCSB workloads against a running mirrord server over
 // the wire protocol and reports client-observed throughput and latency
-// percentiles. Each connection is one synchronous client (one outstanding
-// operation — the descriptor-slot contract), so concurrency comes from the
-// connection count, and every round trip lands in an HDR-style histogram:
+// percentiles. Each connection is one client; by default it is synchronous
+// (one outstanding operation), and -pipeline N keeps up to N frames in
+// flight per client (HELLO handshake, clamped to the server's
+// descriptor-ring depth). Every operation lands in an HDR-style histogram:
 // the percentiles are over all operations, not a subsample.
 //
 // Example, against a local durable server:
 //
 //	mirrord -addr 127.0.0.1:7070 -engine mirror -media /tmp/mirror.img &
 //	mirrorload -addr 127.0.0.1:7070 -workload A -conns 4 -duration 5s -prefill
+//	mirrorload -addr 127.0.0.1:7070 -workload A -conns 1 -pipeline 8
 //
 // Client ids [base, base+conns) must be free (no other live client may
-// share an id — descriptor slots are single-owner); -prefill uses id base-1.
-// YCSB-E/F degrade to point operations over the wire (no scan/RMW opcodes):
-// a scan runs as a GET of its start key, an RMW as GET then INSERT.
+// share an id — descriptor rings are single-owner); -prefill uses id base-1.
+// YCSB-E scans run as native SCAN frames (paged by wire.MaxScanKeys) and
+// YCSB-F read-modify-writes as GET followed by a native RMW
+// (compare-and-set) frame.
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Second, "measurement window")
 		seed     = flag.Int64("seed", 1, "workload PRNG seed")
 		prefill  = flag.Bool("prefill", false, "prefill half the key range first (client id base-1)")
+		pipeline = flag.Int("pipeline", 1, "frames in flight per client (1: synchronous)")
 	)
 	flag.Parse()
 	if len(*workl) != 1 {
@@ -61,14 +65,15 @@ func main() {
 		KeyRange: *keyRange,
 		Duration: *duration,
 		Seed:     *seed,
+		Pipeline: *pipeline,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mirrorload:", err)
 		os.Exit(1)
 	}
 	us := func(ns uint64) float64 { return float64(ns) / 1e3 }
-	fmt.Printf("mirrorload: YCSB-%c conns=%d range=%d: %d ops in %v (%.1f kops/s)\n",
-		(*workl)[0]&^0x20, *conns, *keyRange, load.Ops, load.Elapsed.Round(time.Millisecond), load.Kops())
+	fmt.Printf("mirrorload: YCSB-%c conns=%d pipeline=%d range=%d: %d ops in %v (%.1f kops/s)\n",
+		(*workl)[0]&^0x20, *conns, *pipeline, *keyRange, load.Ops, load.Elapsed.Round(time.Millisecond), load.Kops())
 	fmt.Printf("mirrorload: latency µs: p50=%.1f p99=%.1f p999=%.1f max=%.1f\n",
 		us(load.Hist.Percentile(50)), us(load.Hist.Percentile(99)),
 		us(load.Hist.Percentile(99.9)), us(load.Hist.Max()))

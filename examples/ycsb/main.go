@@ -3,8 +3,10 @@
 // 80/10/10 mix) on a chosen structure under every persistence engine,
 // printing a throughput comparison — a miniature interactive version of
 // the paper's evaluation. Each YCSB letter runs its suite-default zipfian
-// request distribution unless -dist overrides it; scans fall back to point
-// reads on structures without ordered iteration (see workload.Scanner).
+// request distribution unless -dist overrides it. On ordered structures
+// (bst, skiplist) YCSB-E scans run natively through Range, and on the
+// skiplist YCSB-F read-modify-writes run natively through CasVal; other
+// structures use workload.Run's documented point-operation fallbacks.
 package main
 
 import (
@@ -95,7 +97,7 @@ func main() {
 				Name:          *structure,
 				SortedPrefill: *structure == "list",
 				NewWorker: func() workload.Worker {
-					return worker{set, rt.NewCtx()}
+					return buildWorker(set, rt.NewCtx())
 				},
 			}
 			workload.PrefillHalf(target, uint64(*keyRange), 1)
@@ -122,6 +124,77 @@ type worker struct {
 func (w worker) Insert(key, val uint64) bool { return w.set.Insert(w.ctx, key, val) }
 func (w worker) Delete(key uint64) bool      { return w.set.Delete(w.ctx, key) }
 func (w worker) Contains(key uint64) bool    { return w.set.Contains(w.ctx, key) }
+
+// Optional native capabilities of the underlying structures, detected by
+// interface assertion so each worker only advertises what its structure
+// really supports (workload.Run falls back per the Scanner/RMWer docs
+// otherwise).
+type ranger interface {
+	Range(c *mirror.Ctx, from, to uint64, fn func(key, val uint64) bool)
+}
+type casser interface {
+	Get(c *mirror.Ctx, key uint64) (uint64, bool)
+	CasVal(c *mirror.Ctx, key, expect, repl uint64) bool
+}
+
+// buildWorker wraps the base worker with the native scan (Range) and RMW
+// (Get + CasVal) paths its structure supports.
+func buildWorker(set mirror.Set, ctx *mirror.Ctx) workload.Worker {
+	w := worker{set, ctx}
+	r, hasR := set.(ranger)
+	cv, hasC := set.(casser)
+	switch {
+	case hasR && hasC:
+		return scanRMWWorker{scanWorker{w, r}, cv}
+	case hasR:
+		return scanWorker{w, r}
+	case hasC:
+		return rmwWorker{w, cv}
+	default:
+		return w
+	}
+}
+
+// scanWorker serves YCSB-E scans natively: count the present keys of
+// [from, to] by ordered iteration.
+type scanWorker struct {
+	worker
+	r ranger
+}
+
+func (w scanWorker) Scan(from, to uint64) int {
+	n := 0
+	w.r.Range(w.ctx, from, to, func(key, val uint64) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// rmwWorker serves YCSB-F read-modify-writes natively: read the current
+// value, compare-and-set the new one. An absent key or a lost race is a
+// failed RMW, as YCSB counts it.
+type rmwWorker struct {
+	worker
+	cv casser
+}
+
+func (w rmwWorker) RMW(key, val uint64) bool { return rmw(w.ctx, w.cv, key, val) }
+
+type scanRMWWorker struct {
+	scanWorker
+	cv casser
+}
+
+func (w scanRMWWorker) RMW(key, val uint64) bool { return rmw(w.ctx, w.cv, key, val) }
+
+func rmw(ctx *mirror.Ctx, cv casser, key, val uint64) bool {
+	cur, ok := cv.Get(ctx, key)
+	if !ok {
+		return false
+	}
+	return cv.CasVal(ctx, key, cur, val)
+}
 
 func pow2(n int) int {
 	b := 1

@@ -100,7 +100,7 @@ func New(cfg Config) *Queue {
 	// base (16) is already line-aligned.
 	heapBase := uint64(16)
 	if cfg.Clients > 0 {
-		q.det = engine.NewDescRegion(q.dev, heapBase, cfg.Clients, true)
+		q.det = engine.NewDescRegion(q.dev, heapBase, cfg.Clients, 1, true)
 		q.clients = cfg.Clients
 		heapBase += q.det.Words()
 	}

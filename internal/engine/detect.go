@@ -7,32 +7,47 @@ import (
 	"mirror/internal/pmem"
 )
 
-// Detectability: per-client recoverable operation descriptors.
+// Detectability: per-client recoverable operation-descriptor rings.
 //
 // A durably linearizable structure guarantees that completed operations
 // survive a crash — but after the crash a client still cannot ask "did my
-// last operation commit?". The descriptor region closes that gap. Each
-// client owns one 16-word slot (two cache lines) below the allocator base
-// of the persistent device:
+// operation commit?". The descriptor region closes that gap. Each client
+// owns a small ring of 16-word entries (two cache lines each) below the
+// allocator base of the persistent device; operation seq occupies entry
+// (seq-1) mod Ring of its client's ring:
 //
 //	announce line   w0 seq   w1 kind   w2 key   w3 val   w4 checksum
 //	verdict line    w8 seq<<2|result<<1|1   w9 rval   w10 checksum
 //
 // The protocol is: durably announce (client, seq, payload) before the
 // operation runs, publish the verdict after the linearizing install is
-// durable, and fence the verdict before the operation returns to the
-// client. Both lines are checksummed, so a torn line (a crash mid-write)
-// is detected rather than misread; client sequence numbers are strictly
-// increasing, so a slot holding a *later* announce or verdict proves every
-// earlier operation of that client completed.
+// durable, and fence the verdict before the operation's response is
+// released to the client. Both lines are checksummed, so a torn line (a
+// crash mid-write) is detected rather than misread; client sequence
+// numbers are strictly increasing.
 //
-// The one-slot design fixes the contract: Detect is authoritative only for
-// a client's most recently issued operation — the one a crash can cut.
-// Earlier operations delivered their responses before the crash, and the
-// slot overwrite their successor began may legitimately tear away their
-// superseded evidence (the scrubbed slot then reads NotCommitted for
-// them). Within the contract this is harmless: a client only ever asks
-// about its last sequence number, for which the answers below are exact.
+// The ring generalizes the original one-slot design to pipelined clients:
+// a client may hold up to Ring operations in flight (announced, responses
+// not yet read) and Detect remains authoritative for every seq in that
+// window — the seqs a crash can cut. The contract requires exactly two
+// things of the caller:
+//
+//   - In-flight window ≤ Ring: a client issues seq only after it has read
+//     the response for seq-Ring. An entry holding evidence of a *later*
+//     lap (announce or verdict for seq+kRing) therefore proves seq's
+//     response was released, hence seq committed.
+//   - Per-client FIFO execution with verdicts published in seq order
+//     after a drain fence (the engines' detectDrain). A durable verdict
+//     for a later seq of the same client then proves every earlier seq's
+//     effect was durable first — even when the earlier verdict line itself
+//     was dropped by the crash — because verdict words are only written
+//     after the fence that committed the whole prefix.
+//
+// Operations older than the ring window delivered their responses long
+// ago; a torn overwrite may erase their superseded evidence (the scrubbed
+// entry then reads NotCommitted for them). Within the contract this is
+// harmless: clients only ask about unacknowledged seqs, which all lie in
+// the window.
 //
 // Ordering is what makes the verdicts sound:
 //
@@ -88,15 +103,16 @@ const (
 	DetectContains
 	DetectEnqueue
 	DetectDequeue
+	DetectRMW
 )
 
 // DetectResult is the full answer of Detect.
 type DetectResult struct {
 	Verdict Verdict
 	// KnownResult reports whether Result and Rval were recorded for this
-	// exact seq. It is false when the slot proves the operation committed
+	// exact seq. It is false when the ring proves the operation committed
 	// only indirectly — a later operation of the same client has already
-	// overwritten the recorded result.
+	// overwritten the recorded result, or a later verdict vouches for it.
 	KnownResult bool
 	// Result is the operation's boolean return value (valid when
 	// KnownResult).
@@ -105,10 +121,11 @@ type DetectResult struct {
 	Rval uint64
 }
 
-// Descriptor slot layout, in words relative to the slot base. One slot is
-// DescSlotWords words = two cache lines; the announce words share the first
-// line and the verdict words the second, so each half persists (or tears)
-// as one line.
+// Descriptor entry layout, in words relative to the entry base. One entry
+// is DescSlotWords words = two cache lines; the announce words share the
+// first line and the verdict words the second, so each half persists (or
+// tears) as one line. Entries never share a line, so sibling entries of one
+// client's ring tear independently.
 const (
 	DescSlotWords = 2 * pmem.WordsPerLine
 
@@ -123,9 +140,16 @@ const (
 	dVerChk  = pmem.WordsPerLine + 2
 )
 
+// DefaultDetectRing is the per-client ring size engines reserve when
+// Config.DetectRing is zero and detectability is on: the serving tier's
+// default pipeline window.
+const DefaultDetectRing = 8
+
 // DescWords returns the size of the descriptor region for the given client
-// count.
-func DescWords(clients int) uint64 { return uint64(clients) * DescSlotWords }
+// count and per-client ring size.
+func DescWords(clients, ring int) uint64 {
+	return uint64(clients) * uint64(ring) * DescSlotWords
+}
 
 // mix64 is a splitmix64 finalizer.
 func mix64(x uint64) uint64 {
@@ -149,14 +173,17 @@ func verChk(vw, rval uint64) uint64 {
 }
 
 // DescRegion is a per-client operation-descriptor region on one persistent
-// device. The engines embed one below their allocator base; structure
-// packages with their own device layouts (durablequeue, zuriel) reuse it at
-// an offset of their choosing. Each slot is single-writer: one client id
-// maps to one slot, and a client runs one operation at a time.
+// device: Clients rings of Ring entries each. The engines embed one below
+// their allocator base; structure packages with their own device layouts
+// (durablequeue, zuriel) reuse it at an offset of their choosing, with Ring
+// 1 reproducing the original single-slot layout. Each ring is
+// single-writer: one client id maps to one ring, written by one worker in
+// per-client seq order, with at most Ring operations in flight.
 type DescRegion struct {
 	Dev     *pmem.Device
-	Base    uint64 // first word of slot 0; must be cache-line aligned
+	Base    uint64 // first word of client 0's entry 0; must be cache-line aligned
 	Clients int
+	Ring    int // entries per client; operation seq uses entry (seq-1) mod Ring
 	// Durable applies the flush+fence protocol. Leave it false on volatile
 	// devices (the non-durable engines): the region is wiped at a crash and
 	// every verdict honestly reads NotCommitted.
@@ -169,25 +196,35 @@ type DescRegion struct {
 // NewDescRegion validates and returns a region descriptor. The region's
 // words must be reserved by the caller (they are raw words, not allocator
 // memory).
-func NewDescRegion(dev *pmem.Device, base uint64, clients int, durable bool) *DescRegion {
+func NewDescRegion(dev *pmem.Device, base uint64, clients, ring int, durable bool) *DescRegion {
 	if base%pmem.WordsPerLine != 0 {
 		panic(fmt.Sprintf("engine: descriptor region base %d is not cache-line aligned", base))
 	}
 	if clients <= 0 {
 		panic("engine: descriptor region needs at least one client")
 	}
-	return &DescRegion{Dev: dev, Base: base, Clients: clients, Durable: durable}
+	if ring <= 0 {
+		panic("engine: descriptor ring needs at least one entry")
+	}
+	return &DescRegion{Dev: dev, Base: base, Clients: clients, Ring: ring, Durable: durable}
 }
 
-func (r *DescRegion) slot(client int) uint64 {
+// ringBase returns the first word of client's ring.
+func (r *DescRegion) ringBase(client int) uint64 {
 	if client < 0 || client >= r.Clients {
 		panic(fmt.Sprintf("engine: descriptor client %d outside [0, %d)", client, r.Clients))
 	}
-	return r.Base + uint64(client)*DescSlotWords
+	return r.Base + uint64(client)*uint64(r.Ring)*DescSlotWords
+}
+
+// entry returns the first word of the ring entry operation (client, seq)
+// occupies.
+func (r *DescRegion) entry(client int, seq uint64) uint64 {
+	return r.ringBase(client) + (seq-1)%uint64(r.Ring)*DescSlotWords
 }
 
 // Words returns the region's size in words.
-func (r *DescRegion) Words() uint64 { return DescWords(r.Clients) }
+func (r *DescRegion) Words() uint64 { return DescWords(r.Clients, r.Ring) }
 
 // Begin writes and flushes the announce line for (client, seq). With
 // deferAnnounce the announce fence is left to the operation's own publish
@@ -197,7 +234,7 @@ func (r *DescRegion) Begin(fs *pmem.FlushSet, client int, seq, kind, key, val ui
 	if seq == 0 {
 		panic("engine: detectable sequence numbers start at 1")
 	}
-	s := r.slot(client)
+	s := r.entry(client, seq)
 	r.Dev.Store(s+dSeq, seq)
 	r.Dev.Store(s+dKind, kind)
 	r.Dev.Store(s+dKey, key)
@@ -216,7 +253,7 @@ func (r *DescRegion) Begin(fs *pmem.FlushSet, client int, seq, kind, key, val ui
 // only be called once the operation's effect (if any) is durable — i.e.
 // after the linearizing install has returned. It does not fence; End does.
 func (r *DescRegion) Publish(fs *pmem.FlushSet, client int, seq uint64, result bool, rval uint64) {
-	s := r.slot(client)
+	s := r.entry(client, seq)
 	vw := seq<<2 | 1
 	if result {
 		vw |= 2
@@ -247,12 +284,17 @@ func (r *DescRegion) End(fs *pmem.FlushSet) {
 // Detect answers whether (client, seq) committed, from the raw descriptor
 // words. It reads the media view (ReadRaw), so it is valid on a quiesced,
 // crashed, or recovered device — the recovery-time query the client asks
-// before retrying. The answer is authoritative only when seq is the
-// client's most recently issued operation (see the package comment): a
-// torn overwrite by a later operation may erase the evidence for earlier,
-// already-responded sequence numbers, which then read NotCommitted.
+// before retrying. The answer is authoritative for every seq still inside
+// the client's in-flight ring window (the seqs a crash can cut); for seqs
+// the ring has lapped, a torn overwrite may erase the superseded evidence,
+// which then reads NotCommitted — harmless, since their responses were
+// released before the lap could begin.
 func (r *DescRegion) Detect(client int, seq uint64) DetectResult {
-	s := r.slot(client)
+	if seq == 0 {
+		// Sequence numbers start at 1; nothing was ever issued as seq 0.
+		return DetectResult{Verdict: NotCommitted}
+	}
+	s := r.entry(client, seq)
 	a0 := r.Dev.ReadRaw(s + dSeq)
 	a1 := r.Dev.ReadRaw(s + dKind)
 	a2 := r.Dev.ReadRaw(s + dKey)
@@ -270,10 +312,33 @@ func (r *DescRegion) Detect(client int, seq uint64) DetectResult {
 			Result: vw&2 != 0, Rval: rv,
 		}
 	case verdictOK && vw>>2 > seq, announced && a0 > seq:
-		// The slot has moved past seq: the client only begins seq+1 after
-		// seq completed, so seq committed (its recorded result is gone).
+		// The entry has lapped past seq (it holds seq+kRing evidence, k≥1).
+		// A client issues seq+Ring only after reading seq's response, which
+		// is released only after seq's effect and verdict fenced — so seq
+		// committed (its recorded result is gone).
 		return DetectResult{Verdict: Committed}
 	case announced && a0 == seq:
+		// Announced, verdict line gone (never published, or dropped by the
+		// crash). A durable verdict for a *later* seq in a sibling entry
+		// still proves seq committed: verdict words are written only after
+		// the drain fence that committed every earlier effect of the client
+		// (per-client FIFO), so however that later line persisted — its End
+		// fence or a cache eviction — seq's effect was durable first. A
+		// sibling *announce* proves nothing: a pipelined client announces
+		// a whole window before anything drains.
+		base := r.ringBase(client)
+		for i := 0; i < r.Ring; i++ {
+			sib := base + uint64(i)*DescSlotWords
+			if sib == s {
+				continue
+			}
+			svw := r.Dev.ReadRaw(sib + dVerdict)
+			srv := r.Dev.ReadRaw(sib + dRval)
+			svc := r.Dev.ReadRaw(sib + dVerChk)
+			if svw&1 == 1 && svc == verChk(svw, srv) && svw>>2 > seq {
+				return DetectResult{Verdict: Committed}
+			}
+		}
 		return DetectResult{Verdict: Unknown}
 	default:
 		// No announce reached the media for seq (stale, zeroed, or torn):
@@ -287,8 +352,8 @@ func (r *DescRegion) Detect(client int, seq uint64) DetectResult {
 // it with the canonical empty encoding and persists the wipe. Idempotent —
 // a crash during recovery re-scrubs the same lines.
 func (r *DescRegion) Scrub() {
-	for client := 0; client < r.Clients; client++ {
-		s := r.slot(client)
+	for i := 0; i < r.Clients*r.Ring; i++ {
+		s := r.Base + uint64(i)*DescSlotWords
 		a0 := r.Dev.ReadRaw(s + dSeq)
 		a4 := r.Dev.ReadRaw(s + dAnnChk)
 		if a0 != 0 || a4 != 0 {
@@ -381,21 +446,32 @@ func detectEnd(r *DescRegion, c *Ctx, fs *pmem.FlushSet, result bool) {
 }
 
 // detectBeginDeferred arms the descriptor protocol in batched-verdict mode.
-// A pending verdict for the same client forces a drain first: the Detect
-// inference "slot moved past seq implies seq committed" is sound only if
-// the earlier operation's effect and verdict are durable before the
-// successor's announce can be, and the successor's announce persists no
-// later than the batch's next fence.
+// A pending verdict about to be *lapped* — one for the same client whose
+// entry seq would overwrite (seq - pending ≥ Ring) — forces a drain first:
+// the Detect inference "entry lapped past seq implies seq committed" is
+// sound only if the lapped operation's effect and verdict are durable
+// before the overwriting announce can be. Within the ring window no drain
+// is forced — that is the pipelining win: a client keeps up to Ring
+// operations pending under one eventual drain fence.
 func detectBeginDeferred(r *DescRegion, c *Ctx, fs *pmem.FlushSet, drain func(),
 	client int, seq, kind, key, val uint64, deferAnnounce bool) {
-	for _, pv := range c.detPending {
-		if pv.client == client {
-			drain()
-			break
-		}
+	if ringCollision(c.detPending, client, seq, r.Ring) {
+		drain()
 	}
 	detectBegin(r, c, fs, client, seq, kind, key, val, deferAnnounce)
 	c.det.deferred = true
+}
+
+// ringCollision reports whether arming (client, seq) would overwrite the
+// ring entry of a verdict still pending on c — pendings are FIFO, so the
+// client's oldest pending seq decides.
+func ringCollision(pending []pendingVerdict, client int, seq uint64, ring int) bool {
+	for _, pv := range pending {
+		if pv.client == client {
+			return seq-pv.seq >= uint64(ring)
+		}
+	}
+	return false
 }
 
 // detectEndDeferred records the armed operation's verdict (with its

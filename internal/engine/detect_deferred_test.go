@@ -76,13 +76,15 @@ func TestDeferredDetectUndrainedIsUnknown(t *testing.T) {
 	}
 }
 
-// TestDeferredDetectSameClientForcesDrain pins the ordering guard: arming a
-// second operation for a client whose verdict is still pending must drain
-// the batch first, so the slot-moved-past-seq inference stays sound.
-func TestDeferredDetectSameClientForcesDrain(t *testing.T) {
+// TestDeferredDetectLapForcesDrain pins the ordering guard: arming a seq
+// that would lap a still-pending entry (seq - pending >= ring) must drain
+// the batch first, so the entry-lapped inference stays sound. With ring 1
+// this is the original single-slot rule — every same-client successor
+// drains.
+func TestDeferredDetectLapForcesDrain(t *testing.T) {
 	for _, k := range durableKinds() {
 		t.Run(k.String(), func(t *testing.T) {
-			e := New(Config{Kind: k, Words: 1 << 14, Track: true, Clients: 2})
+			e := New(Config{Kind: k, Words: 1 << 14, Track: true, Clients: 2, DetectRing: 1})
 			c := e.NewCtx()
 			runDetectable(e, c, 0, 1, true, 0)
 			runDetectable(e, c, 0, 2, true, 0)
@@ -95,6 +97,60 @@ func TestDeferredDetectSameClientForcesDrain(t *testing.T) {
 			}
 			if v := e.Detect(0, 2); v.Verdict != Unknown {
 				t.Fatalf("seq 2 undrained: %v, want Unknown", v.Verdict)
+			}
+		})
+	}
+}
+
+// TestRingDeferredWindowStaysPending pins the pipelining win the ring buys:
+// a client may keep a whole ring window of operations pending under one
+// eventual drain — no forced drain inside the window, so a crash before
+// the drain leaves every one of them honestly Unknown.
+func TestRingDeferredWindowStaysPending(t *testing.T) {
+	const ring = 4
+	for _, k := range durableKinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			e := New(Config{Kind: k, Words: 1 << 14, Track: true, Clients: 2, DetectRing: ring})
+			c := e.NewCtx()
+			if got := DetectRingOf(e); got != ring {
+				t.Fatalf("DetectRingOf = %d, want %d", got, ring)
+			}
+			for seq := uint64(1); seq <= ring; seq++ {
+				runDetectable(e, c, 0, seq, true, 0)
+			}
+			e.Freeze()
+			e.Crash(0, nil)
+			for seq := uint64(1); seq <= ring; seq++ {
+				if v := e.Detect(0, seq); v.Verdict != Unknown {
+					t.Fatalf("seq %d with whole window pending: %v, want Unknown", seq, v.Verdict)
+				}
+			}
+		})
+	}
+}
+
+// TestRingDeferredLapDrains pins the guard at the window edge: the
+// ring+1-th pending operation laps seq 1's entry, forcing the batch
+// durable before the overwrite.
+func TestRingDeferredLapDrains(t *testing.T) {
+	const ring = 2
+	for _, k := range durableKinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			e := New(Config{Kind: k, Words: 1 << 14, Track: true, Clients: 2, DetectRing: ring})
+			c := e.NewCtx()
+			runDetectable(e, c, 0, 1, true, 11)
+			runDetectable(e, c, 0, 2, true, 12)
+			runDetectable(e, c, 0, 3, true, 13) // laps seq 1: forces the drain
+			e.Freeze()
+			e.Crash(0, nil)
+			if v := e.Detect(0, 1); v.Verdict != Committed {
+				t.Fatalf("seq 1 after lap-forced drain: %+v, want Committed", v)
+			}
+			if v := e.Detect(0, 2); v.Verdict != Committed || !v.KnownResult || v.Rval != 12 {
+				t.Fatalf("seq 2 after lap-forced drain: %+v, want Committed/known/rval 12", v)
+			}
+			if v := e.Detect(0, 3); v.Verdict != Unknown {
+				t.Fatalf("seq 3 undrained: %v, want Unknown", v.Verdict)
 			}
 		})
 	}

@@ -17,7 +17,7 @@ func newDescDevice(t *testing.T) *pmem.Device {
 // verdict → supersede lifecycle and pins the Detect answer at each step.
 func TestDescRegionTruthTable(t *testing.T) {
 	dev := newDescDevice(t)
-	r := NewDescRegion(dev, pmem.WordsPerLine, 2, true)
+	r := NewDescRegion(dev, pmem.WordsPerLine, 2, 1, true)
 	var fs pmem.FlushSet
 
 	if v := r.Detect(0, 1); v.Verdict != NotCommitted {
@@ -65,11 +65,85 @@ func TestDescRegionTruthTable(t *testing.T) {
 	}
 }
 
+// TestDescRingTruthTable walks a 4-entry ring through a pipelined window
+// and pins every ring-specific Detect inference: per-entry verdicts, the
+// entry-lap proof, the sibling-verdict proof, and the refusal to trust a
+// sibling announce alone.
+func TestDescRingTruthTable(t *testing.T) {
+	const ring = 4
+	dev := newDescDevice(t)
+	r := NewDescRegion(dev, pmem.WordsPerLine, 1, ring, true)
+	var fs pmem.FlushSet
+
+	// A pipelined window: three announces in flight, no verdicts yet.
+	for seq := uint64(1); seq <= 3; seq++ {
+		r.Begin(&fs, 0, seq, DetectInsert, seq, seq*10, false)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if v := r.Detect(0, seq); v.Verdict != Unknown {
+			t.Fatalf("in-flight seq %d: %+v, want Unknown", seq, v)
+		}
+	}
+	if v := r.Detect(0, 4); v.Verdict != NotCommitted {
+		t.Fatalf("never-announced seq 4: %+v, want NotCommitted", v)
+	}
+	if v := r.Detect(0, 0); v.Verdict != NotCommitted {
+		t.Fatalf("seq 0: %+v, want NotCommitted", v)
+	}
+
+	// Drain: all three verdicts publish, each into its own entry.
+	for seq := uint64(1); seq <= 3; seq++ {
+		r.Publish(&fs, 0, seq, true, seq*100)
+	}
+	r.End(&fs)
+	for seq := uint64(1); seq <= 3; seq++ {
+		v := r.Detect(0, seq)
+		if v.Verdict != Committed || !v.KnownResult || v.Rval != seq*100 {
+			t.Fatalf("drained seq %d: %+v, want Committed/known/rval %d", seq, v, seq*100)
+		}
+	}
+
+	// Seq 5 laps entry 0 (= seq 1's). With the announce overwritten and the
+	// old verdict line dropped by a crash, seq 1 is still provably
+	// committed: the entry moved a whole lap, so its response was released.
+	r.Begin(&fs, 0, 5, DetectDelete, 1, 0, false)
+	e0 := r.entry(0, 1)
+	for w := uint64(dVerdict); w <= dVerChk; w++ {
+		dev.WriteRaw(e0+w, 0)
+	}
+	if v := r.Detect(0, 1); v.Verdict != Committed || v.KnownResult {
+		t.Fatalf("lapped seq 1: %+v, want Committed without known result", v)
+	}
+
+	// Sibling-verdict proof: seq 2's verdict line dropped, but entry 2
+	// still holds seq 3's durable verdict (> 2) — committed, result gone.
+	e1 := r.entry(0, 2)
+	for w := uint64(dVerdict); w <= dVerChk; w++ {
+		dev.WriteRaw(e1+w, 0)
+	}
+	if v := r.Detect(0, 2); v.Verdict != Committed || v.KnownResult {
+		t.Fatalf("sibling-verdict seq 2: %+v, want Committed without known result", v)
+	}
+
+	// A sibling announce alone proves nothing: with every verdict line in
+	// the ring gone, an announced seq is honestly Unknown even though later
+	// announces (seq 3, seq 5) sit beside it.
+	for i := uint64(0); i < ring; i++ {
+		base := r.Base + i*DescSlotWords
+		for w := uint64(dVerdict); w <= dVerChk; w++ {
+			dev.WriteRaw(base+w, 0)
+		}
+	}
+	if v := r.Detect(0, 2); v.Verdict != Unknown {
+		t.Fatalf("announce-only seq 2 with sibling announces: %+v, want Unknown", v)
+	}
+}
+
 // TestDescRegionDequeueRval pins the returned-value channel: a Committed
 // dequeue's verdict carries the dequeued value.
 func TestDescRegionDequeueRval(t *testing.T) {
 	dev := newDescDevice(t)
-	r := NewDescRegion(dev, pmem.WordsPerLine, 1, true)
+	r := NewDescRegion(dev, pmem.WordsPerLine, 1, 1, true)
 	var fs pmem.FlushSet
 	r.Begin(&fs, 0, 1, DetectDequeue, 0, 0, false)
 	r.Publish(&fs, 0, 1, true, 77)
@@ -85,7 +159,7 @@ func TestDescRegionDequeueRval(t *testing.T) {
 // since the operation body never ran a fence either).
 func TestDescRegionCrashSurvival(t *testing.T) {
 	dev := newDescDevice(t)
-	r := NewDescRegion(dev, pmem.WordsPerLine, 2, true)
+	r := NewDescRegion(dev, pmem.WordsPerLine, 2, 1, true)
 	var fs pmem.FlushSet
 	r.Begin(&fs, 0, 1, DetectInsert, 5, 50, false)
 	r.Publish(&fs, 0, 1, true, 0)
@@ -107,7 +181,7 @@ func TestDescRegionCrashSurvival(t *testing.T) {
 // idempotent.
 func TestDescRegionScrubTornLines(t *testing.T) {
 	dev := newDescDevice(t)
-	r := NewDescRegion(dev, pmem.WordsPerLine, 1, true)
+	r := NewDescRegion(dev, pmem.WordsPerLine, 1, 1, true)
 	var fs pmem.FlushSet
 	r.Begin(&fs, 0, 3, DetectInsert, 5, 50, false)
 	r.Publish(&fs, 0, 3, true, 0)
@@ -136,8 +210,9 @@ func TestDescRegionScrubTornLines(t *testing.T) {
 func TestNewDescRegionMisuse(t *testing.T) {
 	dev := newDescDevice(t)
 	for name, f := range map[string]func(){
-		"unaligned base": func() { NewDescRegion(dev, pmem.WordsPerLine+1, 1, true) },
-		"zero clients":   func() { NewDescRegion(dev, pmem.WordsPerLine, 0, true) },
+		"unaligned base": func() { NewDescRegion(dev, pmem.WordsPerLine+1, 1, 1, true) },
+		"zero clients":   func() { NewDescRegion(dev, pmem.WordsPerLine, 0, 1, true) },
+		"zero ring":      func() { NewDescRegion(dev, pmem.WordsPerLine, 1, 0, true) },
 	} {
 		func() {
 			defer func() {

@@ -75,7 +75,7 @@ func newDirect(cfg Config) *directEngine {
 	allocBase := rootsRegionWords(cfg.RootFields, 1)
 	if cfg.Clients > 0 {
 		descBase := descRegionBase(cfg.RootFields, 1)
-		e.desc = NewDescRegion(dev, descBase, cfg.Clients, e.durable())
+		e.desc = NewDescRegion(dev, descBase, cfg.Clients, cfg.DetectRing, e.durable())
 		allocBase = descBase + e.desc.Words()
 	}
 	e.alloc = palloc.New(palloc.Config{
@@ -352,6 +352,15 @@ func (e *directEngine) Clients() int {
 		return 0
 	}
 	return e.desc.Clients
+}
+
+// DetectRing returns the per-client descriptor ring size (0 with
+// detectability off).
+func (e *directEngine) DetectRing() int {
+	if e.desc == nil {
+		return 0
+	}
+	return e.desc.Ring
 }
 
 func (e *directEngine) DetectBegin(c *Ctx, client int, seq, kind, key, val uint64, deferAnnounce bool) {

@@ -345,10 +345,17 @@ type Config struct {
 	// flush+fence discipline.
 	NoElide bool
 	// Clients reserves a per-client operation-descriptor region (Clients
-	// slots) between the roots and the allocator base, enabling the
-	// detectability protocol (DetectBegin/Linearized/DetectEnd/Detect).
-	// Zero leaves the layout unchanged and detectability off.
+	// rings of DetectRing entries) between the roots and the allocator
+	// base, enabling the detectability protocol
+	// (DetectBegin/Linearized/DetectEnd/Detect). Zero leaves the layout
+	// unchanged and detectability off.
 	Clients int
+	// DetectRing is the per-client descriptor ring size: how many
+	// operations one client may have in flight with Detect still
+	// authoritative for each (the serving tier's pipeline window bound).
+	// Zero defaults to DefaultDetectRing when Clients > 0; 1 reproduces
+	// the original single-slot layout.
+	DetectRing int
 	// Combine enables cross-operation fence combining on the Mirror
 	// engines: each thread buffers its linearizing installs' durability
 	// and drains them with one flush per line plus a single fence
@@ -394,6 +401,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.RootFields == 0 {
 		c.RootFields = 8
+	}
+	if c.Clients > 0 && c.DetectRing == 0 {
+		c.DetectRing = DefaultDetectRing
 	}
 }
 
@@ -501,6 +511,26 @@ func CommitWitness(e Engine, c *Ctx) {
 	}
 }
 
+// ringSized is implemented by engines whose descriptor region is a
+// per-client ring.
+type ringSized interface {
+	DetectRing() int
+}
+
+// DetectRingOf returns e's per-client descriptor ring size — the maximum
+// number of operations one client may have in flight with Detect still
+// authoritative for each. It is 1 on engines without rings and 0 with
+// detectability off.
+func DetectRingOf(e Engine) int {
+	if e.Clients() == 0 {
+		return 0
+	}
+	if r, ok := e.(ringSized); ok {
+		return r.DetectRing()
+	}
+	return 1
+}
+
 // deferredDetector is implemented by engines supporting the batched-verdict
 // detectability protocol of the serving tier: verdicts of a run of
 // operations (across clients) are recorded in the context and published
@@ -515,12 +545,12 @@ type deferredDetector interface {
 
 // DetectBeginDeferred is DetectBegin in batched-verdict mode: the
 // operation's verdict will be recorded by DetectEndDeferred and published
-// at the next DetectDrain on the same context. If the context already
-// holds a pending verdict for the same client, the buffer drains first —
-// the slot-moved-past-seq inference of Detect requires the earlier
-// operation's effect and verdict to be durable before its successor's
-// announce can be. Falls back to plain DetectBegin on engines without the
-// deferred protocol.
+// at the next DetectDrain on the same context. A client may hold up to the
+// engine's descriptor-ring size of pending verdicts; only arming a seq
+// that would lap a still-pending entry forces a drain first — the
+// entry-lapped inference of Detect requires the lapped operation's effect
+// and verdict to be durable before the overwriting announce can be. Falls
+// back to plain DetectBegin on engines without the deferred protocol.
 func DetectBeginDeferred(e Engine, c *Ctx, client int, seq, kind, key, val uint64, deferAnnounce bool) {
 	if d, ok := e.(deferredDetector); ok {
 		d.detectBeginDeferred(c, client, seq, kind, key, val, deferAnnounce)
@@ -628,7 +658,7 @@ func rootsRegionWords(rootFields, cellW int) uint64 {
 
 // descRegionBase returns the cache-line-aligned device offset of the
 // descriptor region, directly above the roots region. The allocator base
-// moves up by DescWords(clients) from here, so with Clients == 0 the
+// moves up by DescWords(clients, ring) from here, so with Clients == 0 the
 // layout is exactly the pre-detectability one.
 func descRegionBase(rootFields, cellW int) uint64 {
 	b := rootsRegionWords(rootFields, cellW)

@@ -66,7 +66,7 @@ func newMirror(cfg Config) *mirrorEngine {
 	allocBase := rootsRegionWords(cfg.RootFields, patomic.CellWords)
 	if cfg.Clients > 0 {
 		descBase := descRegionBase(cfg.RootFields, patomic.CellWords)
-		e.desc = NewDescRegion(p, descBase, cfg.Clients, true)
+		e.desc = NewDescRegion(p, descBase, cfg.Clients, cfg.DetectRing, true)
 		allocBase = descBase + e.desc.Words()
 	}
 	e.alloc = palloc.New(palloc.Config{
@@ -300,6 +300,15 @@ func (e *mirrorEngine) Clients() int {
 		return 0
 	}
 	return e.desc.Clients
+}
+
+// DetectRing returns the per-client descriptor ring size (0 with
+// detectability off).
+func (e *mirrorEngine) DetectRing() int {
+	if e.desc == nil {
+		return 0
+	}
+	return e.desc.Ring
 }
 
 func (e *mirrorEngine) DetectBegin(c *Ctx, client int, seq, kind, key, val uint64, deferAnnounce bool) {

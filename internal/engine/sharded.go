@@ -28,6 +28,7 @@ type Sharded struct {
 	kind    Kind
 	shards  int
 	clients int // total logical clients across all shards
+	ring    int // per-client descriptor ring size (the sub-engines')
 	subs    []Engine
 	numa    *pmem.NUMA // nil without the NUMA latency preset
 
@@ -47,7 +48,7 @@ func NewSharded(cfg Config) *Sharded {
 	if n < 1 {
 		n = 1
 	}
-	e := &Sharded{kind: cfg.Kind, shards: n, clients: cfg.Clients}
+	e := &Sharded{kind: cfg.Kind, shards: n, clients: cfg.Clients, ring: cfg.DetectRing}
 	if cfg.NUMARemoteNS > 0 {
 		e.numa = pmem.NUMAModel(cfg.NUMARemoteNS)
 	}
@@ -243,6 +244,15 @@ func (e *Sharded) PersistentDevices() []*pmem.Device {
 // Clients returns the total logical client count across all shards.
 func (e *Sharded) Clients() int { return e.clients }
 
+// DetectRing returns the per-client descriptor ring size (0 with
+// detectability off). Every client's ring lives wholly on its slot shard.
+func (e *Sharded) DetectRing() int {
+	if e.clients == 0 {
+		return 0
+	}
+	return e.ring
+}
+
 // clientSlot maps a logical client id to its slot shard and per-shard slot.
 func (e *Sharded) clientSlot(client int) (shard, slot int) {
 	return client % e.shards, client / e.shards
@@ -286,6 +296,56 @@ func (e *Sharded) DetectEnd(c *Ctx, result bool) {
 	sh, _ := e.clientSlot(c.det.client)
 	e.subs[sh].DetectEnd(c.sub[sh], result)
 	c.det = descState{}
+}
+
+// detectBeginDeferred arms (client, seq) in batched-verdict mode on the
+// client's slot shard. The announce is always eager (see DetectBegin — the
+// cross-shard elision is unsound), and the lap guard runs here rather than
+// in the sub-engine because a lapped pending verdict may testify to an
+// effect on a *different* shard: the forced drain must commit every shard,
+// not just the slot shard.
+func (e *Sharded) detectBeginDeferred(c *Ctx, client int, seq, kind, key, val uint64, deferAnnounce bool) {
+	sh, slot := e.clientSlot(client)
+	if ringCollision(c.sub[sh].detPending, slot, seq, e.ring) {
+		e.detectDrain(c)
+	}
+	e.subs[sh].(deferredDetector).detectBeginDeferred(c.sub[sh], slot, seq, kind, key, val, false)
+	c.det = descState{armed: true, deferred: true, client: client, seq: seq}
+}
+
+// detectEndDeferred records the armed operation's verdict on its slot
+// shard for the next drain.
+func (e *Sharded) detectEndDeferred(c *Ctx, result bool, rval uint64) {
+	if !c.det.armed {
+		return
+	}
+	sh, _ := e.clientSlot(c.det.client)
+	e.subs[sh].(deferredDetector).detectEndDeferred(c.sub[sh], result, rval)
+	c.det = descState{}
+}
+
+// detectDrain publishes every verdict deferred on c, across all slot
+// shards. Verdicts publish only after every touched shard drains: the
+// batch's effects land wherever their keys hash, so one all-shard Drain
+// commits them all before any verdict line is written — the same
+// effect-before-verdict order DetectEnd enforces per operation.
+func (e *Sharded) detectDrain(c *Ctx) {
+	pending := false
+	for _, sc := range c.sub {
+		if len(sc.detPending) > 0 {
+			pending = true
+			break
+		}
+	}
+	if !pending {
+		return
+	}
+	e.Drain(c)
+	for i, s := range e.subs {
+		if d, ok := s.(deferredDetector); ok {
+			d.detectDrain(c.sub[i])
+		}
+	}
 }
 
 // Detect answers for (client, seq) from the client's slot shard.

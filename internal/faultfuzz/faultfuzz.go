@@ -83,13 +83,15 @@ type Spec struct {
 	Schedule  Schedule
 	Words     int
 	// Detect enables detectable operations: the engine reserves one
-	// descriptor slot per worker (Config.Clients = Schedule.Workers), every
-	// workload operation runs inside a detectability bracket, and after
-	// recovery each Detect verdict is cross-checked against durable
-	// linearizability — the crash-cut operation is resolved by its verdict
-	// and replayed exactly-once. A Detect verdict that disagrees with
-	// linearize.CheckDurable is a violation like any other: shrinkable and
-	// replayable.
+	// descriptor ring per worker (Config.Clients = Schedule.Workers, ring
+	// size the engine default), every workload operation runs inside a
+	// detectability bracket, and after recovery the Detect verdicts are
+	// cross-checked against durable linearizability — every acknowledged
+	// seq still inside the ring window must read Committed with its
+	// recorded result, and the crash-cut operation is resolved by its
+	// verdict and replayed exactly-once. A Detect verdict that disagrees
+	// with linearize.CheckDurable is a violation like any other:
+	// shrinkable and replayable.
 	Detect bool
 	// Combine enables cross-operation fence combining (engine
 	// Config.Combine). The run then checks *buffered* durable
@@ -230,7 +232,9 @@ type detectableSet struct {
 	lastKind       uint64 // kind/key/val of the last *started* op
 	lastKey        uint64
 	lastVal        uint64
-	lastResult     bool // result of the last *completed* op
+	// results journals every completed op's boolean result by seq, the
+	// ground truth the ring-window cross-check compares verdicts against.
+	results map[uint64]bool
 }
 
 func (d *detectableSet) run(c *engine.Ctx, kind, key, val uint64, f func() bool) bool {
@@ -244,7 +248,7 @@ func (d *detectableSet) run(c *engine.Ctx, kind, key, val uint64, f func() bool)
 	res := f()
 	d.e.DetectEnd(c, res)
 	d.completed = d.seq
-	d.lastResult = res
+	d.results[d.seq] = res
 	return res
 }
 
@@ -362,7 +366,7 @@ func Run(spec Spec) *Result {
 					wctxs[w] = c
 					rset := set
 					if spec.Detect {
-						dets[w] = &detectableSet{Set: set, e: e, client: w}
+						dets[w] = &detectableSet{Set: set, e: e, client: w, results: map[uint64]bool{}}
 						rset = dets[w]
 					}
 					rec := hist.Record(rset, w)
@@ -534,26 +538,32 @@ func Run(spec Spec) *Result {
 	// op to take effect with the recorded result, a NotCommitted verdict
 	// obliges it to vanish, and only Unknown leaves both fates open.
 	if spec.Detect {
+		ring := uint64(engine.DetectRingOf(e))
 		for w, d := range dets {
 			if d == nil {
 				continue
 			}
-			// Detect is authoritative only for a client's most recently
-			// issued operation — the one the crash may have cut. Earlier
-			// operations delivered their responses before the crash, and a
-			// torn in-flight overwrite of the one-slot descriptor may
-			// legitimately destroy their superseded evidence, so they are
-			// not probed here.
-			if d.completed > 0 && !d.cut() {
-				// The client quiesced before the crash: nothing was
-				// overwriting its slot, both descriptor lines were fenced,
-				// so the latest op's verdict must carry the recorded result
-				// verbatim.
-				v := e.Detect(w, d.completed)
-				if !v.KnownResult {
-					res.addf("detect: client %d latest seq %d has no recoverable result", w, d.completed)
-				} else if v.Result != d.lastResult {
-					res.addf("detect: client %d seq %d result %v disagrees with the recorded %v", w, d.completed, v.Result, d.lastResult)
+			// Detect is authoritative for every seq still inside the
+			// client's ring window. Each completed op's verdict line was
+			// fenced before its response was released, and the only entry a
+			// crash-cut operation can be tearing mid-overwrite is a whole
+			// lap below the window — so every acknowledged seq within the
+			// last ring window must read Committed with its recorded result
+			// verbatim. Seqs the ring has lapped delivered their responses
+			// long ago and their superseded evidence may be gone; they are
+			// not probed.
+			lo := uint64(1)
+			if d.seq > ring {
+				lo = d.seq - ring + 1
+			}
+			for s := lo; s <= d.completed; s++ {
+				v := e.Detect(w, s)
+				if v.Verdict != engine.Committed {
+					res.addf("detect: client %d acknowledged seq %d inside the ring window reads %v, want Committed", w, s, v.Verdict)
+				} else if !v.KnownResult {
+					res.addf("detect: client %d acknowledged seq %d lost its recorded result", w, s)
+				} else if v.Result != d.results[s] {
+					res.addf("detect: client %d seq %d result %v disagrees with the recorded %v", w, s, v.Result, d.results[s])
 				}
 			}
 			if d.cut() {

@@ -129,6 +129,7 @@ type BenchOptions struct {
 	// batched sessions ran with.
 	ServingConns       []int  `json:"serving_conns,omitempty"`
 	ServingWorkloads   string `json:"serving_workloads,omitempty"`
+	ServingPipelines   []int  `json:"serving_pipelines,omitempty"`
 	ServingBatchWaitNS int64  `json:"serving_batch_wait_ns,omitempty"`
 }
 
@@ -143,7 +144,10 @@ type ServingPoint struct {
 	Engine   string `json:"engine"`
 	Workload string `json:"workload"` // "YCSB-A".."YCSB-F"
 	Conns    int    `json:"conns"`
-	Batch    bool   `json:"batch"`
+	// Pipeline is the per-client pipeline depth the session ran at (1:
+	// synchronous round trips; >1: HELLO-negotiated, descriptor rings).
+	Pipeline int  `json:"pipeline,omitempty"`
+	Batch    bool `json:"batch"`
 	// BatchWaitNS is the group-commit window of a batched point (omitted
 	// on the unbatched baseline, which drains after every operation).
 	BatchWaitNS int64 `json:"batch_wait_ns,omitempty"`
@@ -162,6 +166,7 @@ type ServingPoint struct {
 	// Server-side deltas for the session: mutating frames executed, drain
 	// batches released, and the engine's persistence-instruction counts.
 	Mutations         uint64  `json:"mutations"`
+	Scans             uint64  `json:"scans,omitempty"`
 	Batches           uint64  `json:"batches"`
 	Flushes           uint64  `json:"flushes"`
 	Fences            uint64  `json:"fences"`
@@ -537,8 +542,13 @@ func (r *BenchReport) Validate() error {
 			return fmt.Errorf("serving point %d: key range %d", i, p.KeyRange)
 		case p.Kops < 0:
 			return fmt.Errorf("serving point %d: negative throughput", i)
+		case p.Pipeline < 0:
+			return fmt.Errorf("serving point %d: pipeline %d", i, p.Pipeline)
 		case p.FencesPerMutation < 0:
 			return fmt.Errorf("serving point %d: negative fences/mutation", i)
+		}
+		if p.Workload == "YCSB-E" && p.Ops > 0 && p.Scans == 0 {
+			return fmt.Errorf("serving point %d: YCSB-E measured ops but served no SCAN frames", i)
 		}
 		if p.Ops > 0 {
 			// A measured point must carry a full, ordered percentile set —

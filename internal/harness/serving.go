@@ -23,6 +23,7 @@ import (
 
 	"mirror/internal/engine"
 	"mirror/internal/server"
+	"mirror/internal/wire"
 	"mirror/internal/workload"
 )
 
@@ -45,6 +46,10 @@ type ServingSpec struct {
 	KeyRange uint64
 	Duration time.Duration
 	Seed     int64
+	// Pipeline requests that many frames in flight per client (HELLO
+	// handshake; the server clamps to its descriptor-ring depth). 0 and 1
+	// mean synchronous round trips.
+	Pipeline int
 }
 
 // ServingLoad is the client-side outcome of a load session.
@@ -64,17 +69,31 @@ func (l ServingLoad) Kops() float64 {
 	return float64(l.Ops) / l.Elapsed.Seconds() / 1e3
 }
 
-// wireWorker adapts one synchronous wire client to the workload driver,
-// timing every round trip. Scans and read-modify-writes have no wire
-// opcodes, so workload.Run's documented fallbacks apply (scan → GET of the
-// start key, RMW → GET then INSERT); YCSB-E/F over the wire measure point
-// operations, not range semantics.
+// wireWorker adapts one wire client to the workload driver, timing every
+// operation. Scans and read-modify-writes ride their native opcodes:
+// Scan(from, to) pages SCAN frames across the span (each frame bounded by
+// wire.MaxScanKeys), RMW reads the current value and compare-and-sets it
+// with one RMW frame.
+//
+// With pipe set (ServingSpec.Pipeline > 1), point reads and mutations are
+// submitted asynchronously up to the granted window; each frame's latency
+// is recorded when its response completes, submit-to-response. Scans and
+// RMWs stay synchronous (they need their answers), draining the pipe
+// first so the recorded latencies stay frame-accurate.
 type wireWorker struct {
-	cl *server.Client
-	h  *Hist
+	cl   *server.Client
+	h    *Hist
+	pipe bool
+	// t0s holds the submit times of the client's in-flight frames,
+	// oldest first — index-aligned with cl.InFlight().
+	t0s []time.Time
 }
 
 func (w *wireWorker) Insert(key, val uint64) bool {
+	if w.pipe {
+		w.submit(wire.OpInsert, key, val, 0)
+		return true
+	}
 	t0 := time.Now()
 	ok, err := w.cl.Insert(key, val)
 	w.record(t0, err)
@@ -82,6 +101,10 @@ func (w *wireWorker) Insert(key, val uint64) bool {
 }
 
 func (w *wireWorker) Delete(key uint64) bool {
+	if w.pipe {
+		w.submit(wire.OpDelete, key, 0, 0)
+		return true
+	}
 	t0 := time.Now()
 	ok, err := w.cl.Delete(key)
 	w.record(t0, err)
@@ -89,10 +112,99 @@ func (w *wireWorker) Delete(key uint64) bool {
 }
 
 func (w *wireWorker) Contains(key uint64) bool {
+	if w.pipe {
+		w.submit(wire.OpGet, key, 0, 0)
+		return true
+	}
 	t0 := time.Now()
 	_, ok, err := w.cl.Get(key)
 	w.record(t0, err)
 	return ok
+}
+
+// Scan implements workload.Scanner over native SCAN frames, paging
+// through [from, to] wire.MaxScanKeys keys at a time.
+func (w *wireWorker) Scan(from, to uint64) int {
+	w.drainPipe()
+	t0 := time.Now()
+	n := 0
+	for start := from; start <= to; {
+		limit := to - start + 1
+		if limit > wire.MaxScanKeys {
+			limit = wire.MaxScanKeys
+		}
+		pairs, err := w.cl.Scan(start, int(limit))
+		if err != nil {
+			w.record(t0, err)
+		}
+		for _, kv := range pairs {
+			if kv.Key <= to {
+				n++
+			}
+		}
+		if uint64(len(pairs)) < limit {
+			break
+		}
+		last := pairs[len(pairs)-1].Key
+		if last >= to || last < start {
+			break
+		}
+		start = last + 1
+	}
+	w.record(t0, nil)
+	return n
+}
+
+// RMW implements workload.RMWer: read the current value, then a native
+// compare-and-set RMW frame. A miss (absent key or a concurrent change
+// between the read and the CAS) is a failed RMW, as YCSB counts it.
+func (w *wireWorker) RMW(key, val uint64) bool {
+	w.drainPipe()
+	t0 := time.Now()
+	cur, ok, err := w.cl.Get(key)
+	if err != nil {
+		w.record(t0, err)
+	}
+	if !ok {
+		w.record(t0, nil)
+		return false
+	}
+	done, err := w.cl.RMW(key, cur, val)
+	w.record(t0, err)
+	return done
+}
+
+// submit pipelines one frame and records the latency of every frame whose
+// response completed while making room in the window.
+func (w *wireWorker) submit(op wire.Op, key, val, arg uint64) {
+	t0 := time.Now()
+	done, err := w.cl.Submit(op, key, val, arg)
+	if err != nil {
+		panic(fmt.Sprintf("serving load: client %d: %v", w.cl.ID(), err))
+	}
+	now := time.Now()
+	for range done {
+		w.h.Record(uint64(now.Sub(w.t0s[0])))
+		w.t0s = w.t0s[1:]
+	}
+	w.t0s = append(w.t0s, t0)
+}
+
+// drainPipe completes every in-flight frame before a synchronous
+// exchange, keeping the latency bookkeeping aligned with the client FIFO.
+func (w *wireWorker) drainPipe() {
+	if !w.pipe || len(w.t0s) == 0 {
+		return
+	}
+	done, err := w.cl.Drain()
+	if err != nil {
+		panic(fmt.Sprintf("serving load: client %d: %v", w.cl.ID(), err))
+	}
+	now := time.Now()
+	for range done {
+		w.h.Record(uint64(now.Sub(w.t0s[0])))
+		w.t0s = w.t0s[1:]
+	}
 }
 
 func (w *wireWorker) record(t0 time.Time, err error) {
@@ -150,12 +262,20 @@ func RunServingLoad(spec ServingSpec) (ServingLoad, error) {
 			if err != nil {
 				panic(fmt.Sprintf("serving load: dial as client %d: %v", id, err))
 			}
+			pipe := false
+			if spec.Pipeline > 1 {
+				granted, err := cl.SetPipeline(spec.Pipeline)
+				if err != nil {
+					panic(fmt.Sprintf("serving load: client %d handshake: %v", id, err))
+				}
+				pipe = granted > 1
+			}
 			h := &Hist{}
 			mu.Lock()
 			hists = append(hists, h)
 			clients = append(clients, cl)
 			mu.Unlock()
-			return &wireWorker{cl: cl, h: h}
+			return &wireWorker{cl: cl, h: h, pipe: pipe}
 		},
 	}
 	res := workload.Run(target, workload.Spec{
@@ -177,6 +297,8 @@ func RunServingLoad(spec ServingSpec) (ServingLoad, error) {
 type ServingConfig struct {
 	// Conns is the connection sweep; each count is measured separately.
 	Conns []int
+	// Pipelines is the per-client pipeline-depth sweep (default {1}).
+	Pipelines []int
 	// Workloads are YCSB letters ('A'..'F'); default {'A'}.
 	Workloads []byte
 	// Kinds are the engines to serve; default all durable kinds.
@@ -192,6 +314,9 @@ type ServingConfig struct {
 func (sc *ServingConfig) setDefaults() {
 	if len(sc.Conns) == 0 {
 		sc.Conns = []int{1, 4}
+	}
+	if len(sc.Pipelines) == 0 {
+		sc.Pipelines = []int{1}
 	}
 	if len(sc.Workloads) == 0 {
 		sc.Workloads = []byte{'A'}
@@ -218,12 +343,14 @@ func (sc *ServingConfig) setDefaults() {
 // wire, drives one YCSB load session, and returns the measured point with
 // the server's counter deltas attached. batch toggles cross-client fence
 // batching (false runs the per-mutation-fence ablation baseline).
-func RunServingSession(o Options, sc ServingConfig, kind engine.Kind, letter byte, conns int, batch bool) (ServingPoint, error) {
+func RunServingSession(o Options, sc ServingConfig, kind engine.Kind, letter byte, conns, pipeline int, batch bool) (ServingPoint, error) {
 	sc.setDefaults()
 	o.setDefaults()
+	if pipeline < 1 {
+		pipeline = 1
+	}
 	s, err := server.New(server.Config{
 		Kind:      kind,
-		Buckets:   1024,
 		Clients:   conns + 2,
 		Workers:   sc.Workers,
 		NoBatch:   !batch,
@@ -248,6 +375,7 @@ func RunServingSession(o Options, sc ServingConfig, kind engine.Kind, letter byt
 		KeyRange: sc.KeyRange,
 		Duration: o.Duration,
 		Seed:     o.Seed,
+		Pipeline: pipeline,
 	})
 	if err != nil {
 		return ServingPoint{}, err
@@ -257,6 +385,7 @@ func RunServingSession(o Options, sc ServingConfig, kind engine.Kind, letter byt
 		Engine:    kind.String(),
 		Workload:  fmt.Sprintf("YCSB-%c", letter&^0x20),
 		Conns:     conns,
+		Pipeline:  pipeline,
 		Batch:     batch,
 		KeyRange:  int(sc.KeyRange),
 		Ops:       load.Ops,
@@ -266,6 +395,7 @@ func RunServingSession(o Options, sc ServingConfig, kind engine.Kind, letter byt
 		P999NS:    load.Hist.Percentile(99.9),
 		MaxNS:     load.Hist.Max(),
 		Mutations: st1.Mutations - st0.Mutations,
+		Scans:     st1.Scans - st0.Scans,
 		Batches:   st1.Batches - st0.Batches,
 		Flushes:   st1.Flushes - st0.Flushes,
 		Fences:    st1.Fences - st0.Fences,
@@ -290,16 +420,19 @@ func AppendServingAblation(r *BenchReport, o Options, sc ServingConfig) error {
 	o.setDefaults()
 	r.Options.ServingConns = sc.Conns
 	r.Options.ServingWorkloads = string(sc.Workloads)
+	r.Options.ServingPipelines = sc.Pipelines
 	r.Options.ServingBatchWaitNS = sc.BatchWait.Nanoseconds()
 	for _, kind := range sc.Kinds {
 		for _, letter := range sc.Workloads {
 			for _, conns := range sc.Conns {
-				for _, batch := range []bool{true, false} {
-					p, err := RunServingSession(o, sc, kind, letter, conns, batch)
-					if err != nil {
-						return err
+				for _, pipeline := range sc.Pipelines {
+					for _, batch := range []bool{true, false} {
+						p, err := RunServingSession(o, sc, kind, letter, conns, pipeline, batch)
+						if err != nil {
+							return err
+						}
+						r.Serving = append(r.Serving, p)
 					}
-					r.Serving = append(r.Serving, p)
 				}
 			}
 		}

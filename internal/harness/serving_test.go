@@ -21,7 +21,7 @@ func servingCfg() ServingConfig {
 // operations completed, a full ordered percentile set, and server-side
 // counters that account for the load.
 func TestServingSession(t *testing.T) {
-	p, err := RunServingSession(servingOpts(), servingCfg(), engine.MirrorDRAM, 'A', 2, true)
+	p, err := RunServingSession(servingOpts(), servingCfg(), engine.MirrorDRAM, 'A', 2, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestServingWorkloadLetters(t *testing.T) {
 	if _, err := RunServingLoad(ServingSpec{Workload: 'Z', Conns: 1, KeyRange: 64}); err == nil {
 		t.Fatal("workload Z accepted")
 	}
-	p, err := RunServingSession(servingOpts(), servingCfg(), engine.MirrorDRAM, 'c', 1, false)
+	p, err := RunServingSession(servingOpts(), servingCfg(), engine.MirrorDRAM, 'c', 1, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,5 +113,50 @@ func TestServingReportRoundtrip(t *testing.T) {
 	rr.Serving[0].P50NS = 0
 	if err := rr.Validate(); err == nil {
 		t.Fatal("measured point without percentiles validated")
+	}
+}
+
+// TestServingPipelinedSession drives YCSB-A at pipeline depth 4 and checks
+// the point records the depth, completes more operations than it could
+// synchronously lose, and keeps the percentile invariants.
+func TestServingPipelinedSession(t *testing.T) {
+	p, err := RunServingSession(servingOpts(), servingCfg(), engine.MirrorDRAM, 'A', 1, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pipeline != 4 {
+		t.Fatalf("pipeline not recorded: %+v", p)
+	}
+	if p.Ops == 0 || p.Mutations == 0 {
+		t.Fatalf("pipelined session idle: %+v", p)
+	}
+	if p.P50NS == 0 || p.P50NS > p.P99NS || p.P99NS > p.P999NS || p.P999NS > p.MaxNS {
+		t.Fatalf("percentiles broken: %+v", p)
+	}
+}
+
+// TestServingScanSession drives YCSB-E over native SCAN frames and checks
+// the server counted them.
+func TestServingScanSession(t *testing.T) {
+	p, err := RunServingSession(servingOpts(), servingCfg(), engine.MirrorDRAM, 'E', 1, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if p.Scans == 0 {
+		t.Fatal("YCSB-E served no SCAN frames")
+	}
+}
+
+// TestServingRMWSession drives YCSB-F and checks RMW frames mutate.
+func TestServingRMWSession(t *testing.T) {
+	p, err := RunServingSession(servingOpts(), servingCfg(), engine.MirrorDRAM, 'F', 1, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ops == 0 || p.Mutations == 0 {
+		t.Fatalf("YCSB-F ran no RMW mutations: %+v", p)
 	}
 }

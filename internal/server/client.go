@@ -9,20 +9,31 @@ import (
 	"mirror/internal/wire"
 )
 
-// Client is a synchronous wire-protocol client: one connection, one client
-// id, one outstanding operation (the descriptor-slot contract). It tracks
-// the per-client sequence number; after a reconnect, restore it with
-// SetSeq before resolving or replaying the cut operation.
+// Client is a wire-protocol client: one connection, one client id. It
+// tracks the per-client sequence number; after a reconnect, restore it
+// with SetSeq before resolving or replaying cut operations.
+//
+// By default it is synchronous — one outstanding operation. SetPipeline
+// negotiates a deeper window with the server (bounded by the server's
+// descriptor-ring depth), after which Submit keeps up to that many
+// mutating frames in flight; responses arrive in issue order (the server
+// preserves per-client FIFO) and every unacknowledged frame stays
+// resolvable via DETECT after a crash.
 //
 // Not safe for concurrent use — the serving tier's concurrency unit is many
 // clients, not many goroutines on one client.
 type Client struct {
-	nc   net.Conn
-	rd   *bufio.Reader
-	id   uint32
-	seq  uint64
-	wbuf []byte
-	rbuf []byte
+	nc     net.Conn
+	rd     *bufio.Reader
+	wr     *bufio.Writer
+	id     uint32
+	seq    uint64
+	window int
+	// inflight is the FIFO of submitted-but-unacknowledged frames,
+	// oldest first.
+	inflight []wire.Request
+	wbuf     []byte
+	rbuf     []byte
 }
 
 // Dial connects to a mirrord server as the given client id.
@@ -31,7 +42,10 @@ func Dial(addr string, id uint32) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{nc: nc, rd: bufio.NewReader(nc), id: id, rbuf: make([]byte, 64)}, nil
+	return &Client{
+		nc: nc, rd: bufio.NewReader(nc), wr: bufio.NewWriter(nc),
+		id: id, window: 1, rbuf: make([]byte, 64),
+	}, nil
 }
 
 // Close closes the connection.
@@ -48,18 +62,119 @@ func (c *Client) Seq() uint64 { return c.seq }
 // mutation continues the per-client strictly-increasing series.
 func (c *Client) SetSeq(seq uint64) { c.seq = seq }
 
-// Do sends one request frame and reads its response. A StatusError response
-// is returned as a *wire.ProtocolError (the server closes the connection
-// after sending one).
+// Do sends one request frame and reads its response, synchronously. Any
+// in-flight pipelined frames are drained first, so the exchange observes
+// program order. A StatusError response is returned as a
+// *wire.ProtocolError (the server closes the connection after sending one).
 func (c *Client) Do(req wire.Request) (wire.Response, error) {
+	if len(c.inflight) > 0 {
+		if _, err := c.Drain(); err != nil {
+			return wire.Response{}, err
+		}
+	}
 	c.wbuf = wire.AppendRequest(c.wbuf[:0], req)
-	if _, err := c.nc.Write(c.wbuf); err != nil {
+	if _, err := c.wr.Write(c.wbuf); err != nil {
+		return wire.Response{}, err
+	}
+	if err := c.wr.Flush(); err != nil {
 		return wire.Response{}, err
 	}
 	resp, err := wire.ReadResponse(c.rd, c.rbuf)
 	if err != nil {
 		return wire.Response{}, err
 	}
+	if resp.Status == wire.StatusError {
+		return resp, &wire.ProtocolError{Reason: resp.Err}
+	}
+	return resp, nil
+}
+
+// SetPipeline negotiates a pipeline window of up to w mutating frames via
+// HELLO and returns the granted depth (min of w and the server's
+// descriptor-ring size). Depth 1 restores synchronous operation.
+func (c *Client) SetPipeline(w int) (int, error) {
+	if w < 1 {
+		return 0, &wire.ProtocolError{Reason: "pipeline window must be >= 1"}
+	}
+	resp, err := c.Do(wire.Request{Op: wire.OpHello, Client: c.id, Val: uint64(w)})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Rval < 1 {
+		return 0, &wire.ProtocolError{Reason: "server granted a zero window"}
+	}
+	c.window = int(resp.Rval)
+	return c.window, nil
+}
+
+// Window returns the granted pipeline depth (1 before SetPipeline).
+func (c *Client) Window() int { return c.window }
+
+// Submit issues one frame asynchronously — a mutating op (with the next
+// sequence number) or a GET/SCAN (seq 0; the server still answers in FIFO
+// order). If the window is full it first completes the oldest in-flight
+// frame; any responses so completed are returned, oldest first (they
+// correspond FIFO to earlier Submit calls). The submitted frame itself
+// completes on a later Submit or Drain. All in-flight frames count
+// against the window, so mutating frames can never outnumber the ring.
+func (c *Client) Submit(op wire.Op, key, val, arg uint64) ([]wire.Response, error) {
+	if op == wire.OpHello || op == wire.OpDetect {
+		return nil, &wire.ProtocolError{Reason: "Submit cannot pipeline " + op.String()}
+	}
+	var done []wire.Response
+	for len(c.inflight) >= c.window {
+		r, err := c.complete()
+		if err != nil {
+			return done, err
+		}
+		done = append(done, r)
+	}
+	var seq uint64
+	if op.Mutating() {
+		c.seq++
+		seq = c.seq
+	}
+	req := wire.Request{Op: op, Client: c.id, Seq: seq, Key: key, Val: val, Arg: arg}
+	c.wbuf = wire.AppendRequest(c.wbuf[:0], req)
+	if _, err := c.wr.Write(c.wbuf); err != nil {
+		return done, err
+	}
+	c.inflight = append(c.inflight, req)
+	return done, nil
+}
+
+// Drain completes every in-flight frame and returns their responses in
+// issue order.
+func (c *Client) Drain() ([]wire.Response, error) {
+	done := make([]wire.Response, 0, len(c.inflight))
+	for len(c.inflight) > 0 {
+		r, err := c.complete()
+		if err != nil {
+			return done, err
+		}
+		done = append(done, r)
+	}
+	return done, nil
+}
+
+// InFlight snapshots the submitted-but-unacknowledged frames, oldest
+// first — after a lost connection these are exactly the operations to
+// resolve via DETECT or replay.
+func (c *Client) InFlight() []wire.Request {
+	return append([]wire.Request(nil), c.inflight...)
+}
+
+// complete flushes buffered writes and reads the oldest in-flight
+// frame's response.
+func (c *Client) complete() (wire.Response, error) {
+	if err := c.wr.Flush(); err != nil {
+		return wire.Response{}, err
+	}
+	resp, err := wire.ReadResponse(c.rd, c.rbuf)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	c.inflight = c.inflight[1:]
 	if resp.Status == wire.StatusError {
 		return resp, &wire.ProtocolError{Reason: resp.Err}
 	}
@@ -100,6 +215,21 @@ func (c *Client) Enqueue(v uint64) error {
 func (c *Client) Dequeue() (v uint64, ok bool, err error) {
 	r, err := c.mutate(wire.OpDequeue, 0, 0)
 	return r.Rval, r.Result, err
+}
+
+// Scan returns up to limit present pairs with key >= start, in ascending
+// key order (weakly consistent, like every lock-free range scan here).
+func (c *Client) Scan(start uint64, limit int) ([]wire.KV, error) {
+	r, err := c.Do(wire.Request{Op: wire.OpScan, Client: c.id, Key: start, Val: uint64(limit)})
+	return r.Pairs, err
+}
+
+// RMW atomically replaces key's value with repl iff it currently holds
+// expect (compare-and-set over the wire).
+func (c *Client) RMW(key, expect, repl uint64) (bool, error) {
+	c.seq++
+	r, err := c.Do(wire.Request{Op: wire.OpRMW, Client: c.id, Seq: c.seq, Key: key, Val: expect, Arg: repl})
+	return r.Result, err
 }
 
 // Detect asks the server for the durable fate of this client's seq.

@@ -34,7 +34,6 @@ func helperMain() {
 	s, err := New(Config{
 		Kind:      engine.Kind(kind),
 		Words:     1 << 21,
-		Buckets:   256,
 		Clients:   32,
 		Workers:   2,
 		MediaPath: os.Getenv("MIRRORD_MEDIA"),
@@ -249,19 +248,26 @@ func TestCrashKillBattery(t *testing.T) {
 		t.Skip("subprocess battery")
 	}
 	cases := []struct {
-		name    string
-		kind    engine.Kind
-		combine bool
+		name     string
+		kind     engine.Kind
+		combine  bool
+		pipeline bool
 	}{
-		{"Izraelevitz", engine.Izraelevitz, false},
-		{"NVTraverse", engine.NVTraverse, false},
-		{"Mirror", engine.MirrorDRAM, false},
-		{"MirrorNVMM", engine.MirrorNVMM, false},
-		{"Mirror/combine", engine.MirrorDRAM, true},
+		{"Izraelevitz", engine.Izraelevitz, false, false},
+		{"NVTraverse", engine.NVTraverse, false, false},
+		{"Mirror", engine.MirrorDRAM, false, false},
+		{"MirrorNVMM", engine.MirrorNVMM, false, false},
+		{"Mirror/combine", engine.MirrorDRAM, true, false},
+		{"Mirror/pipelined/combine", engine.MirrorDRAM, true, true},
+		{"MirrorNVMM/pipelined", engine.MirrorNVMM, false, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			runCrashKill(t, tc.kind, tc.combine)
+			if tc.pipeline {
+				runCrashKillPipelined(t, tc.kind, tc.combine)
+			} else {
+				runCrashKill(t, tc.kind, tc.combine)
+			}
 		})
 	}
 }
@@ -329,40 +335,7 @@ func runCrashKill(t *testing.T, kind engine.Kind, combine bool) {
 	// (client keyspaces are disjoint), checking every acknowledged result
 	// was truthful, then compare the model against the served state.
 	for i, lc := range clients {
-		model := map[uint64]uint64{}
-		for _, rec := range lc.ops {
-			switch rec.op {
-			case wire.OpInsert:
-				_, present := model[rec.key]
-				if !rec.resolved && rec.result == present {
-					t.Fatalf("client %d seq %d: insert(%d) acked %v, model says %v",
-						lc.id, rec.seq, rec.key, rec.result, !present)
-				}
-				if !present {
-					// A failed insert does not overwrite the held value.
-					model[rec.key] = rec.val
-				}
-			case wire.OpDelete:
-				_, present := model[rec.key]
-				if !rec.resolved && rec.result != present {
-					t.Fatalf("client %d seq %d: delete(%d) acked %v, model says %v",
-						lc.id, rec.seq, rec.key, rec.result, present)
-				}
-				delete(model, rec.key)
-			}
-		}
-		for k := uint64(1); k <= 64; k++ {
-			key := uint64(lc.id+1)<<32 | k
-			v, ok, err := conns[i].Get(key)
-			if err != nil {
-				t.Fatal(err)
-			}
-			wantV, want := model[key]
-			if ok != want || (ok && v != wantV) {
-				t.Fatalf("client %d key %d: served %d,%v; model %d,%v",
-					lc.id, key, v, ok, wantV, want)
-			}
-		}
+		checkSetModel(t, lc.id, lc.ops, conns[i])
 	}
 
 	// Queue conservation: every certainly-enqueued value is dequeued,
@@ -425,5 +398,240 @@ func runCrashKill(t *testing.T, kind engine.Kind, combine bool) {
 		if !certain[v] && !maybe[v] {
 			t.Fatalf("value %d came out of the queue but was never enqueued", v)
 		}
+	}
+}
+
+// checkSetModel replays one client's journal against an exact model of its
+// private keyspace, checking every acknowledged result was truthful, then
+// compares the model against the served state.
+func checkSetModel(t *testing.T, id uint32, ops []opRec, c *Client) {
+	t.Helper()
+	model := map[uint64]uint64{}
+	for _, rec := range ops {
+		switch rec.op {
+		case wire.OpInsert:
+			_, present := model[rec.key]
+			if !rec.resolved && rec.result == present {
+				t.Fatalf("client %d seq %d: insert(%d) acked %v, model says %v",
+					id, rec.seq, rec.key, rec.result, !present)
+			}
+			if !present {
+				// A failed insert does not overwrite the held value.
+				model[rec.key] = rec.val
+			}
+		case wire.OpDelete:
+			_, present := model[rec.key]
+			if !rec.resolved && rec.result != present {
+				t.Fatalf("client %d seq %d: delete(%d) acked %v, model says %v",
+					id, rec.seq, rec.key, rec.result, present)
+			}
+			delete(model, rec.key)
+		}
+	}
+	for k := uint64(1); k <= 64; k++ {
+		key := uint64(id+1)<<32 | k
+		v, ok, err := c.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantV, want := model[key]
+		if ok != want || (ok && v != wantV) {
+			t.Fatalf("client %d key %d: served %d,%v; model %d,%v",
+				id, key, v, ok, wantV, want)
+		}
+	}
+}
+
+// pipeClient is one pipelined client id's journal across the kill: up to a
+// full window of eight mutating frames may be unacknowledged when the
+// server dies, and every one of them must resolve through the descriptor
+// ring.
+type pipeClient struct {
+	id      uint32
+	burst   int // if nonzero, submit exactly this many frames and stop
+	ops     []opRec
+	pending []opRec // submitted, unacknowledged, ascending seq
+}
+
+func (pc *pipeClient) keyAt(state uint64) uint64 { return uint64(pc.id+1)<<32 | (state%64 + 1) }
+
+// run drives pipelined inserts and deletes until the connection dies,
+// journaling acknowledged frames as their responses come back in FIFO
+// order. A burst client instead flushes a partial window and then sits on
+// it, dying with a partially-filled descriptor ring it never read a single
+// response from.
+func (pc *pipeClient) run(addr string) error {
+	c, err := Dial(addr, pc.id)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	w, err := c.SetPipeline(8)
+	if err != nil {
+		return err
+	}
+	if w != 8 {
+		return fmt.Errorf("client %d: granted window %d, want 8", pc.id, w)
+	}
+	pop := func(done []wire.Response) {
+		for _, r := range done {
+			rec := pc.pending[0]
+			pc.pending = pc.pending[1:]
+			rec.result, rec.rval = r.Result, r.Rval
+			pc.ops = append(pc.ops, rec)
+		}
+	}
+	// reconcile makes the client's own in-flight FIFO authoritative for
+	// what is unacknowledged (a frame cut by the kill may never have been
+	// written, in which case Submit did not register it).
+	reconcile := func() {
+		pc.pending = pc.pending[:0]
+		for _, req := range c.InFlight() {
+			pc.pending = append(pc.pending, opRec{op: req.Op, seq: req.Seq, key: req.Key, val: req.Val})
+		}
+	}
+	state := uint64(pc.id)*0x9e3779b97f4a7c15 + 1
+	for i := 0; ; i++ {
+		if pc.burst > 0 && i == pc.burst {
+			c.wr.Flush()
+			time.Sleep(600 * time.Millisecond) // outlives the kill
+			reconcile()
+			return nil
+		}
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		rec := opRec{key: pc.keyAt(state), seq: c.Seq() + 1}
+		if state%100 < 60 {
+			rec.op, rec.val = wire.OpInsert, state|1
+		} else {
+			rec.op = wire.OpDelete
+		}
+		done, err := c.Submit(rec.op, rec.key, rec.val, 0)
+		pop(done)
+		if err != nil {
+			reconcile()
+			return nil // the kill
+		}
+		pc.pending = append(pc.pending, rec)
+	}
+}
+
+// resolve reconnects after the restart and settles every in-flight frame
+// through DETECT, in issue order. Ring detect must answer Committed for a
+// prefix of the window: frames execute in per-client FIFO order, and any
+// durable later verdict proves every earlier seq committed (the ring's
+// sibling-verdict inference), so a committed seq can never follow an
+// uncommitted one. The suffix after the prefix is provably uncommitted or
+// unknown and is replayed in the original order, which converges for
+// inserts and deletes in a private keyspace.
+func (pc *pipeClient) resolve(c *Client) error {
+	if n := len(pc.pending); n > 0 {
+		c.SetSeq(pc.pending[n-1].seq)
+	} else if n := len(pc.ops); n > 0 {
+		c.SetSeq(pc.ops[n-1].seq)
+	}
+	prefix := true
+	for _, rec := range pc.pending {
+		d, err := c.Detect(rec.seq)
+		if err != nil {
+			return err
+		}
+		rec.resolved = true
+		switch engine.Verdict(d.Verdict) {
+		case engine.Committed:
+			if !prefix {
+				return fmt.Errorf("client %d: seq %d committed after an earlier uncommitted seq", pc.id, rec.seq)
+			}
+			if d.Known {
+				rec.result, rec.rval = d.Result, d.Rval
+			} else {
+				rec.result = true
+			}
+		default: // NotCommitted or Unknown: replay, in order
+			prefix = false
+			resp, err := c.Replay(rec.op, rec.seq, rec.key, rec.val)
+			if err != nil {
+				return err
+			}
+			rec.result, rec.rval = resp.Result, resp.Rval
+		}
+		pc.ops = append(pc.ops, rec)
+	}
+	pc.pending = nil
+	return nil
+}
+
+// runCrashKillPipelined is the pipelined half of the battery: clients
+// negotiate a window-8 pipeline, the server is killed with whole windows
+// in flight, and after the restart every in-flight seq resolves through
+// the descriptor ring — including client 0's, which dies holding a
+// partially-filled ring.
+func runCrashKillPipelined(t *testing.T, kind engine.Kind, combine bool) {
+	media := filepath.Join(t.TempDir(), "media")
+	h1 := startHelper(t, kind, media, combine)
+	if h1.mode != "fresh" {
+		t.Fatalf("first incarnation mode %q", h1.mode)
+	}
+
+	const nClients = 6
+	clients := make([]*pipeClient, nClients)
+	var wg sync.WaitGroup
+	errs := make(chan error, nClients)
+	for i := range clients {
+		clients[i] = &pipeClient{id: uint32(i)}
+		if i == 0 {
+			clients[i].burst = 3 // dies with a partially-filled ring
+		}
+		wg.Add(1)
+		go func(pc *pipeClient) {
+			defer wg.Done()
+			errs <- pc.run(h1.addr)
+		}(clients[i])
+	}
+	time.Sleep(150 * time.Millisecond) // let windows fill, then pull the plug
+	h1.kill(t)
+	wg.Wait()
+	for range clients {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total, inflight, deepest int
+	for _, pc := range clients {
+		total += len(pc.ops)
+		inflight += len(pc.pending)
+		if len(pc.pending) > deepest {
+			deepest = len(pc.pending)
+		}
+	}
+	if total < 50 {
+		t.Fatalf("only %d acknowledged ops before the kill; load never ramped", total)
+	}
+	if got := len(clients[0].pending); got != 3 {
+		t.Fatalf("burst client died with %d frames in flight, want 3", got)
+	}
+	if deepest < 2 {
+		t.Fatalf("no client died with a multi-entry ring (deepest window %d)", deepest)
+	}
+	t.Logf("killed with %d acknowledged ops, %d frames in flight (deepest window %d)",
+		total, inflight, deepest)
+
+	h2 := startHelper(t, kind, media, combine)
+	if h2.mode != "attached" {
+		t.Fatalf("second incarnation mode %q, want attached", h2.mode)
+	}
+
+	for _, pc := range clients {
+		c, err := Dial(h2.addr, pc.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pc.resolve(c); err != nil {
+			c.Close()
+			t.Fatalf("client %d resolve: %v", pc.id, err)
+		}
+		checkSetModel(t, pc.id, pc.ops, c)
+		c.Close()
 	}
 }

@@ -1,6 +1,7 @@
 // Package server implements mirrord's serving tier: a TCP front end over
-// one durable persistence engine, exposing a keyed set (the lock-free hash
-// table) and a FIFO queue through the wire protocol of internal/wire.
+// one durable persistence engine, exposing a keyed ordered set (the
+// lock-free skip list — ordered so SCAN is native) and a FIFO queue
+// through the wire protocol of internal/wire.
 //
 // The interesting part is the write path. Every mutating frame carries the
 // engine's detectability identity (client, seq), and the server runs it
@@ -15,9 +16,17 @@
 // until its operation is persistent, and after a crash the descriptor
 // region resolves every unacknowledged frame via DETECT.
 //
-// Routing by client id (client mod workers) keeps each descriptor slot
+// Routing by client id (client mod workers) keeps each descriptor ring
 // single-writer and keeps one client's frames in order, which the Detect
-// truth table requires ("the slot moved past seq" implies seq committed).
+// truth table requires ("the entry moved a whole lap past seq" implies
+// seq's response was released).
+//
+// Pipelining: each client owns a descriptor ring of Config.Ring entries,
+// so it may keep up to Ring mutating frames in flight before reading
+// responses (negotiated by HELLO, which returns the granted window). The
+// worker's group-commit batcher then sees a full window from a single
+// connection and drains it under one fence — depth replaces connection
+// count as the source of batchable concurrency.
 //
 // With Config.MediaPath the engine's fenced image lives in a file-backed
 // mapping, so the whole thing survives kill -9: a restarted server attaches
@@ -42,13 +51,13 @@ import (
 
 	"mirror/internal/engine"
 	"mirror/internal/structures"
-	"mirror/internal/structures/hashtable"
+	"mirror/internal/structures/skiplist"
 	"mirror/internal/structures/queue"
 	"mirror/internal/wire"
 )
 
-// Root fields used by the served structures. The hash table owns root
-// fields 0 and 1; the queue owns 4 and 5 (its head/tail pair).
+// Root fields used by the served structures. The skip list owns root
+// field 0 (its head sentinel); the queue owns 4 and 5 (its head/tail pair).
 const (
 	tableRoot = 0
 	queueRoot = 4
@@ -61,9 +70,11 @@ type Config struct {
 	Kind engine.Kind
 	// Words sizes each engine device (default 1<<20).
 	Words int
-	// Buckets is the hash table's bucket count (power of two, default 1024).
-	Buckets int
-	// Clients is the descriptor-slot count — the exclusive upper bound on
+	// Ring is the per-client descriptor-ring depth — the maximum number of
+	// mutating frames one client may have in flight (default
+	// engine.DefaultDetectRing). HELLO grants min(requested, Ring).
+	Ring int
+	// Clients is the descriptor-ring count — the exclusive upper bound on
 	// client ids the server accepts (default 64, max wire.MaxClients).
 	Clients int
 	// Workers is the number of batcher goroutines (default 2). Frames are
@@ -96,11 +107,11 @@ func (c *Config) setDefaults() error {
 	if c.Words == 0 {
 		c.Words = 1 << 20
 	}
-	if c.Buckets == 0 {
-		c.Buckets = 1024
+	if c.Ring == 0 {
+		c.Ring = engine.DefaultDetectRing
 	}
-	if c.Buckets < 0 || c.Buckets&(c.Buckets-1) != 0 {
-		return fmt.Errorf("server: buckets %d not a power of two", c.Buckets)
+	if c.Ring < 1 {
+		return fmt.Errorf("server: ring %d not positive", c.Ring)
 	}
 	if c.Clients == 0 {
 		c.Clients = 64
@@ -129,7 +140,7 @@ func (c *Config) setDefaults() error {
 type meta struct {
 	Kind    int  `json:"kind"`
 	Words   int  `json:"words"`
-	Buckets int  `json:"buckets"`
+	Ring    int  `json:"ring"`
 	Clients int  `json:"clients"`
 	Combine bool `json:"combine"`
 }
@@ -142,6 +153,7 @@ type Stats struct {
 	Ops       uint64 // frames executed (including GET and DETECT)
 	Mutations uint64 // frames that ran a mutating operation body
 	Replays   uint64 // mutating frames short-circuited by a committed descriptor
+	Scans     uint64 // SCAN frames served
 	Batches   uint64 // drain batches released
 	Flushes   uint64 // engine cumulative flushes
 	Fences    uint64 // engine cumulative fences
@@ -151,7 +163,7 @@ type Stats struct {
 type Server struct {
 	cfg      Config
 	e        engine.Engine
-	table    *hashtable.Table
+	table    *skiplist.SkipList
 	q        *queue.Queue
 	attached bool
 
@@ -167,6 +179,7 @@ type Server struct {
 	ops       atomic.Uint64
 	mutations atomic.Uint64
 	replays   atomic.Uint64
+	scans     atomic.Uint64
 	batches   atomic.Uint64
 }
 
@@ -178,7 +191,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	want := meta{
-		Kind: int(cfg.Kind), Words: cfg.Words, Buckets: cfg.Buckets,
+		Kind: int(cfg.Kind), Words: cfg.Words, Ring: cfg.Ring,
 		Clients: cfg.Clients, Combine: cfg.Combine,
 	}
 	attach := false
@@ -202,13 +215,14 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	e := engine.New(engine.Config{
-		Kind:      cfg.Kind,
-		Words:     cfg.Words,
-		Track:     cfg.MediaPath != "",
-		Clients:   cfg.Clients,
-		Combine:   cfg.Combine,
-		MediaPath: cfg.MediaPath,
-		Attach:    attach,
+		Kind:       cfg.Kind,
+		Words:      cfg.Words,
+		Track:      cfg.MediaPath != "",
+		Clients:    cfg.Clients,
+		DetectRing: cfg.Ring,
+		Combine:    cfg.Combine,
+		MediaPath:  cfg.MediaPath,
+		Attach:     attach,
 	})
 	s := &Server{cfg: cfg, e: e, attached: attach, conns: make(map[*conn]struct{})}
 	c := e.NewCtx()
@@ -217,7 +231,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	// NewAt both adopts (attach: the roots are non-zero after recovery) and
 	// initializes (fresh: it writes the root cells).
-	s.table = hashtable.NewAt(e, c, cfg.Buckets, tableRoot)
+	s.table = skiplist.NewAt(e, c, tableRoot)
 	s.q = queue.NewAt(e, c, queueRoot)
 	e.Drain(c)
 	if attach {
@@ -246,7 +260,7 @@ func New(cfg Config) (*Server, error) {
 // tracer walks both served structures; their reachable sets are disjoint
 // (every object hangs off exactly one root), so each object is visited once.
 func (s *Server) tracer() engine.Tracer {
-	ht := hashtable.TracerAt(s.e, tableRoot)
+	ht := skiplist.TracerAt(s.e, tableRoot)
 	qt := queue.TracerAt(s.e, queueRoot)
 	return func(read func(engine.Ref, int) uint64, visit func(engine.Ref, int)) {
 		ht(read, visit)
@@ -286,6 +300,7 @@ func (s *Server) Stats() Stats {
 		Ops:       s.ops.Load(),
 		Mutations: s.mutations.Load(),
 		Replays:   s.replays.Load(),
+		Scans:     s.scans.Load(),
 		Batches:   s.batches.Load(),
 		Flushes:   fl,
 		Fences:    fe,
@@ -537,7 +552,7 @@ func (w *worker) exec(it reqItem) {
 	s, c, r := w.s, w.c, it.req
 	s.ops.Add(1)
 	var resp wire.Response
-	if (r.Op == wire.OpGet || r.Op == wire.OpInsert || r.Op == wire.OpDelete) &&
+	if (r.Op == wire.OpGet || r.Op == wire.OpInsert || r.Op == wire.OpDelete || r.Op == wire.OpRMW) &&
 		(r.Key == 0 || r.Key > structures.KeyMax) {
 		// Keyed frames address the set, whose usable keys are
 		// [1, structures.KeyMax]. A bad key is the client's error, not a
@@ -552,6 +567,36 @@ func (w *worker) exec(it reqItem) {
 	case wire.OpGet:
 		v, ok := s.table.Get(c, r.Key)
 		resp = wire.Response{Status: wire.StatusOK, Result: ok, Known: true, Rval: v}
+	case wire.OpScan:
+		// Range over the ordered set from the start key, up to the
+		// decoded limit (already bounded by wire.MaxScanKeys). Weakly
+		// consistent like every lock-free range scan here: concurrent
+		// mutations may or may not appear, but every pair returned was
+		// present at some point during the walk.
+		from := r.Key
+		if from == 0 {
+			from = 1
+		}
+		pairs := make([]wire.KV, 0, r.Val)
+		s.table.Range(c, from, structures.KeyMax, func(k, v uint64) bool {
+			pairs = append(pairs, wire.KV{Key: k, Val: v})
+			return uint64(len(pairs)) < r.Val
+		})
+		s.scans.Add(1)
+		resp = wire.Response{
+			Status: wire.StatusOK, Result: true, Known: true,
+			Rval: uint64(len(pairs)), Pairs: pairs,
+		}
+	case wire.OpHello:
+		// Pipeline handshake: grant the smaller of the client's requested
+		// window and the descriptor-ring depth. The ring is the hard
+		// bound — a client with more than Ring unacknowledged seqs could
+		// lap its own unresolved entries.
+		granted := r.Val
+		if ring := uint64(s.cfg.Ring); granted > ring {
+			granted = ring
+		}
+		resp = wire.Response{Status: wire.StatusOK, Result: true, Known: true, Rval: granted}
 	case wire.OpDetect:
 		// Commit this worker's pending verdicts first: the asked-about slot
 		// belongs to this worker's partition, so after the drain the answer
@@ -591,6 +636,10 @@ func (w *worker) exec(it reqItem) {
 		case wire.OpDequeue:
 			engine.DetectBeginDeferred(s.e, c, client, r.Seq, engine.DetectDequeue, 0, 0, false)
 			rval, result = s.q.Dequeue(c)
+		case wire.OpRMW:
+			// Compare-and-set the key's value: expect in Val, new in Arg.
+			engine.DetectBeginDeferred(s.e, c, client, r.Seq, engine.DetectRMW, r.Key, r.Val, false)
+			result = s.table.CasVal(c, r.Key, r.Val, r.Arg)
 		}
 		engine.DetectEndDeferred(s.e, c, result, rval)
 		resp = wire.Response{

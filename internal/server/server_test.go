@@ -269,7 +269,7 @@ func TestServeAttachRestart(t *testing.T) {
 	for _, kind := range durableKinds() {
 		t.Run(kind.String(), func(t *testing.T) {
 			media := filepath.Join(t.TempDir(), "media")
-			cfg := Config{Kind: kind, MediaPath: media, Words: 1 << 18, Buckets: 256}
+			cfg := Config{Kind: kind, MediaPath: media, Words: 1 << 18, Ring: 4}
 			s1 := startServer(t, cfg)
 			if s1.Attached() {
 				t.Fatal("fresh server claims attach")
@@ -381,5 +381,108 @@ func TestServeBatchingSavesFences(t *testing.T) {
 	t.Logf("fences/mutation: batched %.2f, unbatched %.2f", batched, unbatched)
 	if batched >= unbatched {
 		t.Fatalf("batching saved nothing: %.2f >= %.2f fences/mutation", batched, unbatched)
+	}
+}
+
+// TestServeScanRMW drives the new ordered-set ops end to end: SCAN returns
+// ascending present pairs from the start key up to the limit, and RMW
+// compare-and-sets a value exactly once.
+func TestServeScanRMW(t *testing.T) {
+	s := startServer(t, Config{Kind: engine.MirrorDRAM, Workers: 2})
+	c := dial(t, s, 1)
+	for k := uint64(1); k <= 40; k++ {
+		if ok, err := c.Insert(k, k*10); err != nil || !ok {
+			t.Fatalf("insert %d: %v %v", k, ok, err)
+		}
+	}
+	pairs, err := c.Scan(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 10 {
+		t.Fatalf("scan returned %d pairs, want 10", len(pairs))
+	}
+	for i, kv := range pairs {
+		want := uint64(5 + i)
+		if kv.Key != want || kv.Val != want*10 {
+			t.Fatalf("pair %d = %+v, want key %d val %d", i, kv, want, want*10)
+		}
+	}
+	// A scan past the top is legal and empty.
+	if pairs, err = c.Scan(1000, 4); err != nil || len(pairs) != 0 {
+		t.Fatalf("empty scan = %v pairs, err %v", len(pairs), err)
+	}
+	// RMW: stale expect misses, correct expect swaps, replay is exact-once.
+	if ok, err := c.RMW(7, 999, 1); err != nil || ok {
+		t.Fatalf("stale RMW = %v %v, want false", ok, err)
+	}
+	if ok, err := c.RMW(7, 70, 71); err != nil || !ok {
+		t.Fatalf("RMW = %v %v, want true", ok, err)
+	}
+	if v, ok, _ := c.Get(7); !ok || v != 71 {
+		t.Fatalf("value after RMW = %d,%v want 71,true", v, ok)
+	}
+	seq := c.Seq()
+	resp, err := c.Do(wire.Request{Op: wire.OpRMW, Client: c.ID(), Seq: seq, Key: 7, Val: 70, Arg: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Result || resp.Verdict != uint8(engine.Committed) {
+		t.Fatalf("RMW replay = %+v, want committed true", resp)
+	}
+	if v, _, _ := c.Get(7); v != 71 {
+		t.Fatalf("value after RMW replay = %d, want 71 (double apply!)", v)
+	}
+	if s.Stats().Scans != 2 {
+		t.Fatalf("scan counter = %d, want 2", s.Stats().Scans)
+	}
+}
+
+// TestServePipelined exercises the HELLO handshake and a full pipelined
+// window on every durable engine: depth-8 submits with FIFO responses,
+// interleaved sync ops (which drain first), and a depth grant clamped to
+// the server ring.
+func TestServePipelined(t *testing.T) {
+	for _, kind := range durableKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			s := startServer(t, Config{Kind: kind, Workers: 2, Ring: 8})
+			c := dial(t, s, 2)
+			if w, err := c.SetPipeline(64); err != nil || w != 8 {
+				t.Fatalf("SetPipeline(64) = %d, %v, want 8 (ring clamp)", w, err)
+			}
+			var got []wire.Response
+			for k := uint64(1); k <= 30; k++ {
+				done, err := c.Submit(wire.OpInsert, k, k*7, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, done...)
+			}
+			done, err := c.Drain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, done...)
+			if len(got) != 30 {
+				t.Fatalf("%d responses, want 30", len(got))
+			}
+			for i, r := range got {
+				if !r.Result || !r.Known {
+					t.Fatalf("insert %d response %+v, want known true", i+1, r)
+				}
+			}
+			// Sync ops drain implicitly and observe everything submitted.
+			for k := uint64(1); k <= 30; k++ {
+				if _, err := c.Submit(wire.OpDelete, k, 0, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if v, ok, err := c.Get(5); err != nil || ok || v != 0 {
+				t.Fatalf("get after pipelined deletes = %d,%v,%v want absent", v, ok, err)
+			}
+			if n := len(c.InFlight()); n != 0 {
+				t.Fatalf("%d frames in flight after sync Get, want 0", n)
+			}
+		})
 	}
 }

@@ -80,3 +80,14 @@ func TestBSTShardedConformance(t *testing.T) {
 		Words: 1 << 21,
 	})
 }
+
+func TestBSTRingDetect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-point sweep")
+	}
+	settest.RunRingDetect(t, settest.Factory{
+		New: func(e engine.Engine, c *engine.Ctx) structures.Set {
+			return bst.New(e, c)
+		},
+	})
+}

@@ -373,6 +373,43 @@ func (s *SkipList) Get(c *engine.Ctx, key uint64) (uint64, bool) {
 	return v, true
 }
 
+// CasVal atomically replaces key's value with repl iff the key is present
+// and currently holds expect (read-modify-write; the serving tier's RMW
+// op). The linearization point is the successful CAS on the value field;
+// like Insert's level-0 link it runs under the full durability discipline,
+// so the caller's verdict may publish after it. Returns false if the key
+// is absent, deleted, or holds a different value.
+func (s *SkipList) CasVal(c *engine.Ctx, key, expect, repl uint64) bool {
+	if key == 0 || key > structures.KeyMax {
+		panic("skiplist: key outside usable range")
+	}
+	e := s.e
+	e.OpBegin(c)
+	defer e.OpEnd(c)
+	var preds, succs [MaxLevel]engine.Ref
+	for {
+		s.search(c, key, &preds, &succs)
+		node := succs[0]
+		if node == 0 || e.TraversalLoad(c, node, fKey) != key {
+			return false
+		}
+		if structures.Marked(e.TraversalLoad(c, node, fNext)) {
+			return false // concurrently deleted
+		}
+		e.MakePersistent(c, node, fNext)
+		cur := e.TraversalLoad(c, node, fVal)
+		if cur != expect {
+			return false
+		}
+		if e.CAS(c, node, fVal, cur, repl) {
+			e.Linearized(c, true)
+			return true
+		}
+		// The value moved between the read and the CAS: re-search and
+		// re-test against expect (a changed value is simply a miss).
+	}
+}
+
 // Len counts present keys (quiesced use only).
 func (s *SkipList) Len(c *engine.Ctx) int {
 	e := s.e

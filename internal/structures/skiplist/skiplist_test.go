@@ -77,3 +77,50 @@ func TestSkipListShardedConformance(t *testing.T) {
 		Words: 1 << 21,
 	})
 }
+
+func TestSkipListRingDetect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-point sweep")
+	}
+	settest.RunRingDetect(t, settest.Factory{
+		New: func(e engine.Engine, c *engine.Ctx) structures.Set {
+			return skiplist.New(e, c)
+		},
+	})
+}
+
+// TestSkipListCasVal pins the RMW primitive: compare-and-set of a present
+// key's value, misses on absent keys and stale expectations, and crash
+// durability of a successful swap.
+func TestSkipListCasVal(t *testing.T) {
+	e := engine.New(engine.Config{Kind: engine.MirrorNVMM, Words: 1 << 18, Track: true})
+	c := e.NewCtx()
+	s := skiplist.New(e, c)
+	for k := uint64(1); k <= 50; k++ {
+		s.Insert(c, k, k*10)
+	}
+	if s.CasVal(c, 99, 0, 1) {
+		t.Fatal("CasVal on absent key succeeded")
+	}
+	if s.CasVal(c, 7, 69, 71) {
+		t.Fatal("CasVal with stale expect succeeded")
+	}
+	if v, _ := s.Get(c, 7); v != 70 {
+		t.Fatalf("failed CasVal changed value: %d", v)
+	}
+	if !s.CasVal(c, 7, 70, 71) {
+		t.Fatal("CasVal with correct expect failed")
+	}
+	if v, _ := s.Get(c, 7); v != 71 {
+		t.Fatalf("value after CasVal = %d, want 71", v)
+	}
+	// Crash durability: the swap happened under the full discipline.
+	e.Freeze()
+	e.Crash(0, nil)
+	e.Recover(skiplist.TracerAt(e, 3))
+	c2 := e.NewCtx()
+	s2 := skiplist.New(e, c2)
+	if v, ok := s2.Get(c2, 7); !ok || v != 71 {
+		t.Fatalf("value after crash = (%d,%v), want (71,true)", v, ok)
+	}
+}

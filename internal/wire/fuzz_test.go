@@ -13,8 +13,12 @@ import (
 func FuzzFrame(f *testing.F) {
 	f.Add(AppendRequest(nil, Request{Op: OpInsert, Client: 1, Seq: 1, Key: 7, Val: 70}))
 	f.Add(AppendRequest(nil, Request{Op: OpGet, Key: 7}))
+	f.Add(AppendRequest(nil, Request{Op: OpScan, Client: 2, Key: 10, Val: 16}))
+	f.Add(AppendRequest(nil, Request{Op: OpRMW, Client: 3, Seq: 4, Key: 5, Val: 6, Arg: 7}))
+	f.Add(AppendRequest(nil, Request{Op: OpHello, Client: 1, Val: 8}))
 	f.Add(AppendResponse(nil, Response{Status: StatusOK, Result: true, Rval: 9}))
 	f.Add(AppendResponse(nil, Response{Status: StatusError, Err: "nope"}))
+	f.Add(AppendResponse(nil, Response{Status: StatusOK, Rval: 1, Pairs: []KV{{Key: 3, Val: 30}}}))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{4, 0, 0, 0, 1, 2})
 	f.Add(make([]byte, 64))

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -17,6 +18,10 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpEnqueue, Client: MaxClients - 1, Seq: 2, Val: 5},
 		{Op: OpDequeue, Client: 1, Seq: 3},
 		{Op: OpDetect, Client: 1, Seq: 3},
+		{Op: OpScan, Client: 2, Key: 100, Val: MaxScanKeys},
+		{Op: OpScan, Client: 2, Key: 1, Val: 1},
+		{Op: OpRMW, Client: 4, Seq: 9, Key: 8, Val: 80, Arg: 81},
+		{Op: OpHello, Client: 5, Val: 8},
 	}
 	var stream []byte
 	for _, r := range reqs {
@@ -44,6 +49,8 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Status: StatusOK},
 		{Status: StatusOK, Verdict: 1, Known: true, Result: true, Rval: 7},
 		{Status: StatusError, Err: "bad op"},
+		{Status: StatusOK, Rval: 2, Pairs: []KV{{Key: 1, Val: 10}, {Key: 2, Val: 20}}},
+		{Status: StatusOK, Pairs: []KV{}}, // empty scan is still a scan
 	}
 	var stream []byte
 	for _, r := range resps {
@@ -55,7 +62,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
-		if got != want {
+		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("frame %d: %+v != %+v", i, got, want)
 		}
 	}
@@ -83,6 +90,10 @@ func TestDecodeRequestRejects(t *testing.T) {
 			binary.LittleEndian.PutUint32(p[1:], MaxClients)
 			return p
 		}},
+		// RMW is the only 37-byte frame; a 29-byte RMW and a 37-byte
+		// INSERT are both malformed.
+		{"short RMW", func(p []byte) []byte { p[0] = byte(OpRMW); return p }},
+		{"long INSERT", func(p []byte) []byte { return append(p, make([]byte, 8)...) }},
 	}
 	for _, tc := range cases {
 		p := tc.mutate(append([]byte(nil), payload...))
@@ -97,6 +108,43 @@ func TestDecodeRequestRejects(t *testing.T) {
 	}
 }
 
+// TestDecodeRequestSeqConsistency pins the seq rules per op class:
+// non-mutating frames (GET, SCAN, HELLO) must not carry a seq — they never
+// consume sequence numbers, so a nonzero seq is a confused client; DETECT
+// and every mutating op must carry one.
+func TestDecodeRequestSeqConsistency(t *testing.T) {
+	bad := []Request{
+		{Op: OpGet, Client: 1, Seq: 5, Key: 2},
+		{Op: OpScan, Client: 1, Seq: 5, Key: 2, Val: 4},
+		{Op: OpHello, Client: 1, Seq: 5, Val: 8},
+		{Op: OpDetect, Client: 1, Seq: 0},
+		{Op: OpRMW, Client: 1, Seq: 0, Key: 2, Val: 3, Arg: 4},
+	}
+	for _, r := range bad {
+		p := AppendRequest(nil, r)[4:]
+		if _, err := DecodeRequest(p); err == nil {
+			t.Errorf("%s seq %d: decoded without error", r.Op, r.Seq)
+		}
+	}
+}
+
+// TestDecodeRequestScanHelloRejects pins the op-specific field rules: a
+// zero-limit or over-limit SCAN and a malformed HELLO are protocol errors.
+func TestDecodeRequestScanHelloRejects(t *testing.T) {
+	bad := []Request{
+		{Op: OpScan, Client: 1, Key: 2, Val: 0},
+		{Op: OpScan, Client: 1, Key: 2, Val: MaxScanKeys + 1},
+		{Op: OpHello, Client: 1, Key: 7, Val: 8},
+		{Op: OpHello, Client: 1, Val: 0},
+	}
+	for _, r := range bad {
+		p := AppendRequest(nil, r)[4:]
+		if _, err := DecodeRequest(p); err == nil {
+			t.Errorf("%s key %d val %d: decoded without error", r.Op, r.Key, r.Val)
+		}
+	}
+}
+
 func TestDecodeResponseRejects(t *testing.T) {
 	cases := map[string][]byte{
 		"short":             make([]byte, responseMin-1),
@@ -105,6 +153,9 @@ func TestDecodeResponseRejects(t *testing.T) {
 		"reserved flags":    append([]byte{StatusOK, 8, 0}, make([]byte, 8)...),
 		"unknown verdict":   append([]byte{StatusOK, 0, 3}, make([]byte, 8)...),
 		"trailing after OK": append([]byte{StatusOK, 0, 0}, make([]byte, 9)...),
+		"pairs on error":    append([]byte{StatusError, 4, 0}, make([]byte, 8+pairLen)...),
+		"ragged pair tail":  append([]byte{StatusOK, 4, 0}, make([]byte, 8+pairLen-1)...),
+		"too many pairs":    append([]byte{StatusOK, 4, 0}, make([]byte, 8+(MaxScanKeys+1)*pairLen)...),
 	}
 	for name, p := range cases {
 		if _, err := DecodeResponse(p); err == nil {
@@ -136,5 +187,14 @@ func TestReadFrameLimits(t *testing.T) {
 	// Clean EOF only at a frame boundary.
 	if _, err := ReadFrame(bytes.NewReader(nil), nil); err != io.EOF {
 		t.Errorf("empty stream: %v, want io.EOF", err)
+	}
+	// The biggest legal scan response fits under MaxFrame.
+	pairs := make([]KV, MaxScanKeys)
+	frame := AppendResponse(nil, Response{Status: StatusOK, Rval: MaxScanKeys, Pairs: pairs})
+	if len(frame)-4 > MaxFrame {
+		t.Errorf("max scan response %d bytes exceeds MaxFrame %d", len(frame)-4, MaxFrame)
+	}
+	if _, err := ReadResponse(bytes.NewReader(frame), nil); err != nil {
+		t.Errorf("max scan response rejected: %v", err)
 	}
 }

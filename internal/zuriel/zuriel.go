@@ -113,7 +113,7 @@ func newDetector(dev *pmem.Device, base uint64, clients int) (*detector, uint64)
 		return nil, base
 	}
 	base = (base + pmem.WordsPerLine - 1) &^ (pmem.WordsPerLine - 1)
-	d := &detector{desc: engine.NewDescRegion(dev, base, clients, true)}
+	d := &detector{desc: engine.NewDescRegion(dev, base, clients, 1, true)}
 	return d, base + d.desc.Words()
 }
 
